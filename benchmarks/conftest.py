@@ -1,0 +1,67 @@
+"""Shared configuration of the benchmark harness.
+
+Every module in this directory regenerates one table or figure of the paper.  The
+workloads run on the scaled-down synthetic benchmarks (see DESIGN.md) with budgets chosen
+so the full harness finishes on a laptop CPU; the *qualitative* comparisons (who wins,
+by roughly what factor, where the cross-overs fall) are what the benches check and print.
+
+Every benchmark prints its table/figure with ``-s``; run e.g.::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.bench import bench_graph, quick_eras_config
+from repro.search import ERASSearcher
+from repro.search.variants import eras_n1
+
+# Scale applied to every dataset used by the harness (1.0 = the default synthetic sizes).
+BENCH_SCALE = 0.7
+# Stand-alone training epochs for final models reported in the tables.
+FINAL_EPOCHS = 20
+# ERAS search epochs used by the harness.
+SEARCH_EPOCHS = 12
+BENCH_SEED = 0
+
+
+def harness_graph(name: str):
+    """Load a dataset at the harness scale."""
+    return bench_graph(name, scale=BENCH_SCALE, seed=BENCH_SEED)
+
+
+def harness_eras_config(num_groups: int = 3, num_blocks: int = 4, seed: int = BENCH_SEED):
+    """ERAS budget used across the harness."""
+    return quick_eras_config(
+        num_groups=num_groups, num_blocks=num_blocks, epochs=SEARCH_EPOCHS, dim=48, seed=seed
+    )
+
+
+@pytest.fixture(scope="session")
+def eras_results_cache():
+    """Session-wide cache of ERAS / ERAS_N=1 search results keyed by (dataset, groups)."""
+    cache = {}
+
+    def run(dataset: str, num_groups: int):
+        key = (dataset, num_groups)
+        if key not in cache:
+            graph = harness_graph(dataset)
+            config = harness_eras_config(num_groups=num_groups)
+            searcher = ERASSearcher(config) if num_groups > 1 else eras_n1(config)
+            cache[key] = searcher.search(graph)
+        return cache[key]
+
+    return run
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    The harness workloads are minutes-long searches and trainings, so the default
+    multi-round calibration of pytest-benchmark is disabled.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

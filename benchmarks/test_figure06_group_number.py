@@ -1,0 +1,43 @@
+"""Figure 6: impact of the number of relation groups N on quality and search time.
+
+The paper's shape: search/training time grows with N, and some N > 1 is at least as good
+as the task-aware N = 1 setting.
+"""
+
+from repro.bench import SeriesReport, retrain_searched
+from repro.eval import RankingEvaluator
+from repro.search import ERASSearcher
+from repro.search.variants import eras_n1
+
+from benchmarks.conftest import FINAL_EPOCHS, harness_eras_config, harness_graph, run_once
+
+DATASET = "wn18rr_like"
+GROUP_COUNTS = (1, 2, 3, 4)
+
+
+def _build_series():
+    report = SeriesReport("Figure 6 -- impact of the number of groups N",
+                          x_label="N", y_label="test MRR")
+    graph = harness_graph(DATASET)
+    evaluator = RankingEvaluator(graph)
+    times = {}
+    for num_groups in GROUP_COUNTS:
+        config = harness_eras_config(num_groups=num_groups)
+        searcher = ERASSearcher(config) if num_groups > 1 else eras_n1(config)
+        result = searcher.search(graph)
+        model, _ = retrain_searched(graph, result, dim=48, epochs=FINAL_EPOCHS, seed=0)
+        metrics = evaluator.evaluate(model, split="test")
+        report.add_point("test_mrr", num_groups, metrics.mrr)
+        report.add_point("search_seconds", num_groups, result.search_seconds)
+        times[num_groups] = result.search_seconds
+    return report, times
+
+
+def test_figure06_group_number(benchmark):
+    report, times = run_once(benchmark, _build_series)
+    report.show()
+    mrr_by_n = dict(report.series["test_mrr"])
+    # Paper shape: relation-aware settings (N > 1) reach at least the task-aware quality.
+    assert max(mrr_by_n[n] for n in GROUP_COUNTS if n > 1) >= 0.85 * mrr_by_n[1]
+    # And the search cost grows with the number of groups.
+    assert times[max(GROUP_COUNTS)] > times[1]

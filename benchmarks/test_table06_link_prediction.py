@@ -1,0 +1,56 @@
+"""Table VI: link-prediction comparison of ERAS against baselines on the five benchmarks.
+
+The paper's shape: the searched, task-aware methods (AutoSF / ERAS_N=1) match or beat the
+best hand-designed bilinear scoring functions, and relation-aware ERAS is at least as good
+as its task-aware variant.  Absolute values differ from the paper because the datasets are
+scaled-down synthetic stand-ins (see DESIGN.md).
+"""
+
+import pytest
+
+from repro.bench import TableReport, retrain_searched, train_structure
+from repro.eval import RankingEvaluator
+from repro.scoring import TransEScorer, named_structure
+
+from benchmarks.conftest import FINAL_EPOCHS, harness_graph, run_once
+
+DATASETS = ("wn18_like", "wn18rr_like", "fb15k_like", "fb15k237_like", "yago3_like")
+BASELINES = {
+    "TransE": lambda: TransEScorer(),
+    "DistMult": lambda: named_structure("distmult"),
+    "ComplEx": lambda: named_structure("complex"),
+    "SimplE": lambda: named_structure("simple"),
+}
+
+
+def _build_table(eras_results_cache):
+    report = TableReport("Table VI -- link prediction (filtered test metrics)")
+    for dataset in DATASETS:
+        graph = harness_graph(dataset)
+        evaluator = RankingEvaluator(graph)
+        best_baseline_mrr = 0.0
+        for name, factory in BASELINES.items():
+            model, _ = train_structure(graph, factory(), dim=48, epochs=FINAL_EPOCHS, seed=0)
+            metrics = evaluator.evaluate(model, split="test")
+            best_baseline_mrr = max(best_baseline_mrr, metrics.mrr)
+            report.add_row(dataset=dataset, model=name, **metrics.as_row())
+        for groups, label in ((1, "ERAS_N=1"), (3, "ERAS")):
+            result = eras_results_cache(dataset, groups)
+            model, _ = retrain_searched(graph, result, dim=48, epochs=FINAL_EPOCHS, seed=0)
+            metrics = evaluator.evaluate(model, split="test")
+            report.add_row(dataset=dataset, model=label, **metrics.as_row())
+    return report
+
+
+def test_table06_link_prediction(benchmark, eras_results_cache):
+    report = run_once(benchmark, lambda: _build_table(eras_results_cache))
+    report.show()
+    rows = {(row["dataset"], row["model"]): row for row in report.rows}
+    for dataset in DATASETS:
+        baseline_mrrs = [rows[(dataset, name)]["MRR"] for name in BASELINES]
+        eras_mrr = rows[(dataset, "ERAS")]["MRR"]
+        # Paper shape: the searched scoring functions are competitive with the best
+        # hand-designed baseline (allowing slack for the noisy small-scale proxy).
+        assert eras_mrr >= 0.8 * max(baseline_mrrs), dataset
+        # And clearly better than the weakest baseline.
+        assert eras_mrr > min(baseline_mrrs), dataset

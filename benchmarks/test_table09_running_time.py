@@ -1,0 +1,64 @@
+"""Table IX: running time of the automated approaches.
+
+The paper's shape: AutoSF's greedy search (stand-alone training of every candidate) costs
+at least an order of magnitude more wall-clock than ERAS's one-shot search; ERAS_N=1 and
+ERAS cost roughly the same as training a couple of hand-designed models.
+"""
+
+import dataclasses
+
+from repro.bench import TableReport, quick_autosf_config, train_structure
+from repro.models.trainer import TrainerConfig
+from repro.scoring import named_structure
+from repro.search import AutoSFSearcher
+
+from benchmarks.conftest import harness_eras_config, harness_graph, run_once
+from repro.search import ERASSearcher
+from repro.search.variants import eras_n1
+
+DATASETS = ("wn18rr_like", "fb15k237_like")
+
+
+def _autosf_config():
+    return dataclasses.replace(
+        quick_autosf_config(),
+        max_budget=6,
+        num_parents=2,
+        num_sampled_children=6,
+        top_k=2,
+        trainer=TrainerConfig(epochs=8, valid_every=4, patience=1, seed=0),
+    )
+
+
+def _build_table():
+    report = TableReport("Table IX -- search / training wall-clock (seconds)")
+    for dataset in DATASETS:
+        graph = harness_graph(dataset)
+        autosf = AutoSFSearcher(_autosf_config()).search(graph)
+        eras1 = eras_n1(harness_eras_config(num_groups=1)).search(graph)
+        eras = ERASSearcher(harness_eras_config(num_groups=3)).search(graph)
+        _, distmult_run = train_structure(graph, named_structure("distmult"), dim=48, epochs=20, seed=0)
+        report.add_row(
+            dataset=dataset,
+            autosf_search_s=round(autosf.search_seconds, 1),
+            eras_n1_search_s=round(eras1.search_seconds, 1),
+            eras_search_s=round(eras.search_seconds, 1),
+            distmult_training_s=round(distmult_run.wall_clock_seconds, 1),
+            autosf_evaluations=autosf.evaluations,
+            eras_evaluations=eras.evaluations,
+        )
+    return report
+
+
+def test_table09_running_time(benchmark):
+    report = run_once(benchmark, _build_table)
+    report.show()
+    for row in report.rows:
+        # Paper shape: the one-shot ERAS search is much cheaper per candidate evaluation
+        # than AutoSF's stand-alone protocol.
+        autosf_cost = row["autosf_search_s"] / row["autosf_evaluations"]
+        eras_cost = row["eras_search_s"] / row["eras_evaluations"]
+        assert autosf_cost > 2 * eras_cost, row["dataset"]
+        # ERAS's total search time is comparable to (a small multiple of) a single
+        # hand-designed model's training time -- not orders of magnitude above it.
+        assert row["eras_search_s"] < 30 * max(row["distmult_training_s"], 0.5), row["dataset"]

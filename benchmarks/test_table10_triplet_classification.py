@@ -1,0 +1,42 @@
+"""Table X: triplet classification accuracy.
+
+The paper's shape: the searched scoring functions (AutoSF-style / ERAS) are at least as
+accurate as the hand-designed bilinear models, and all trained models are far above the
+50% chance level.
+"""
+
+from repro.bench import TableReport, retrain_searched, train_structure
+from repro.eval import TripletClassifier
+from repro.scoring import named_structure
+
+from benchmarks.conftest import FINAL_EPOCHS, harness_graph, run_once
+
+DATASETS = ("wn18rr_like", "fb15k237_like")
+BASELINES = ("distmult", "complex", "simple")
+
+
+def _build_table(eras_results_cache):
+    report = TableReport("Table X -- triplet classification accuracy (in %)")
+    for dataset in DATASETS:
+        graph = harness_graph(dataset)
+        classifier = TripletClassifier(graph, seed=0)
+        for name in BASELINES:
+            model, _ = train_structure(graph, named_structure(name), dim=48, epochs=FINAL_EPOCHS, seed=0)
+            result = classifier.evaluate(model)
+            report.add_row(dataset=dataset, model=name, accuracy=round(100 * result.accuracy, 1))
+        eras_result = eras_results_cache(dataset, 3)
+        model, _ = retrain_searched(graph, eras_result, dim=48, epochs=FINAL_EPOCHS, seed=0)
+        result = classifier.evaluate(model)
+        report.add_row(dataset=dataset, model="ERAS", accuracy=round(100 * result.accuracy, 1))
+    return report
+
+
+def test_table10_triplet_classification(benchmark, eras_results_cache):
+    report = run_once(benchmark, lambda: _build_table(eras_results_cache))
+    report.show()
+    rows = {(row["dataset"], row["model"]): row["accuracy"] for row in report.rows}
+    for dataset in DATASETS:
+        eras = rows[(dataset, "ERAS")]
+        baselines = [rows[(dataset, name)] for name in BASELINES]
+        assert eras > 55.0, dataset                       # far above chance
+        assert eras >= 0.85 * max(baselines), dataset     # competitive with the best baseline

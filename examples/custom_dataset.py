@@ -1,0 +1,57 @@
+"""Using your own dataset: the standard train/valid/test TSV layout.
+
+Run with::
+
+    python examples/custom_dataset.py
+
+The example writes a synthetic graph to disk in the same three-file layout the public
+benchmarks (WN18, FB15k, ...) use, loads it back with the generic TSV loader, and trains a
+model on it -- exactly the steps needed to run the library on a real downloaded benchmark
+or on proprietary data.
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.bench import format_table
+from repro.datasets import PatternSpec, SyntheticKGConfig, SyntheticKGGenerator
+from repro.eval import RankingEvaluator
+from repro.kg import RelationPattern, load_tsv_dataset, save_tsv_dataset
+from repro.models import KGEModel, Trainer, TrainerConfig
+from repro.scoring import named_structure
+
+
+def main() -> None:
+    # 1. Build (or bring) a dataset.  Here: a small synthetic KG with known patterns.
+    config = SyntheticKGConfig(
+        name="my_kg",
+        num_entities=150,
+        pattern_specs=(
+            PatternSpec(RelationPattern.SYMMETRIC, 2),
+            PatternSpec(RelationPattern.ANTI_SYMMETRIC, 3),
+            PatternSpec(RelationPattern.INVERSE, 2),
+        ),
+        triples_per_relation=80,
+    )
+    graph = SyntheticKGGenerator(config).generate(seed=0)
+
+    # 2. Persist it in the standard layout: train.txt / valid.txt / test.txt.
+    with tempfile.TemporaryDirectory() as tmp:
+        directory = save_tsv_dataset(graph, Path(tmp) / "my_kg")
+        print("wrote", sorted(p.name for p in directory.iterdir()))
+
+        # 3. Load it back with the generic loader (works for any dataset in this layout).
+        loaded = load_tsv_dataset(directory)
+        print(loaded)
+        print(format_table([loaded.statistics().as_row()], title="loaded dataset"))
+
+    # 4. Train and evaluate as usual.
+    model = KGEModel(loaded.num_entities, loaded.num_relations, dim=32,
+                     scorers=named_structure("simple"), seed=0)
+    Trainer(TrainerConfig(epochs=20, batch_size=128, valid_every=5, patience=3, seed=0)).fit(model, loaded)
+    metrics = RankingEvaluator(loaded).evaluate(model, split="test")
+    print(format_table([metrics.as_row()], title="filtered test metrics"))
+
+
+if __name__ == "__main__":
+    main()

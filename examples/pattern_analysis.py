@@ -1,0 +1,46 @@
+"""Relation-pattern analysis: the motivation behind relation-aware scoring functions.
+
+Run with::
+
+    python examples/pattern_analysis.py
+
+The example reproduces the observation of Section III-A of the paper on the synthetic
+benchmarks: scoring functions behave very differently on symmetric versus anti-symmetric
+relations, so no single universal scoring function is uniformly best at the relation
+level.
+"""
+
+from repro.bench import format_table, train_structure
+from repro.datasets import load_benchmark
+from repro.eval import PatternLevelEvaluator
+from repro.kg import RelationPatternAnalyzer
+from repro.scoring import expressiveness_table, named_structure, CLASSIC_STRUCTURES
+
+
+def main() -> None:
+    # 1. What can each classic scoring function express, symbolically?  (Table I)
+    rows = []
+    for name, report in expressiveness_table(CLASSIC_STRUCTURES):
+        rows.append({"scoring_function": name, **report.as_row()})
+    print(format_table(rows, title="symbolic expressiveness of classic scoring functions"))
+
+    # 2. What patterns do the relations of a dataset actually exhibit?
+    graph = load_benchmark("wn18rr_like", seed=0)
+    analyzer = RelationPatternAnalyzer()
+    print("\nper-relation pattern report for", graph.name)
+    for report in analyzer.analyze(graph):
+        name = graph.relation_vocab.symbol_of(report.relation)
+        print(f"  {name}: {report}")
+
+    # 3. How do trained scoring functions perform per pattern?  (Table III)
+    pattern_rows = []
+    evaluator = PatternLevelEvaluator(graph)
+    for name in ("distmult", "complex", "simple"):
+        model, _ = train_structure(graph, named_structure(name), dim=48, epochs=25, seed=0)
+        pattern_rows.append({"scoring_function": name, **evaluator.hit1_by_pattern(model, split="test")})
+    print()
+    print(format_table(pattern_rows, title="pattern-level Hit@1 (in %) on " + graph.name))
+
+
+if __name__ == "__main__":
+    main()

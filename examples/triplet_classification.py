@@ -1,0 +1,40 @@
+"""Triplet classification with per-relation thresholds (Table X protocol).
+
+Run with::
+
+    python examples/triplet_classification.py
+
+The example trains two scoring functions on the FB15k237-like benchmark, fits
+relation-specific decision thresholds on the validation split, and reports test accuracy.
+"""
+
+from repro.bench import format_table, train_structure
+from repro.datasets import load_benchmark
+from repro.eval import TripletClassifier
+from repro.scoring import named_structure
+
+
+def main() -> None:
+    graph = load_benchmark("fb15k237_like", seed=0)
+    classifier = TripletClassifier(graph, seed=0)
+
+    rows = []
+    for name in ("distmult", "complex", "simple"):
+        model, _ = train_structure(graph, named_structure(name), dim=48, epochs=25, seed=0)
+        result = classifier.evaluate(model)
+        rows.append(
+            {
+                "model": name,
+                "accuracy_%": round(100 * result.accuracy, 1),
+                "evaluated_triples": result.count,
+            }
+        )
+    print(format_table(rows, title=f"triplet classification on {graph.name}"))
+
+    # Per-relation thresholds are part of the protocol: show a few of them.
+    example_thresholds = dict(list(result.thresholds.items())[:5])
+    print("\nexample relation-specific thresholds:", {k: round(v, 3) for k, v in example_thresholds.items()})
+
+
+if __name__ == "__main__":
+    main()

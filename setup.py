@@ -1,0 +1,9 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that editable installs work on environments without
+the ``wheel`` package (legacy ``pip install -e . --no-use-pep517`` path).
+"""
+
+from setuptools import setup
+
+setup()

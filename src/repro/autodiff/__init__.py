@@ -1,0 +1,23 @@
+"""A small reverse-mode automatic differentiation engine over NumPy arrays.
+
+This package replaces the PyTorch dependency of the original ERAS implementation.  It
+provides exactly the operations the paper's models need: bilinear block scores, softmax
+cross-entropy losses, an LSTM controller and the Adagrad/Adam optimisers that drive them.
+
+The central object is :class:`~repro.autodiff.tensor.Tensor`, a thin wrapper around a
+``numpy.ndarray`` that records the operations applied to it and can back-propagate
+gradients through the resulting computational graph.
+"""
+
+from repro.autodiff.tensor import Tensor, no_grad, is_grad_enabled
+from repro.autodiff import functional
+from repro.autodiff.grad_check import check_gradients, numerical_gradient
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "functional",
+    "check_gradients",
+    "numerical_gradient",
+]

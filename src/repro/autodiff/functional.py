@@ -1,0 +1,117 @@
+"""Composite differentiable functions built on top of :class:`~repro.autodiff.tensor.Tensor`.
+
+These cover the loss functions and normalisations used by the KG embedding models and the
+LSTM controller: numerically stable log-softmax / softmax, softmax cross-entropy with
+integer targets (the "multiclass log-loss" of Lacroix et al. used by AutoSF and ERAS),
+binary cross-entropy, margin ranking loss, and log-sum-exp.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor, concat, stack  # re-exported for convenience
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "logsumexp",
+    "cross_entropy",
+    "nll_loss",
+    "binary_cross_entropy_with_logits",
+    "margin_ranking_loss",
+    "softplus",
+    "dropout",
+    "concat",
+    "stack",
+]
+
+
+def logsumexp(x: Tensor, axis: int = -1, keepdims: bool = False) -> Tensor:
+    """Numerically stable ``log(sum(exp(x)))`` along ``axis``."""
+    x = Tensor._lift(x)
+    shift = Tensor(x.data.max(axis=axis, keepdims=True))
+    shifted = x - shift
+    summed = shifted.exp().sum(axis=axis, keepdims=True).log() + shift
+    if keepdims:
+        return summed
+    return summed.reshape(tuple(np.delete(np.array(summed.shape), axis)))
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Log-softmax along ``axis``, computed in a numerically stable way."""
+    x = Tensor._lift(x)
+    return x - logsumexp(x, axis=axis, keepdims=True)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Softmax along ``axis``."""
+    return log_softmax(x, axis=axis).exp()
+
+
+def nll_loss(log_probs: Tensor, targets: Union[np.ndarray, Sequence[int]], reduction: str = "mean") -> Tensor:
+    """Negative log-likelihood given ``log_probs`` of shape (batch, classes)."""
+    targets = np.asarray(targets, dtype=np.int64)
+    if log_probs.ndim != 2:
+        raise ValueError(f"log_probs must be 2-D (batch, classes), got shape {log_probs.shape}")
+    if targets.ndim != 1 or targets.shape[0] != log_probs.shape[0]:
+        raise ValueError("targets must be a 1-D integer array with one entry per row of log_probs")
+    rows = np.arange(log_probs.shape[0])
+    picked = log_probs[rows, targets]
+    loss = -picked
+    return _reduce(loss, reduction)
+
+
+def cross_entropy(logits: Tensor, targets: Union[np.ndarray, Sequence[int]], reduction: str = "mean") -> Tensor:
+    """Softmax cross-entropy with integer class targets (the multiclass log-loss)."""
+    return nll_loss(log_softmax(logits, axis=-1), targets, reduction=reduction)
+
+
+def binary_cross_entropy_with_logits(
+    logits: Tensor, targets: Union[np.ndarray, Sequence[float]], reduction: str = "mean"
+) -> Tensor:
+    """Numerically stable binary cross-entropy from logits.
+
+    Uses the identity ``BCE(x, y) = max(x, 0) - x*y + log(1 + exp(-|x|))``.
+    """
+    logits = Tensor._lift(logits)
+    targets = np.asarray(targets, dtype=np.float64)
+    loss = logits.relu() - logits * Tensor(targets) + softplus(-logits.abs())
+    return _reduce(loss, reduction)
+
+
+def margin_ranking_loss(
+    positive_scores: Tensor, negative_scores: Tensor, margin: float = 1.0, reduction: str = "mean"
+) -> Tensor:
+    """Hinge loss ``max(0, margin - positive + negative)`` used by translational models."""
+    diff = Tensor(float(margin)) - positive_scores + negative_scores
+    return _reduce(diff.relu(), reduction)
+
+
+def softplus(x: Tensor) -> Tensor:
+    """``log(1 + exp(x))`` computed stably via the identity ``softplus(x) = max(x,0) + log1p(exp(-|x|))``."""
+    x = Tensor._lift(x)
+    return x.relu() + ((-x.abs()).exp() + 1.0).log()
+
+
+def dropout(x: Tensor, p: float, rng: Optional[np.random.Generator] = None, training: bool = True) -> Tensor:
+    """Inverted dropout; identity when not training or when ``p == 0``."""
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    if not training or p == 0.0:
+        return Tensor._lift(x)
+    rng = rng if rng is not None else np.random.default_rng()
+    mask = (rng.random(x.shape) >= p).astype(np.float64) / (1.0 - p)
+    return Tensor._lift(x) * Tensor(mask)
+
+
+def _reduce(loss: Tensor, reduction: str) -> Tensor:
+    if reduction == "mean":
+        return loss.mean()
+    if reduction == "sum":
+        return loss.sum()
+    if reduction == "none":
+        return loss
+    raise ValueError(f"unknown reduction {reduction!r}; expected 'mean', 'sum' or 'none'")

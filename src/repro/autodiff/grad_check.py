@@ -1,0 +1,67 @@
+"""Finite-difference gradient checking used by the autodiff test-suite."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor
+
+
+def numerical_gradient(
+    fn: Callable[[Sequence[Tensor]], Tensor],
+    inputs: Sequence[Tensor],
+    index: int,
+    epsilon: float = 1e-6,
+) -> np.ndarray:
+    """Central-difference estimate of ``d fn(inputs) / d inputs[index]``.
+
+    ``fn`` must return a scalar tensor.  The estimate perturbs one coordinate at a time,
+    so it is only intended for the small tensors used in tests.
+    """
+    target = inputs[index]
+    grad = np.zeros_like(target.data)
+    flat = target.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + epsilon
+        plus = float(fn(inputs).data)
+        flat[i] = original - epsilon
+        minus = float(fn(inputs).data)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2.0 * epsilon)
+    return grad
+
+
+def check_gradients(
+    fn: Callable[[Sequence[Tensor]], Tensor],
+    inputs: Sequence[Tensor],
+    atol: float = 1e-5,
+    rtol: float = 1e-4,
+    epsilon: float = 1e-6,
+) -> bool:
+    """Compare analytic and numerical gradients of a scalar-valued function.
+
+    Returns ``True`` when every input's analytic gradient matches the finite-difference
+    estimate, and raises ``AssertionError`` with a useful message otherwise.
+    """
+    for tensor in inputs:
+        tensor.zero_grad()
+    output = fn(inputs)
+    if output.size != 1:
+        raise ValueError("check_gradients requires a scalar-valued function")
+    output.backward()
+    for i, tensor in enumerate(inputs):
+        if not tensor.requires_grad:
+            continue
+        analytic = tensor.grad if tensor.grad is not None else np.zeros_like(tensor.data)
+        numeric = numerical_gradient(fn, inputs, i, epsilon=epsilon)
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            max_err = float(np.max(np.abs(analytic - numeric)))
+            raise AssertionError(
+                f"gradient mismatch for input {i}: max abs error {max_err:.3e}\n"
+                f"analytic:\n{analytic}\nnumeric:\n{numeric}"
+            )
+    return True

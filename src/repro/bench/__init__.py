@@ -1,0 +1,33 @@
+"""Helpers shared by the ``benchmarks/`` harness: table/series formatting and the
+standard experiment workloads (dataset + budget presets) used to regenerate every table
+and figure of the paper."""
+
+from repro.bench.reporting import TableReport, SeriesReport, format_table
+from repro.bench.workloads import (
+    BENCH_DATASETS,
+    bench_graph,
+    quick_trainer_config,
+    quick_eras_config,
+    quick_autosf_config,
+    quick_random_config,
+    quick_bayes_config,
+    train_structure,
+    train_candidate,
+    retrain_searched,
+)
+
+__all__ = [
+    "TableReport",
+    "SeriesReport",
+    "format_table",
+    "BENCH_DATASETS",
+    "bench_graph",
+    "quick_trainer_config",
+    "quick_eras_config",
+    "quick_autosf_config",
+    "quick_random_config",
+    "quick_bayes_config",
+    "train_structure",
+    "train_candidate",
+    "retrain_searched",
+]

@@ -1,0 +1,90 @@
+"""Plain-text table / series reporting used by the benchmark harness.
+
+The paper's tables are reproduced as printed rows (one per table cell group) and its
+figures as printed series of (x, y) points; both are also returned as plain data so tests
+can assert on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+
+def format_table(rows: Sequence[Dict[str, object]], title: str = "") -> str:
+    """Render a list of dict rows as an aligned text table."""
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    widths = {column: len(str(column)) for column in columns}
+    for row in rows:
+        for column in columns:
+            widths[column] = max(widths[column], len(str(row.get(column, ""))))
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(column).ljust(widths[column]) for column in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[column] for column in columns))
+    for row in rows:
+        lines.append(" | ".join(str(row.get(column, "")).ljust(widths[column]) for column in columns))
+    return "\n".join(lines)
+
+
+@dataclass
+class TableReport:
+    """A named collection of rows mirroring one of the paper's tables."""
+
+    name: str
+    rows: List[Dict[str, object]] = field(default_factory=list)
+
+    def add_row(self, **values: object) -> None:
+        self.rows.append(dict(values))
+
+    def render(self) -> str:
+        return format_table(self.rows, title=self.name)
+
+    def show(self) -> None:
+        """Print the table (benchmarks call this so ``pytest -s`` shows the reproduction)."""
+        print()
+        print(self.render())
+
+    def column(self, key: str) -> List[object]:
+        """All values of one column, in row order."""
+        return [row.get(key) for row in self.rows]
+
+
+@dataclass
+class SeriesReport:
+    """A named collection of (x, y) series mirroring one of the paper's figures."""
+
+    name: str
+    x_label: str = "x"
+    y_label: str = "y"
+    series: Dict[str, List[tuple]] = field(default_factory=dict)
+
+    def add_point(self, series_name: str, x: float, y: float) -> None:
+        self.series.setdefault(series_name, []).append((float(x), float(y)))
+
+    def add_series(self, series_name: str, points: Sequence[tuple]) -> None:
+        self.series[series_name] = [(float(x), float(y)) for x, y in points]
+
+    def render(self) -> str:
+        lines = [f"{self.name}  ({self.x_label} vs {self.y_label})"]
+        for series_name, points in self.series.items():
+            formatted = ", ".join(f"({x:.3g}, {y:.3g})" for x, y in points)
+            lines.append(f"  {series_name}: {formatted}")
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print()
+        print(self.render())
+
+    def final_value(self, series_name: str) -> float:
+        """The y value of the last point of a series."""
+        points = self.series[series_name]
+        return points[-1][1]

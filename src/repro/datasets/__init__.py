@@ -1,0 +1,33 @@
+"""Benchmark datasets.
+
+Because the environment has no network access, the five public benchmarks used by the
+paper (WN18, WN18RR, FB15k, FB15k-237, YAGO3-10) are replaced by pattern-controlled
+synthetic counterparts of CPU-friendly size (see DESIGN.md, "Substitutions").  Each
+synthetic benchmark plants relations with known semantic patterns in proportions that
+mimic the original dataset, which is the property the paper's relation-aware argument and
+pattern-level evaluation rely on.
+
+Real benchmark directories in the standard ``train.txt``/``valid.txt``/``test.txt`` layout
+can still be loaded with :func:`repro.kg.load_tsv_dataset` and used everywhere a synthetic
+graph is used.
+"""
+
+from repro.datasets.synthetic import (
+    PatternSpec,
+    SyntheticKGConfig,
+    SyntheticKGGenerator,
+)
+from repro.datasets.registry import (
+    BENCHMARK_NAMES,
+    benchmark_config,
+    load_benchmark,
+)
+
+__all__ = [
+    "PatternSpec",
+    "SyntheticKGConfig",
+    "SyntheticKGGenerator",
+    "BENCHMARK_NAMES",
+    "benchmark_config",
+    "load_benchmark",
+]

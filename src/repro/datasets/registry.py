@@ -1,0 +1,94 @@
+"""Registry of the five synthetic benchmark configurations.
+
+The pattern mixes mirror the qualitative structure of the originals:
+
+* **WN18** is rich in symmetric relations (``similar_to``) and inverse pairs
+  (``hypernym``/``hyponym``).
+* **WN18RR** removes the inverse duplicates, keeping symmetric and hierarchy
+  (anti-symmetric) relations.
+* **FB15k** has many inverse duplicates and a broad mix of asymmetric relations.
+* **FB15k-237** removes inverse duplicates and has very few symmetric relations.
+* **YAGO3-10** is dominated by anti-symmetric / general asymmetric relations with a few
+  symmetric ones.
+
+Sizes are scaled down to run on a laptop CPU; pass ``scale`` to grow or shrink them.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, Tuple
+
+from repro.datasets.synthetic import PatternSpec, SyntheticKGConfig, SyntheticKGGenerator
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.patterns import RelationPattern
+
+_SYM = RelationPattern.SYMMETRIC
+_ANTI = RelationPattern.ANTI_SYMMETRIC
+_INV = RelationPattern.INVERSE
+_GEN = RelationPattern.GENERAL_ASYMMETRIC
+
+
+def _config(name: str, num_entities: int, specs: Tuple[Tuple[RelationPattern, int], ...],
+            triples_per_relation: int) -> SyntheticKGConfig:
+    return SyntheticKGConfig(
+        name=name,
+        num_entities=num_entities,
+        pattern_specs=tuple(PatternSpec(pattern, count) for pattern, count in specs),
+        triples_per_relation=triples_per_relation,
+    )
+
+
+_BENCHMARKS: Dict[str, SyntheticKGConfig] = {
+    "wn18_like": _config(
+        "wn18_like", 200, ((_SYM, 4), (_INV, 6), (_ANTI, 6), (_GEN, 2)), 120
+    ),
+    "wn18rr_like": _config(
+        "wn18rr_like", 200, ((_SYM, 3), (_ANTI, 6), (_GEN, 2)), 120
+    ),
+    "fb15k_like": _config(
+        "fb15k_like", 300, ((_SYM, 6), (_INV, 16), (_ANTI, 10), (_GEN, 8)), 90
+    ),
+    "fb15k237_like": _config(
+        "fb15k237_like", 300, ((_SYM, 2), (_ANTI, 14), (_GEN, 14)), 90
+    ),
+    "yago3_like": _config(
+        "yago3_like", 400, ((_SYM, 5), (_INV, 6), (_ANTI, 16), (_GEN, 10)), 80
+    ),
+}
+
+BENCHMARK_NAMES: Tuple[str, ...] = tuple(_BENCHMARKS)
+
+# Mapping from the synthetic benchmark names to the original dataset names used in the
+# paper's tables; handy for report printing.
+PAPER_NAMES: Dict[str, str] = {
+    "wn18_like": "WN18",
+    "wn18rr_like": "WN18RR",
+    "fb15k_like": "FB15k",
+    "fb15k237_like": "FB15k237",
+    "yago3_like": "YAGO3-10",
+}
+
+
+def benchmark_config(name: str, scale: float = 1.0) -> SyntheticKGConfig:
+    """Return the configuration of a named benchmark, optionally rescaled."""
+    try:
+        config = _BENCHMARKS[name]
+    except KeyError:
+        raise KeyError(f"unknown benchmark {name!r}; available: {sorted(_BENCHMARKS)}") from None
+    return config if scale == 1.0 else config.scaled(scale)
+
+
+@lru_cache(maxsize=32)
+def _cached_build(name: str, scale: float, seed: int) -> KnowledgeGraph:
+    config = benchmark_config(name, scale=scale)
+    return SyntheticKGGenerator(config).generate(seed=seed)
+
+
+def load_benchmark(name: str, scale: float = 1.0, seed: int = 0) -> KnowledgeGraph:
+    """Build (and memoise) a synthetic benchmark by name.
+
+    The same ``(name, scale, seed)`` always returns the identical graph object, so
+    repeated calls inside a benchmark session are free.
+    """
+    return _cached_build(name, float(scale), int(seed))

@@ -1,0 +1,308 @@
+"""Pattern-controlled synthetic knowledge-graph generator.
+
+The generator builds a *latent bilinear world model*: every entity gets a ground-truth
+latent vector and every relation a latent matrix whose algebraic form enforces the
+desired semantic pattern (diagonal => symmetric, skew-symmetric => anti-symmetric,
+transpose of a partner => inverse, unconstrained => general asymmetric).  True triples
+are the highest-scoring (head, tail) pairs under this latent model.  The resulting graphs
+
+* contain relations whose patterns are recoverable by
+  :class:`repro.kg.patterns.RelationPatternAnalyzer` (verified by tests), and
+* are learnable by bilinear scoring functions, so differences between scoring-function
+  structures (the point of the paper) show up at small scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.patterns import RelationPattern
+from repro.kg.triples import TripleSet
+from repro.kg.vocab import Vocabulary
+from repro.utils.rng import SeedLike, new_rng
+
+
+@dataclass(frozen=True)
+class PatternSpec:
+    """How many relations of a given semantic pattern a synthetic benchmark contains."""
+
+    pattern: RelationPattern
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ValueError(f"count must be non-negative, got {self.count}")
+        if self.pattern is RelationPattern.INVERSE and self.count % 2 != 0:
+            raise ValueError("inverse relations are generated in pairs; count must be even")
+
+
+@dataclass(frozen=True)
+class SyntheticKGConfig:
+    """Full configuration of a synthetic benchmark."""
+
+    name: str
+    num_entities: int
+    pattern_specs: Tuple[PatternSpec, ...]
+    triples_per_relation: int = 80
+    latent_dim: int = 12
+    valid_fraction: float = 0.08
+    test_fraction: float = 0.08
+    noise_fraction: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.num_entities < 10:
+            raise ValueError("num_entities must be at least 10")
+        if self.triples_per_relation < 4:
+            raise ValueError("triples_per_relation must be at least 4")
+        if self.latent_dim < 2:
+            raise ValueError("latent_dim must be at least 2")
+        if not 0.0 < self.valid_fraction < 0.5 or not 0.0 < self.test_fraction < 0.5:
+            raise ValueError("valid_fraction and test_fraction must be in (0, 0.5)")
+        if not 0.0 <= self.noise_fraction < 0.5:
+            raise ValueError("noise_fraction must be in [0, 0.5)")
+        if self.num_relations == 0:
+            raise ValueError("at least one relation must be specified")
+
+    @property
+    def num_relations(self) -> int:
+        """Total number of relations across all pattern specs."""
+        return sum(spec.count for spec in self.pattern_specs)
+
+    def scaled(self, scale: float) -> "SyntheticKGConfig":
+        """Return a copy with entity and triple counts multiplied by ``scale`` (>= 0.1)."""
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        return SyntheticKGConfig(
+            name=self.name,
+            num_entities=max(10, int(round(self.num_entities * scale))),
+            pattern_specs=self.pattern_specs,
+            triples_per_relation=max(4, int(round(self.triples_per_relation * scale))),
+            latent_dim=self.latent_dim,
+            valid_fraction=self.valid_fraction,
+            test_fraction=self.test_fraction,
+            noise_fraction=self.noise_fraction,
+        )
+
+
+class SyntheticKGGenerator:
+    """Generate a :class:`~repro.kg.graph.KnowledgeGraph` from a :class:`SyntheticKGConfig`."""
+
+    def __init__(self, config: SyntheticKGConfig) -> None:
+        self.config = config
+
+    # ------------------------------------------------------------------ public API
+    def generate(self, seed: SeedLike = 0) -> KnowledgeGraph:
+        """Build the dataset deterministically from ``seed``."""
+        rng = new_rng(seed)
+        config = self.config
+        latent_entities = rng.normal(size=(config.num_entities, config.latent_dim))
+        latent_entities /= np.linalg.norm(latent_entities, axis=1, keepdims=True)
+
+        relation_patterns = self._relation_pattern_assignment()
+        relation_matrices, mirror_of = self._relation_matrices(relation_patterns, rng)
+
+        triples_by_relation: Dict[int, List[Tuple[int, int, int]]] = {}
+        for relation, pattern in enumerate(relation_patterns):
+            if relation in mirror_of:
+                # Second member of an inverse pair: mirror the partner's triples so the
+                # inversion pattern is planted exactly (as in WN18 / FB15k duplicates).
+                partner = mirror_of[relation]
+                triples_by_relation[relation] = [
+                    (tail, relation, head) for head, _, tail in triples_by_relation[partner]
+                ]
+            else:
+                triples_by_relation[relation] = self._triples_for_relation(
+                    relation, pattern, relation_matrices[relation], latent_entities, rng
+                )
+        triples = [triple for rows in triples_by_relation.values() for triple in rows]
+        triple_set = TripleSet(np.asarray(triples, dtype=np.int64)).unique()
+
+        train, valid, test = self._split(triple_set, rng)
+        train, valid, test = self._move_unseen_to_train(train, valid, test)
+
+        return KnowledgeGraph(
+            name=config.name,
+            num_entities=config.num_entities,
+            num_relations=config.num_relations,
+            train=train,
+            valid=valid,
+            test=test,
+            entity_vocab=Vocabulary.from_ids(config.num_entities, "e"),
+            relation_vocab=Vocabulary.from_ids(config.num_relations, "r"),
+        )
+
+    def relation_pattern_labels(self) -> List[RelationPattern]:
+        """The planted pattern of every relation id (ground truth for tests and benches)."""
+        return self._relation_pattern_assignment()
+
+    # ------------------------------------------------------------------ internals
+    def _relation_pattern_assignment(self) -> List[RelationPattern]:
+        labels: List[RelationPattern] = []
+        for spec in self.config.pattern_specs:
+            labels.extend([spec.pattern] * spec.count)
+        return labels
+
+    def _relation_matrices(
+        self, patterns: List[RelationPattern], rng: np.random.Generator
+    ) -> Tuple[List[np.ndarray], Dict[int, int]]:
+        """Latent matrices per relation plus the inverse-pair mirroring map.
+
+        ``mirror_of[r] = r'`` means relation r is generated as the exact reverse of r'.
+        """
+        dim = self.config.latent_dim
+        matrices: List[Optional[np.ndarray]] = [None] * len(patterns)
+        mirror_of: Dict[int, int] = {}
+        inverse_waiting: Optional[int] = None
+        for relation, pattern in enumerate(patterns):
+            if pattern is RelationPattern.SYMMETRIC:
+                matrices[relation] = np.diag(rng.normal(size=dim))
+            elif pattern is RelationPattern.ANTI_SYMMETRIC:
+                base = rng.normal(size=(dim, dim))
+                matrices[relation] = base - base.T
+            elif pattern is RelationPattern.INVERSE:
+                if inverse_waiting is None:
+                    matrices[relation] = rng.normal(size=(dim, dim))
+                    inverse_waiting = relation
+                else:
+                    matrices[relation] = matrices[inverse_waiting].T
+                    mirror_of[relation] = inverse_waiting
+                    inverse_waiting = None
+            else:  # general asymmetric
+                matrices[relation] = rng.normal(size=(dim, dim))
+        return [m for m in matrices if m is not None], mirror_of
+
+    def _triples_for_relation(
+        self,
+        relation: int,
+        pattern: RelationPattern,
+        matrix: np.ndarray,
+        latent_entities: np.ndarray,
+        rng: np.random.Generator,
+        top_k: int = 3,
+    ) -> List[Tuple[int, int, int]]:
+        """Sample triples for one relation by per-head nearest-tail selection.
+
+        For every sampled head entity the tail is drawn from the ``top_k`` best-scoring
+        candidates under the latent bilinear model, which spreads the facts over many
+        entities and keeps tail prediction learnable.
+        """
+        config = self.config
+        num_entities = config.num_entities
+        scores = latent_entities @ matrix @ latent_entities.T
+        np.fill_diagonal(scores, -np.inf)
+        target = config.triples_per_relation
+
+        def sample_pairs(score_matrix: np.ndarray, count: int) -> List[Tuple[int, int]]:
+            heads = rng.choice(num_entities, size=count, replace=count > num_entities)
+            pairs = []
+            for head in heads:
+                top = np.argpartition(score_matrix[head], -top_k)[-top_k:]
+                tail = int(rng.choice(top))
+                if tail != int(head):
+                    pairs.append((int(head), tail))
+            return pairs
+
+        if pattern is RelationPattern.SYMMETRIC:
+            symmetric_scores = scores + scores.T
+            np.fill_diagonal(symmetric_scores, -np.inf)
+            pairs = sample_pairs(symmetric_scores, max(1, target // 2))
+            triples = [(h, relation, t) for h, t in pairs]
+            triples += [(t, relation, h) for h, t in pairs]
+        else:
+            pairs = sample_pairs(scores, target)
+            triples = [(h, relation, t) for h, t in pairs]
+            if pattern is RelationPattern.ANTI_SYMMETRIC:
+                # Remove any accidental reverse duplicates so the planted pattern is clean.
+                seen = set()
+                filtered = []
+                for head, _, tail in triples:
+                    if (tail, head) in seen:
+                        continue
+                    seen.add((head, tail))
+                    filtered.append((head, relation, tail))
+                triples = filtered
+            elif pattern is RelationPattern.GENERAL_ASYMMETRIC:
+                # General asymmetry means the reverse *sometimes* holds: materialise the
+                # reverse of roughly a third of the pairs so the relation is neither
+                # symmetric nor anti-symmetric under the pattern analyzer.
+                reverse_count = max(1, len(triples) // 3)
+                reverse_idx = rng.choice(len(triples), size=reverse_count, replace=False)
+                triples += [(triples[i][2], relation, triples[i][0]) for i in reverse_idx]
+
+        noise_count = int(round(self.config.noise_fraction * len(triples)))
+        for _ in range(noise_count):
+            head = int(rng.integers(0, num_entities))
+            tail = int(rng.integers(0, num_entities))
+            if head != tail:
+                triples.append((head, relation, tail))
+        return triples
+
+    def _split(
+        self, triples: TripleSet, rng: np.random.Generator
+    ) -> Tuple[TripleSet, TripleSet, TripleSet]:
+        """Split per relation so that every relation is represented in the training set."""
+        config = self.config
+        train_rows: List[np.ndarray] = []
+        valid_rows: List[np.ndarray] = []
+        test_rows: List[np.ndarray] = []
+        for relation in range(config.num_relations):
+            relation_triples = triples.for_relation(relation)
+            if len(relation_triples) == 0:
+                continue
+            order = rng.permutation(len(relation_triples))
+            array = relation_triples.array[order]
+            n_valid = max(1, int(round(config.valid_fraction * len(array))))
+            n_test = max(1, int(round(config.test_fraction * len(array))))
+            n_train = len(array) - n_valid - n_test
+            if n_train < 1:
+                n_train, n_valid, n_test = len(array), 0, 0
+            train_rows.append(array[:n_train])
+            if n_valid:
+                valid_rows.append(array[n_train : n_train + n_valid])
+            if n_test:
+                test_rows.append(array[n_train + n_valid :])
+
+        def build(rows: List[np.ndarray]) -> TripleSet:
+            if not rows:
+                return TripleSet.empty()
+            return TripleSet(np.concatenate(rows, axis=0))
+
+        return build(train_rows), build(valid_rows), build(test_rows)
+
+    @staticmethod
+    def _move_unseen_to_train(
+        train: TripleSet, valid: TripleSet, test: TripleSet
+    ) -> Tuple[TripleSet, TripleSet, TripleSet]:
+        """Move valid/test triples whose entities never occur in training into the training split."""
+        seen = set(int(e) for e in train.entities())
+
+        def partition(split: TripleSet) -> Tuple[List[Tuple[int, int, int]], List[Tuple[int, int, int]]]:
+            kept, moved = [], []
+            for head, relation, tail in split:
+                if head in seen and tail in seen:
+                    kept.append((head, relation, tail))
+                else:
+                    moved.append((head, relation, tail))
+                    seen.add(head)
+                    seen.add(tail)
+            return kept, moved
+
+        valid_kept, valid_moved = partition(valid)
+        test_kept, test_moved = partition(test)
+        new_train = np.concatenate(
+            [
+                train.array,
+                np.asarray(valid_moved, dtype=np.int64).reshape(-1, 3),
+                np.asarray(test_moved, dtype=np.int64).reshape(-1, 3),
+            ],
+            axis=0,
+        )
+        return (
+            TripleSet(new_train),
+            TripleSet(np.asarray(valid_kept, dtype=np.int64).reshape(-1, 3)),
+            TripleSet(np.asarray(test_kept, dtype=np.int64).reshape(-1, 3)),
+        )

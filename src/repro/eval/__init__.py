@@ -1,0 +1,20 @@
+"""Evaluation protocols: filtered link-prediction ranking, relation-pattern metrics,
+triplet classification with per-relation thresholds, and correlation analysis between
+one-shot and stand-alone performance."""
+
+from repro.eval.ranking import RankingEvaluator, RankingMetrics
+from repro.eval.patterns import PatternLevelEvaluator, PatternMetrics
+from repro.eval.classification import TripletClassifier, ClassificationResult
+from repro.eval.correlation import spearman_correlation, pearson_correlation, CorrelationStudy
+
+__all__ = [
+    "RankingEvaluator",
+    "RankingMetrics",
+    "PatternLevelEvaluator",
+    "PatternMetrics",
+    "TripletClassifier",
+    "ClassificationResult",
+    "spearman_correlation",
+    "pearson_correlation",
+    "CorrelationStudy",
+]

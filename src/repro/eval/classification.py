@@ -1,0 +1,113 @@
+"""Triplet classification (Table X of the paper).
+
+A triple is classified positive when its score exceeds a relation-specific threshold
+``theta_r``; thresholds are chosen to maximise accuracy on the validation set, exactly as
+described in Section V-B2 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.autodiff import no_grad
+from repro.kg.filter_index import FilterIndex
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.sampling import generate_classification_negatives
+from repro.kg.triples import TripleSet
+from repro.models.kge import KGEModel
+from repro.utils.rng import SeedLike
+
+
+@dataclass(frozen=True)
+class ClassificationResult:
+    """Accuracy of triplet classification plus the fitted thresholds."""
+
+    accuracy: float
+    per_relation_accuracy: Dict[int, float]
+    thresholds: Dict[int, float]
+    count: int
+
+    def as_row(self) -> Dict[str, float]:
+        return {"accuracy": round(100.0 * self.accuracy, 1), "count": self.count}
+
+
+class TripletClassifier:
+    """Fit per-relation score thresholds on validation data and classify test triples."""
+
+    def __init__(self, graph: KnowledgeGraph, seed: SeedLike = 0) -> None:
+        self.graph = graph
+        self._filter_index = FilterIndex.from_graph(graph)
+        self._seed = seed
+
+    # ------------------------------------------------------------------ dataset construction
+    def build_labelled_split(self, split: str, seed_offset: int = 0) -> Tuple[TripleSet, np.ndarray]:
+        """Positives from ``split`` plus an equal number of filtered negatives, with labels."""
+        positives: TripleSet = getattr(self.graph, split)
+        negatives = generate_classification_negatives(
+            positives, self.graph.num_entities, self._filter_index,
+            seed=(hash((str(self._seed), split, seed_offset)) & 0x7FFFFFFF),
+        )
+        combined = positives.concat(negatives)
+        labels = np.concatenate([np.ones(len(positives)), np.zeros(len(negatives))])
+        return combined, labels
+
+    # ------------------------------------------------------------------ scoring
+    @staticmethod
+    def _scores(model: KGEModel, triples: TripleSet) -> np.ndarray:
+        with no_grad():
+            return model.score_triples(triples.array).data.copy()
+
+    # ------------------------------------------------------------------ threshold fitting
+    def fit_thresholds(self, model: KGEModel) -> Dict[int, float]:
+        """Per-relation thresholds maximising accuracy on the validation split."""
+        triples, labels = self.build_labelled_split("valid")
+        scores = self._scores(model, triples)
+        relations = triples.relations
+        thresholds: Dict[int, float] = {}
+        global_threshold = self._best_threshold(scores, labels)
+        for relation in range(self.graph.num_relations):
+            mask = relations == relation
+            if mask.sum() < 2 or len(np.unique(labels[mask])) < 2:
+                thresholds[relation] = global_threshold
+                continue
+            thresholds[relation] = self._best_threshold(scores[mask], labels[mask])
+        return thresholds
+
+    @staticmethod
+    def _best_threshold(scores: np.ndarray, labels: np.ndarray) -> float:
+        """Threshold maximising accuracy for a binary labelled score array."""
+        order = np.argsort(scores)
+        sorted_scores = scores[order]
+        candidates = np.concatenate([[sorted_scores[0] - 1.0],
+                                     (sorted_scores[1:] + sorted_scores[:-1]) / 2.0,
+                                     [sorted_scores[-1] + 1.0]])
+        best_threshold, best_accuracy = candidates[0], -1.0
+        for threshold in candidates:
+            accuracy = float(np.mean((scores > threshold) == labels.astype(bool)))
+            if accuracy > best_accuracy:
+                best_threshold, best_accuracy = float(threshold), accuracy
+        return best_threshold
+
+    # ------------------------------------------------------------------ evaluation
+    def evaluate(self, model: KGEModel, thresholds: Optional[Dict[int, float]] = None) -> ClassificationResult:
+        """Classify test positives + sampled negatives using the (fitted) thresholds."""
+        thresholds = thresholds or self.fit_thresholds(model)
+        triples, labels = self.build_labelled_split("test", seed_offset=1)
+        scores = self._scores(model, triples)
+        relations = triples.relations
+        threshold_array = np.array([thresholds.get(int(r), 0.0) for r in relations])
+        predictions = scores > threshold_array
+        correct = predictions == labels.astype(bool)
+        per_relation: Dict[int, float] = {}
+        for relation in np.unique(relations):
+            mask = relations == relation
+            per_relation[int(relation)] = float(np.mean(correct[mask]))
+        return ClassificationResult(
+            accuracy=float(np.mean(correct)),
+            per_relation_accuracy=per_relation,
+            thresholds=thresholds,
+            count=len(labels),
+        )

@@ -1,0 +1,70 @@
+"""Correlation between one-shot (supernet) and stand-alone performance (Figure 5).
+
+The paper argues that the shallow bipartite supernet avoids the biased-evaluation problem
+of deep supernets: the MRR a candidate structure obtains with the *shared* embeddings
+correlates strongly with the MRR it obtains when trained from scratch.  The
+:class:`CorrelationStudy` here collects exactly those pairs and summarises them with
+Spearman / Pearson coefficients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+from scipy import stats
+
+
+def spearman_correlation(x: Sequence[float], y: Sequence[float]) -> float:
+    """Spearman rank correlation (0.0 when degenerate)."""
+    x, y = np.asarray(x, dtype=float), np.asarray(y, dtype=float)
+    if len(x) != len(y):
+        raise ValueError("x and y must have the same length")
+    if len(x) < 2 or np.allclose(x, x[0]) or np.allclose(y, y[0]):
+        return 0.0
+    result = stats.spearmanr(x, y)
+    return float(result.correlation)
+
+
+def pearson_correlation(x: Sequence[float], y: Sequence[float]) -> float:
+    """Pearson linear correlation (0.0 when degenerate)."""
+    x, y = np.asarray(x, dtype=float), np.asarray(y, dtype=float)
+    if len(x) != len(y):
+        raise ValueError("x and y must have the same length")
+    if len(x) < 2 or np.allclose(x, x[0]) or np.allclose(y, y[0]):
+        return 0.0
+    result = stats.pearsonr(x, y)
+    return float(result[0])
+
+
+@dataclass
+class CorrelationStudy:
+    """Accumulates (one-shot metric, stand-alone metric) pairs for a set of candidates."""
+
+    label: str = "oneshot_vs_standalone"
+    one_shot: List[float] = field(default_factory=list)
+    stand_alone: List[float] = field(default_factory=list)
+
+    def add(self, one_shot_value: float, stand_alone_value: float) -> None:
+        """Record one candidate's pair of measurements."""
+        self.one_shot.append(float(one_shot_value))
+        self.stand_alone.append(float(stand_alone_value))
+
+    def __len__(self) -> int:
+        return len(self.one_shot)
+
+    def spearman(self) -> float:
+        return spearman_correlation(self.one_shot, self.stand_alone)
+
+    def pearson(self) -> float:
+        return pearson_correlation(self.one_shot, self.stand_alone)
+
+    def summary(self) -> Dict[str, float]:
+        """Both coefficients plus the sample count."""
+        return {
+            "label": self.label,
+            "count": len(self),
+            "spearman": round(self.spearman(), 4),
+            "pearson": round(self.pearson(), 4),
+        }

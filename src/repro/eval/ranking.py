@@ -1,0 +1,158 @@
+"""Filtered link-prediction ranking: MRR, Hit@1, Hit@3, Hit@10 and mean rank.
+
+The protocol follows Bordes et al. (2013): for every evaluation triple (h, r, t) the model
+ranks the true tail against every entity (and the true head likewise), after removing all
+*other* known true triples from the candidate list ("filtered" setting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.autodiff import no_grad
+from repro.kg.filter_index import FilterIndex
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.triples import TripleSet
+from repro.models.kge import KGEModel
+from repro.utils.rng import SeedLike, new_rng
+
+
+@dataclass(frozen=True)
+class RankingMetrics:
+    """Aggregate ranking metrics over an evaluation set."""
+
+    mrr: float
+    hit1: float
+    hit3: float
+    hit10: float
+    mean_rank: float
+    count: int
+
+    def as_row(self) -> Dict[str, float]:
+        """Dictionary row (percentages for the Hit metrics, as the paper reports them)."""
+        return {
+            "MRR": round(self.mrr, 4),
+            "Hit@1": round(100.0 * self.hit1, 1),
+            "Hit@3": round(100.0 * self.hit3, 1),
+            "Hit@10": round(100.0 * self.hit10, 1),
+            "MR": round(self.mean_rank, 1),
+            "count": self.count,
+        }
+
+    @classmethod
+    def from_ranks(cls, ranks: np.ndarray) -> "RankingMetrics":
+        """Build metrics from an array of integer ranks (1 = best)."""
+        ranks = np.asarray(ranks, dtype=np.float64)
+        if ranks.size == 0:
+            return cls(mrr=0.0, hit1=0.0, hit3=0.0, hit10=0.0, mean_rank=0.0, count=0)
+        return cls(
+            mrr=float(np.mean(1.0 / ranks)),
+            hit1=float(np.mean(ranks <= 1)),
+            hit3=float(np.mean(ranks <= 3)),
+            hit10=float(np.mean(ranks <= 10)),
+            mean_rank=float(np.mean(ranks)),
+            count=int(ranks.size),
+        )
+
+
+class RankingEvaluator:
+    """Computes filtered ranking metrics for a model on a dataset split."""
+
+    def __init__(
+        self,
+        graph: KnowledgeGraph,
+        filtered: bool = True,
+        batch_size: int = 128,
+        splits: Sequence[str] = ("valid", "test"),
+    ) -> None:
+        self.graph = graph
+        self.filtered = filtered
+        self.batch_size = batch_size
+        self._filter_index = FilterIndex.from_graph(graph) if filtered else None
+
+    # ------------------------------------------------------------------ public API
+    def evaluate(
+        self,
+        model: KGEModel,
+        split: str = "test",
+        sample_size: Optional[int] = None,
+        seed: SeedLike = 0,
+        relations: Optional[Iterable[int]] = None,
+    ) -> RankingMetrics:
+        """Ranking metrics on ``split`` (optionally restricted to given relations or a sample)."""
+        triples = self._select_triples(split, sample_size, seed, relations)
+        ranks = self.ranks(model, triples)
+        return RankingMetrics.from_ranks(ranks)
+
+    def per_relation(self, model: KGEModel, split: str = "test") -> Dict[int, RankingMetrics]:
+        """Ranking metrics per relation id (used by the pattern-level evaluation)."""
+        triples = self._split_triples(split)
+        results: Dict[int, RankingMetrics] = {}
+        for relation in np.unique(triples.relations):
+            subset = triples.for_relation(int(relation))
+            results[int(relation)] = RankingMetrics.from_ranks(self.ranks(model, subset))
+        return results
+
+    def ranks(self, model: KGEModel, triples: TripleSet) -> np.ndarray:
+        """Filtered ranks (tail-prediction and head-prediction interleaved) of all triples."""
+        if len(triples) == 0:
+            return np.array([], dtype=np.int64)
+        all_ranks = []
+        array = triples.array
+        with no_grad():
+            for start in range(0, len(array), self.batch_size):
+                batch = array[start : start + self.batch_size]
+                all_ranks.append(self._batch_ranks(model, batch, direction="tail"))
+                all_ranks.append(self._batch_ranks(model, batch, direction="head"))
+        return np.concatenate(all_ranks)
+
+    def validation_mrr(self, model: KGEModel, sample_size: Optional[int] = None, seed: SeedLike = 0) -> float:
+        """Convenience wrapper: MRR on the validation split (the reward signal of ERAS)."""
+        return self.evaluate(model, split="valid", sample_size=sample_size, seed=seed).mrr
+
+    # ------------------------------------------------------------------ internals
+    def _split_triples(self, split: str) -> TripleSet:
+        if split not in ("train", "valid", "test"):
+            raise ValueError(f"unknown split {split!r}")
+        return getattr(self.graph, split)
+
+    def _select_triples(
+        self,
+        split: str,
+        sample_size: Optional[int],
+        seed: SeedLike,
+        relations: Optional[Iterable[int]],
+    ) -> TripleSet:
+        triples = self._split_triples(split)
+        if relations is not None:
+            triples = triples.for_relations(relations)
+        if sample_size is not None and sample_size < len(triples):
+            rng = new_rng(seed)
+            idx = rng.choice(len(triples), size=sample_size, replace=False)
+            triples = TripleSet(triples.array[idx].copy())
+        return triples
+
+    def _batch_ranks(self, model: KGEModel, batch: np.ndarray, direction: str) -> np.ndarray:
+        if direction == "tail":
+            scores = model.score_all_tails(batch).data.copy()
+            targets = batch[:, 2]
+        else:
+            scores = model.score_all_heads(batch).data.copy()
+            targets = batch[:, 0]
+        if self._filter_index is not None:
+            for row, (head, relation, tail) in enumerate(batch):
+                if direction == "tail":
+                    mask = self._filter_index.tail_filter_mask(int(head), int(relation), int(tail), self.graph.num_entities)
+                else:
+                    mask = self._filter_index.head_filter_mask(int(relation), int(tail), int(head), self.graph.num_entities)
+                scores[row, mask] = -np.inf
+        target_scores = scores[np.arange(len(batch)), targets]
+        # Rank = 1 + number of candidates scoring strictly higher; ties broken optimistically
+        # by half the tied count to avoid both over- and under-estimating systematically.
+        higher = (scores > target_scores[:, None]).sum(axis=1)
+        ties = (scores == target_scores[:, None]).sum(axis=1) - 1
+        ranks = 1 + higher + ties // 2
+        return ranks.astype(np.int64)

@@ -1,0 +1,33 @@
+"""Knowledge-graph data layer.
+
+Provides the triple containers, vocabularies, dataset splits, TSV loaders, negative
+sampling, the filtered-candidate index used by ranking evaluation, and the relation
+pattern analysis that motivates the relation-aware search (Section III-A of the paper).
+"""
+
+from repro.kg.vocab import Vocabulary
+from repro.kg.triples import TripleSet
+from repro.kg.graph import KnowledgeGraph, DatasetStatistics
+from repro.kg.io import load_tsv_dataset, save_tsv_dataset
+from repro.kg.sampling import NegativeSampler, BatchIterator
+from repro.kg.filter_index import FilterIndex
+from repro.kg.patterns import (
+    RelationPattern,
+    RelationPatternAnalyzer,
+    RelationPatternReport,
+)
+
+__all__ = [
+    "Vocabulary",
+    "TripleSet",
+    "KnowledgeGraph",
+    "DatasetStatistics",
+    "load_tsv_dataset",
+    "save_tsv_dataset",
+    "NegativeSampler",
+    "BatchIterator",
+    "FilterIndex",
+    "RelationPattern",
+    "RelationPatternAnalyzer",
+    "RelationPatternReport",
+]

@@ -1,0 +1,72 @@
+"""The filtered-candidate index used by the standard filtered ranking protocol.
+
+When ranking a test triple (h, r, t) against all candidate tails, every *other* known true
+triple (h, r, t') must be removed from the candidate list (Bordes et al., 2013).  The
+index below answers "which tails are known for (h, r)" and "which heads for (r, t)" in
+O(1) per query.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Set, Tuple
+
+import numpy as np
+
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.triples import TripleSet
+
+
+class FilterIndex:
+    """Known-true lookup structure over one or more triple sets."""
+
+    def __init__(self, triple_sets: Iterable[TripleSet]) -> None:
+        self._tails_of: Dict[Tuple[int, int], Set[int]] = defaultdict(set)
+        self._heads_of: Dict[Tuple[int, int], Set[int]] = defaultdict(set)
+        self._all: Set[Tuple[int, int, int]] = set()
+        for triples in triple_sets:
+            for head, relation, tail in triples:
+                self._tails_of[(head, relation)].add(tail)
+                self._heads_of[(relation, tail)].add(head)
+                self._all.add((head, relation, tail))
+
+    @classmethod
+    def from_graph(cls, graph: KnowledgeGraph) -> "FilterIndex":
+        """Index over all splits of ``graph`` (the standard filtered protocol)."""
+        return cls([graph.train, graph.valid, graph.test])
+
+    def known_tails(self, head: int, relation: int) -> Set[int]:
+        """All tails t such that (head, relation, t) is a known true triple."""
+        return self._tails_of.get((head, relation), set())
+
+    def known_heads(self, relation: int, tail: int) -> Set[int]:
+        """All heads h such that (h, relation, tail) is a known true triple."""
+        return self._heads_of.get((relation, tail), set())
+
+    def contains(self, head: int, relation: int, tail: int) -> bool:
+        """Whether the exact triple is known true."""
+        return (head, relation, tail) in self._all
+
+    def __len__(self) -> int:
+        return len(self._all)
+
+    def tail_filter_mask(self, head: int, relation: int, true_tail: int, num_entities: int) -> np.ndarray:
+        """Boolean mask of candidates to *exclude* when ranking the tail of (head, relation, true_tail).
+
+        The true tail itself is never excluded.
+        """
+        mask = np.zeros(num_entities, dtype=bool)
+        known = self.known_tails(head, relation)
+        if known:
+            mask[list(known)] = True
+        mask[true_tail] = False
+        return mask
+
+    def head_filter_mask(self, relation: int, tail: int, true_head: int, num_entities: int) -> np.ndarray:
+        """Boolean mask of candidates to *exclude* when ranking the head of (true_head, relation, tail)."""
+        mask = np.zeros(num_entities, dtype=bool)
+        known = self.known_heads(relation, tail)
+        if known:
+            mask[list(known)] = True
+        mask[true_head] = False
+        return mask

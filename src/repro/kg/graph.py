@@ -1,0 +1,130 @@
+"""The :class:`KnowledgeGraph` dataset object: splits, vocabularies and statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.kg.triples import TripleSet
+from repro.kg.vocab import Vocabulary
+
+
+@dataclass(frozen=True)
+class DatasetStatistics:
+    """Summary statistics matching Table VII of the paper."""
+
+    name: str
+    num_entities: int
+    num_relations: int
+    num_training: int
+    num_validation: int
+    num_testing: int
+
+    def as_row(self) -> Dict[str, object]:
+        """A dictionary row suitable for tabular reporting."""
+        return {
+            "dataset": self.name,
+            "#relation": self.num_relations,
+            "#entity": self.num_entities,
+            "#training": self.num_training,
+            "#validation": self.num_validation,
+            "#testing": self.num_testing,
+        }
+
+
+class KnowledgeGraph:
+    """A knowledge-graph dataset with train/validation/test splits.
+
+    All triples are id-encoded; the optional vocabularies allow mapping back to symbols
+    when loading real benchmark files.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        num_entities: int,
+        num_relations: int,
+        train: TripleSet,
+        valid: TripleSet,
+        test: TripleSet,
+        entity_vocab: Optional[Vocabulary] = None,
+        relation_vocab: Optional[Vocabulary] = None,
+    ) -> None:
+        if num_entities <= 0 or num_relations <= 0:
+            raise ValueError("num_entities and num_relations must be positive")
+        self.name = name
+        self.num_entities = int(num_entities)
+        self.num_relations = int(num_relations)
+        self.train = train
+        self.valid = valid
+        self.test = test
+        self.entity_vocab = entity_vocab
+        self.relation_vocab = relation_vocab
+        self._validate_ids()
+
+    def _validate_ids(self) -> None:
+        for split_name, split in (("train", self.train), ("valid", self.valid), ("test", self.test)):
+            if len(split) == 0:
+                continue
+            max_entity = int(max(split.heads.max(), split.tails.max()))
+            max_relation = int(split.relations.max())
+            if max_entity >= self.num_entities:
+                raise ValueError(
+                    f"{split_name} split references entity id {max_entity} "
+                    f">= num_entities={self.num_entities}"
+                )
+            if max_relation >= self.num_relations:
+                raise ValueError(
+                    f"{split_name} split references relation id {max_relation} "
+                    f">= num_relations={self.num_relations}"
+                )
+
+    # ------------------------------------------------------------------ views
+    def all_triples(self) -> TripleSet:
+        """Union of train, validation and test triples (duplicates removed)."""
+        return self.train.concat(self.valid).concat(self.test).unique()
+
+    def statistics(self) -> DatasetStatistics:
+        """Split sizes (the numbers Table VII reports)."""
+        return DatasetStatistics(
+            name=self.name,
+            num_entities=self.num_entities,
+            num_relations=self.num_relations,
+            num_training=len(self.train),
+            num_validation=len(self.valid),
+            num_testing=len(self.test),
+        )
+
+    def relation_frequencies(self) -> np.ndarray:
+        """Training-triple count per relation id."""
+        return self.train.relation_counts(self.num_relations)
+
+    def subsample(self, fraction: float, rng: np.random.Generator) -> "KnowledgeGraph":
+        """Return a copy whose training split is a random subset (validation/test kept).
+
+        Useful for quick experiments and for the search-efficiency benchmarks where a
+        smaller training set shortens the supernet epochs.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        count = max(1, int(round(fraction * len(self.train))))
+        order = rng.permutation(len(self.train))[:count]
+        return KnowledgeGraph(
+            name=f"{self.name}-sub{fraction:g}",
+            num_entities=self.num_entities,
+            num_relations=self.num_relations,
+            train=TripleSet(self.train.array[order].copy()),
+            valid=self.valid,
+            test=self.test,
+            entity_vocab=self.entity_vocab,
+            relation_vocab=self.relation_vocab,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"KnowledgeGraph(name={self.name!r}, entities={self.num_entities}, "
+            f"relations={self.num_relations}, train={len(self.train)}, "
+            f"valid={len(self.valid)}, test={len(self.test)})"
+        )

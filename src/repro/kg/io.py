@@ -1,0 +1,100 @@
+"""Loading and saving datasets in the standard benchmark TSV layout.
+
+The public benchmarks (WN18, WN18RR, FB15k, FB15k-237, YAGO3-10) ship as a directory with
+``train.txt``, ``valid.txt`` and ``test.txt``, each line being ``head<TAB>relation<TAB>tail``.
+The loader here accepts exactly that layout, so the real datasets can be dropped in when
+network access is available; the synthetic generators produce the same structure.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+import numpy as np
+
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.triples import TripleSet
+from repro.kg.vocab import Vocabulary
+
+PathLike = Union[str, Path]
+
+_SPLIT_FILES = {"train": "train.txt", "valid": "valid.txt", "test": "test.txt"}
+
+
+def _read_split(path: Path) -> List[Tuple[str, str, str]]:
+    rows: List[Tuple[str, str, str]] = []
+    with path.open("r", encoding="utf-8") as fh:
+        for line_number, line in enumerate(fh, start=1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            parts = line.split("\t")
+            if len(parts) != 3:
+                raise ValueError(f"{path}:{line_number}: expected 3 tab-separated fields, got {len(parts)}")
+            rows.append((parts[0], parts[1], parts[2]))
+    return rows
+
+
+def load_tsv_dataset(directory: PathLike, name: str | None = None) -> KnowledgeGraph:
+    """Load a dataset directory containing ``train.txt``, ``valid.txt`` and ``test.txt``."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise FileNotFoundError(f"dataset directory {directory} does not exist")
+    raw: Dict[str, List[Tuple[str, str, str]]] = {}
+    for split, filename in _SPLIT_FILES.items():
+        path = directory / filename
+        if not path.exists():
+            raise FileNotFoundError(f"missing split file {path}")
+        raw[split] = _read_split(path)
+
+    entity_vocab = Vocabulary()
+    relation_vocab = Vocabulary()
+    # Vocabulary is built from the training split first so ids are stable w.r.t. training data,
+    # then extended with any symbols that only appear in valid/test.
+    for split in ("train", "valid", "test"):
+        for head, relation, tail in raw[split]:
+            entity_vocab.add(head)
+            entity_vocab.add(tail)
+            relation_vocab.add(relation)
+
+    def encode(rows: List[Tuple[str, str, str]]) -> TripleSet:
+        ids = np.asarray(
+            [
+                (entity_vocab.id_of(h), relation_vocab.id_of(r), entity_vocab.id_of(t))
+                for h, r, t in rows
+            ],
+            dtype=np.int64,
+        ).reshape(-1, 3)
+        return TripleSet(ids)
+
+    return KnowledgeGraph(
+        name=name or directory.name,
+        num_entities=len(entity_vocab),
+        num_relations=len(relation_vocab),
+        train=encode(raw["train"]),
+        valid=encode(raw["valid"]),
+        test=encode(raw["test"]),
+        entity_vocab=entity_vocab,
+        relation_vocab=relation_vocab,
+    )
+
+
+def save_tsv_dataset(graph: KnowledgeGraph, directory: PathLike) -> Path:
+    """Write ``graph`` to ``directory`` in the standard three-file TSV layout.
+
+    When the graph has no vocabularies, synthetic symbols (``e_<id>`` / ``r_<id>``) are used.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    entity_vocab = graph.entity_vocab or Vocabulary.from_ids(graph.num_entities, "e")
+    relation_vocab = graph.relation_vocab or Vocabulary.from_ids(graph.num_relations, "r")
+    for split, filename in _SPLIT_FILES.items():
+        triples: TripleSet = getattr(graph, split)
+        with (directory / filename).open("w", encoding="utf-8") as fh:
+            for head, relation, tail in triples:
+                fh.write(
+                    f"{entity_vocab.symbol_of(head)}\t{relation_vocab.symbol_of(relation)}\t"
+                    f"{entity_vocab.symbol_of(tail)}\n"
+                )
+    return directory

@@ -1,0 +1,143 @@
+"""Negative sampling and mini-batch iteration over triple sets."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.kg.filter_index import FilterIndex
+from repro.kg.triples import TripleSet
+from repro.utils.rng import SeedLike, new_rng
+
+
+class BatchIterator:
+    """Yield shuffled mini-batches of triples as ``(n, 3)`` integer arrays."""
+
+    def __init__(self, triples: TripleSet, batch_size: int, seed: SeedLike = None, drop_last: bool = False) -> None:
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.triples = triples
+        self.batch_size = batch_size
+        self.drop_last = drop_last
+        self._rng = new_rng(seed)
+
+    def __len__(self) -> int:
+        full, remainder = divmod(len(self.triples), self.batch_size)
+        if remainder and not self.drop_last:
+            return full + 1
+        return full
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        order = self._rng.permutation(len(self.triples))
+        array = self.triples.array
+        for start in range(0, len(order), self.batch_size):
+            batch_idx = order[start : start + self.batch_size]
+            if self.drop_last and len(batch_idx) < self.batch_size:
+                break
+            yield array[batch_idx]
+
+
+class NegativeSampler:
+    """Corrupt heads or tails of positive triples with uniformly sampled entities.
+
+    With ``filtered=True`` corrupted triples that happen to be known true facts are
+    resampled (bounded retries), which removes false negatives at a small cost.
+    """
+
+    def __init__(
+        self,
+        num_entities: int,
+        negatives_per_positive: int = 1,
+        filtered: bool = False,
+        filter_index: Optional[FilterIndex] = None,
+        seed: SeedLike = None,
+        max_retries: int = 10,
+    ) -> None:
+        if num_entities <= 0:
+            raise ValueError("num_entities must be positive")
+        if negatives_per_positive <= 0:
+            raise ValueError("negatives_per_positive must be positive")
+        if filtered and filter_index is None:
+            raise ValueError("filtered sampling requires a filter_index")
+        self.num_entities = num_entities
+        self.negatives_per_positive = negatives_per_positive
+        self.filtered = filtered
+        self.filter_index = filter_index
+        self.max_retries = max_retries
+        self._rng = new_rng(seed)
+
+    def corrupt(self, positives: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(negatives, corrupted_tail_mask)`` for a batch of positive triples.
+
+        ``negatives`` has shape ``(n * negatives_per_positive, 3)``; each row corrupts
+        either the head or the tail (chosen uniformly) of the corresponding positive.
+        ``corrupted_tail_mask`` marks rows whose *tail* was replaced.
+        """
+        positives = np.asarray(positives, dtype=np.int64)
+        if positives.ndim != 2 or positives.shape[1] != 3:
+            raise ValueError(f"positives must have shape (n, 3), got {positives.shape}")
+        repeated = np.repeat(positives, self.negatives_per_positive, axis=0)
+        corrupt_tail = self._rng.random(len(repeated)) < 0.5
+        random_entities = self._rng.integers(0, self.num_entities, size=len(repeated))
+        negatives = repeated.copy()
+        negatives[corrupt_tail, 2] = random_entities[corrupt_tail]
+        negatives[~corrupt_tail, 0] = random_entities[~corrupt_tail]
+        if self.filtered:
+            negatives = self._resample_known_true(negatives, corrupt_tail)
+        return negatives, corrupt_tail
+
+    def _resample_known_true(self, negatives: np.ndarray, corrupt_tail: np.ndarray) -> np.ndarray:
+        assert self.filter_index is not None
+        result = negatives.copy()
+        for row_index in range(len(result)):
+            head, relation, tail = result[row_index]
+            retries = 0
+            while self.filter_index.contains(int(head), int(relation), int(tail)) and retries < self.max_retries:
+                replacement = int(self._rng.integers(0, self.num_entities))
+                if corrupt_tail[row_index]:
+                    tail = replacement
+                else:
+                    head = replacement
+                retries += 1
+            result[row_index] = (head, relation, tail)
+        return result
+
+    def corrupt_tails(self, positives: np.ndarray) -> np.ndarray:
+        """Corrupt only the tail entity of each positive triple."""
+        positives = np.asarray(positives, dtype=np.int64)
+        repeated = np.repeat(positives, self.negatives_per_positive, axis=0)
+        negatives = repeated.copy()
+        negatives[:, 2] = self._rng.integers(0, self.num_entities, size=len(repeated))
+        return negatives
+
+    def corrupt_heads(self, positives: np.ndarray) -> np.ndarray:
+        """Corrupt only the head entity of each positive triple."""
+        positives = np.asarray(positives, dtype=np.int64)
+        repeated = np.repeat(positives, self.negatives_per_positive, axis=0)
+        negatives = repeated.copy()
+        negatives[:, 0] = self._rng.integers(0, self.num_entities, size=len(repeated))
+        return negatives
+
+
+def generate_classification_negatives(
+    triples: TripleSet,
+    num_entities: int,
+    filter_index: FilterIndex,
+    seed: SeedLike = None,
+) -> TripleSet:
+    """One negative per positive for the triplet-classification task (Table X protocol).
+
+    Negatives are obtained by corrupting the tail (or the head, with probability 0.5) and
+    rejecting corruptions that collide with known true triples.
+    """
+    rng = new_rng(seed)
+    sampler = NegativeSampler(
+        num_entities=num_entities,
+        negatives_per_positive=1,
+        filtered=True,
+        filter_index=filter_index,
+        seed=rng,
+    )
+    negatives, _ = sampler.corrupt(triples.array)
+    return TripleSet(negatives)

@@ -1,0 +1,147 @@
+"""The :class:`TripleSet` container: an integer (n, 3) array of (head, relation, tail)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence, Set, Tuple, Union
+
+import numpy as np
+
+Triple = Tuple[int, int, int]
+
+
+class TripleSet:
+    """An immutable set of knowledge-graph triples stored as an ``(n, 3)`` int64 array.
+
+    Column order is (head, relation, tail).  The class offers the slicing, filtering and
+    set operations needed by splitting, negative sampling and pattern analysis.
+    """
+
+    def __init__(self, triples: Union[np.ndarray, Sequence[Triple]]) -> None:
+        array = np.asarray(triples, dtype=np.int64)
+        if array.size == 0:
+            array = array.reshape(0, 3)
+        if array.ndim != 2 or array.shape[1] != 3:
+            raise ValueError(f"triples must have shape (n, 3), got {array.shape}")
+        if array.size and array.min() < 0:
+            raise ValueError("triple ids must be non-negative")
+        self._array = array
+        self._array.setflags(write=False)
+
+    # ------------------------------------------------------------------ accessors
+    @property
+    def array(self) -> np.ndarray:
+        """The underlying read-only array of shape (n, 3)."""
+        return self._array
+
+    @property
+    def heads(self) -> np.ndarray:
+        return self._array[:, 0]
+
+    @property
+    def relations(self) -> np.ndarray:
+        return self._array[:, 1]
+
+    @property
+    def tails(self) -> np.ndarray:
+        return self._array[:, 2]
+
+    def __len__(self) -> int:
+        return self._array.shape[0]
+
+    def __iter__(self) -> Iterator[Triple]:
+        for row in self._array:
+            yield (int(row[0]), int(row[1]), int(row[2]))
+
+    def __getitem__(self, index) -> "TripleSet":
+        selected = self._array[index]
+        if selected.ndim == 1:
+            selected = selected.reshape(1, 3)
+        return TripleSet(selected.copy())
+
+    def __contains__(self, triple: Triple) -> bool:
+        return tuple(triple) in self.as_set()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TripleSet):
+            return NotImplemented
+        return self.as_set() == other.as_set()
+
+    def __hash__(self) -> int:  # pragma: no cover - defensive; TripleSets rarely hashed
+        return hash(frozenset(self.as_set()))
+
+    def __repr__(self) -> str:
+        return f"TripleSet(n={len(self)})"
+
+    # ------------------------------------------------------------------ derived views
+    def entities(self) -> np.ndarray:
+        """Sorted unique entity ids appearing as head or tail."""
+        return np.unique(np.concatenate([self.heads, self.tails])) if len(self) else np.array([], dtype=np.int64)
+
+    def relation_ids(self) -> np.ndarray:
+        """Sorted unique relation ids."""
+        return np.unique(self.relations) if len(self) else np.array([], dtype=np.int64)
+
+    def as_set(self) -> Set[Triple]:
+        """The triples as a Python set of tuples (cached per call site by the caller)."""
+        return {(int(h), int(r), int(t)) for h, r, t in self._array}
+
+    def for_relation(self, relation: int) -> "TripleSet":
+        """Triples whose relation id equals ``relation``."""
+        return TripleSet(self._array[self.relations == relation].copy())
+
+    def for_relations(self, relations: Iterable[int]) -> "TripleSet":
+        """Triples whose relation id is in ``relations``."""
+        wanted = np.asarray(sorted(set(int(r) for r in relations)), dtype=np.int64)
+        mask = np.isin(self.relations, wanted)
+        return TripleSet(self._array[mask].copy())
+
+    def relation_counts(self, num_relations: int) -> np.ndarray:
+        """Number of triples per relation id, as an array of length ``num_relations``."""
+        counts = np.bincount(self.relations, minlength=num_relations)
+        return counts[:num_relations]
+
+    # ------------------------------------------------------------------ set algebra
+    def concat(self, other: "TripleSet") -> "TripleSet":
+        """Concatenation (duplicates preserved)."""
+        return TripleSet(np.concatenate([self._array, other._array], axis=0))
+
+    def unique(self) -> "TripleSet":
+        """Duplicate-free copy (row order not preserved)."""
+        return TripleSet(np.unique(self._array, axis=0))
+
+    def difference(self, other: "TripleSet") -> "TripleSet":
+        """Triples present in ``self`` but not in ``other``."""
+        other_set = other.as_set()
+        keep = [row for row in self if row not in other_set]
+        return TripleSet(np.asarray(keep, dtype=np.int64).reshape(-1, 3))
+
+    def inverted(self) -> "TripleSet":
+        """Triples with head and tail swapped (relation untouched)."""
+        swapped = self._array[:, [2, 1, 0]].copy()
+        return TripleSet(swapped)
+
+    def shuffled(self, rng: np.random.Generator) -> "TripleSet":
+        """A row-shuffled copy."""
+        order = rng.permutation(len(self))
+        return TripleSet(self._array[order].copy())
+
+    def split(self, fractions: Sequence[float], rng: np.random.Generator) -> Tuple["TripleSet", ...]:
+        """Randomly split into parts with the given fractions (must sum to 1)."""
+        if abs(sum(fractions) - 1.0) > 1e-9:
+            raise ValueError(f"fractions must sum to 1, got {fractions}")
+        shuffled = self.shuffled(rng)
+        counts = [int(round(f * len(self))) for f in fractions]
+        counts[-1] = len(self) - sum(counts[:-1])
+        if min(counts) < 0:
+            raise ValueError(f"fractions {fractions} produce a negative split for {len(self)} triples")
+        pieces = []
+        start = 0
+        for count in counts:
+            pieces.append(TripleSet(shuffled.array[start : start + count].copy()))
+            start += count
+        return tuple(pieces)
+
+    @classmethod
+    def empty(cls) -> "TripleSet":
+        """An empty triple set."""
+        return cls(np.zeros((0, 3), dtype=np.int64))

@@ -1,0 +1,66 @@
+"""Bidirectional string/id vocabularies for entities and relations."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List
+
+
+class Vocabulary:
+    """Maps symbols (entity or relation names) to contiguous integer ids and back.
+
+    Ids are assigned in insertion order, which keeps dataset loading deterministic.
+    """
+
+    def __init__(self, symbols: Iterable[str] = ()) -> None:
+        self._symbol_to_id: Dict[str, int] = {}
+        self._id_to_symbol: List[str] = []
+        for symbol in symbols:
+            self.add(symbol)
+
+    def add(self, symbol: str) -> int:
+        """Add ``symbol`` if new and return its id."""
+        existing = self._symbol_to_id.get(symbol)
+        if existing is not None:
+            return existing
+        new_id = len(self._id_to_symbol)
+        self._symbol_to_id[symbol] = new_id
+        self._id_to_symbol.append(symbol)
+        return new_id
+
+    def id_of(self, symbol: str) -> int:
+        """Return the id of ``symbol``; raises ``KeyError`` for unknown symbols."""
+        try:
+            return self._symbol_to_id[symbol]
+        except KeyError:
+            raise KeyError(f"unknown symbol {symbol!r}") from None
+
+    def symbol_of(self, index: int) -> str:
+        """Return the symbol with id ``index``; raises ``IndexError`` when out of range."""
+        if not 0 <= index < len(self._id_to_symbol):
+            raise IndexError(f"id {index} out of range for vocabulary of size {len(self)}")
+        return self._id_to_symbol[index]
+
+    def __contains__(self, symbol: str) -> bool:
+        return symbol in self._symbol_to_id
+
+    def __len__(self) -> int:
+        return len(self._id_to_symbol)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._id_to_symbol)
+
+    def symbols(self) -> List[str]:
+        """All symbols in id order."""
+        return list(self._id_to_symbol)
+
+    def to_dict(self) -> Dict[str, int]:
+        """A copy of the symbol-to-id mapping."""
+        return dict(self._symbol_to_id)
+
+    @classmethod
+    def from_ids(cls, count: int, prefix: str) -> "Vocabulary":
+        """Create a vocabulary of ``count`` synthetic symbols like ``prefix_0 .. prefix_{count-1}``."""
+        return cls(f"{prefix}_{i}" for i in range(count))
+
+    def __repr__(self) -> str:
+        return f"Vocabulary(size={len(self)})"

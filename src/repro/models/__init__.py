@@ -1,0 +1,14 @@
+"""KG embedding models and their training loop."""
+
+from repro.models.kge import KGEModel
+from repro.models.trainer import Trainer, TrainerConfig, TrainingResult
+from repro.models.regularizers import l2_regularization, n3_regularization
+
+__all__ = [
+    "KGEModel",
+    "Trainer",
+    "TrainerConfig",
+    "TrainingResult",
+    "l2_regularization",
+    "n3_regularization",
+]

@@ -1,0 +1,205 @@
+"""The knowledge-graph embedding model.
+
+:class:`KGEModel` bundles entity/relation embedding tables with one scoring function per
+relation *group*.  A plain task-aware model (AutoSF, the classics) is the special case of
+a single group containing every relation; the relation-aware models of ERAS use ``N > 1``
+groups with an explicit assignment vector.  The same class also backs the ERAS supernet,
+whose shared embeddings are simply this model's embedding tables evaluated under
+different sampled structures.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.autodiff import Tensor, functional as F
+from repro.nn import Embedding, Module
+from repro.scoring.base import ScoringFunction
+from repro.scoring.bilinear import BlockScoringFunction
+from repro.scoring.structure import BlockStructure
+from repro.utils.rng import SeedLike, new_rng, spawn_rng
+
+ScorerLike = Union[BlockStructure, ScoringFunction]
+
+
+class KGEModel(Module):
+    """Entity/relation embeddings plus per-group scoring functions.
+
+    Parameters
+    ----------
+    num_entities, num_relations:
+        Sizes of the embedding tables.
+    dim:
+        Embedding dimension (must be divisible by the block count of block structures).
+    scorers:
+        One scoring function per relation group.  :class:`BlockStructure` instances are
+        wrapped into :class:`BlockScoringFunction` automatically.
+    assignment:
+        Integer array of length ``num_relations`` mapping each relation to a group.
+        Defaults to all relations in group 0 (task-aware setting).
+    """
+
+    def __init__(
+        self,
+        num_entities: int,
+        num_relations: int,
+        dim: int,
+        scorers: Union[ScorerLike, Sequence[ScorerLike]],
+        assignment: Optional[np.ndarray] = None,
+        seed: SeedLike = None,
+        init_scale: float = 0.1,
+    ) -> None:
+        super().__init__()
+        if isinstance(scorers, (BlockStructure, ScoringFunction)):
+            scorers = [scorers]
+        if not scorers:
+            raise ValueError("at least one scoring function is required")
+        self.num_entities = num_entities
+        self.num_relations = num_relations
+        self.dim = dim
+        self.scorers: List[ScoringFunction] = [self._wrap(s) for s in scorers]
+        self.assignment = self._validate_assignment(assignment, len(self.scorers), num_relations)
+        rng = new_rng(seed)
+        entity_seed, relation_seed = spawn_rng(rng, 2)
+        self.entities = Embedding(num_entities, dim, scale=init_scale, seed=entity_seed)
+        self.relations = Embedding(num_relations, dim, scale=init_scale, seed=relation_seed)
+
+    # ------------------------------------------------------------------ setup helpers
+    @staticmethod
+    def _wrap(scorer: ScorerLike) -> ScoringFunction:
+        if isinstance(scorer, BlockStructure):
+            return BlockScoringFunction(scorer)
+        if isinstance(scorer, ScoringFunction):
+            return scorer
+        raise TypeError(f"unsupported scorer type {type(scorer).__name__}")
+
+    @staticmethod
+    def _validate_assignment(assignment: Optional[np.ndarray], num_groups: int, num_relations: int) -> np.ndarray:
+        if assignment is None:
+            return np.zeros(num_relations, dtype=np.int64)
+        assignment = np.asarray(assignment, dtype=np.int64)
+        if assignment.shape != (num_relations,):
+            raise ValueError(f"assignment must have shape ({num_relations},), got {assignment.shape}")
+        if assignment.size and (assignment.min() < 0 or assignment.max() >= num_groups):
+            raise ValueError(
+                f"assignment values must be in [0, {num_groups}), got range "
+                f"[{assignment.min()}, {assignment.max()}]"
+            )
+        return assignment
+
+    @property
+    def num_groups(self) -> int:
+        """Number of relation groups (scoring functions)."""
+        return len(self.scorers)
+
+    def set_scorers(self, scorers: Sequence[ScorerLike], assignment: Optional[np.ndarray] = None) -> None:
+        """Swap the scoring functions (and optionally the assignment) while keeping embeddings.
+
+        This is exactly the supernet operation of ERAS: the shared embeddings persist and
+        only the architecture on top changes.
+        """
+        wrapped = [self._wrap(s) for s in scorers]
+        if not wrapped:
+            raise ValueError("at least one scoring function is required")
+        if assignment is None and len(wrapped) != self.num_groups:
+            raise ValueError("assignment must be provided when the number of groups changes")
+        self.scorers = wrapped
+        if assignment is not None:
+            self.assignment = self._validate_assignment(assignment, len(wrapped), self.num_relations)
+
+    def set_assignment(self, assignment: np.ndarray) -> None:
+        """Replace the relation-to-group assignment."""
+        self.assignment = self._validate_assignment(assignment, self.num_groups, self.num_relations)
+
+    # ------------------------------------------------------------------ embedding access
+    def embed_triples(self, triples: np.ndarray) -> tuple[Tensor, Tensor, Tensor]:
+        """Look up head, relation and tail embeddings for an ``(n, 3)`` id array."""
+        triples = np.asarray(triples, dtype=np.int64)
+        return (
+            self.entities(triples[:, 0]),
+            self.relations(triples[:, 1]),
+            self.entities(triples[:, 2]),
+        )
+
+    def relation_embedding_matrix(self) -> np.ndarray:
+        """The relation embedding table as a plain array (used by the EM clustering)."""
+        return self.relations.weight.data
+
+    # ------------------------------------------------------------------ scoring
+    def _group_slices(self, relations: np.ndarray) -> List[np.ndarray]:
+        """Row indices of the batch belonging to each group."""
+        groups = self.assignment[relations]
+        return [np.where(groups == g)[0] for g in range(self.num_groups)]
+
+    def score_triples(self, triples: np.ndarray) -> Tensor:
+        """Scores of a batch of triples, shape ``(n,)``, respecting group assignment."""
+        triples = np.asarray(triples, dtype=np.int64)
+        head, relation, tail = self.embed_triples(triples)
+        if self.num_groups == 1:
+            return self.scorers[0].score(head, relation, tail)
+        scores = np.zeros(len(triples), dtype=np.float64)
+        pieces: List[tuple[np.ndarray, Tensor]] = []
+        for group, rows in enumerate(self._group_slices(triples[:, 1])):
+            if rows.size == 0:
+                continue
+            piece = self.scorers[group].score(head[rows], relation[rows], tail[rows])
+            pieces.append((rows, piece))
+        return _scatter_rows(pieces, len(triples))
+
+    def score_all_tails(self, triples: np.ndarray) -> Tensor:
+        """For each triple, scores of every entity as the tail; shape ``(n, num_entities)``."""
+        return self._score_all(triples, direction="tail")
+
+    def score_all_heads(self, triples: np.ndarray) -> Tensor:
+        """For each triple, scores of every entity as the head; shape ``(n, num_entities)``."""
+        return self._score_all(triples, direction="head")
+
+    def _score_all(self, triples: np.ndarray, direction: str) -> Tensor:
+        triples = np.asarray(triples, dtype=np.int64)
+        head, relation, tail = self.embed_triples(triples)
+        candidates = self.entities.all()
+        if self.num_groups == 1:
+            scorer = self.scorers[0]
+            if direction == "tail":
+                return scorer.score_all_tails(head, relation, candidates)
+            return scorer.score_all_heads(tail, relation, candidates)
+        pieces: List[tuple[np.ndarray, Tensor]] = []
+        for group, rows in enumerate(self._group_slices(triples[:, 1])):
+            if rows.size == 0:
+                continue
+            scorer = self.scorers[group]
+            if direction == "tail":
+                piece = scorer.score_all_tails(head[rows], relation[rows], candidates)
+            else:
+                piece = scorer.score_all_heads(tail[rows], relation[rows], candidates)
+            pieces.append((rows, piece))
+        return _scatter_rows(pieces, len(triples), width=self.num_entities)
+
+    # ------------------------------------------------------------------ training loss
+    def multiclass_loss(self, triples: np.ndarray) -> Tensor:
+        """1-vs-all multiclass log-loss over tails and heads (the paper's training objective)."""
+        triples = np.asarray(triples, dtype=np.int64)
+        tail_logits = self.score_all_tails(triples)
+        head_logits = self.score_all_heads(triples)
+        tail_loss = F.cross_entropy(tail_logits, triples[:, 2])
+        head_loss = F.cross_entropy(head_logits, triples[:, 0])
+        return (tail_loss + head_loss) * 0.5
+
+    def forward(self, triples: np.ndarray) -> Tensor:
+        return self.score_triples(triples)
+
+
+def _scatter_rows(pieces: List[tuple[np.ndarray, Tensor]], length: int, width: Optional[int] = None) -> Tensor:
+    """Reassemble per-group score pieces into batch order.
+
+    Uses concatenation followed by an index permutation so that gradients flow back into
+    each piece.
+    """
+    if not pieces:
+        raise ValueError("no scores produced; is the assignment consistent with the batch?")
+    rows = np.concatenate([rows for rows, _ in pieces])
+    stacked = F.concat([piece for _, piece in pieces], axis=0)
+    inverse = np.argsort(rows)
+    return stacked[inverse]

@@ -1,0 +1,29 @@
+"""Embedding regularisers."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.autodiff import Tensor
+
+
+def l2_regularization(embeddings: Iterable[Tensor], weight: float) -> Tensor:
+    """Squared-L2 penalty over the given embedding tensors."""
+    total: Tensor | None = None
+    for embedding in embeddings:
+        term = (embedding * embedding).sum()
+        total = term if total is None else total + term
+    if total is None:
+        raise ValueError("l2_regularization received no embeddings")
+    return total * weight
+
+
+def n3_regularization(embeddings: Iterable[Tensor], weight: float) -> Tensor:
+    """Nuclear 3-norm penalty (Lacroix et al., 2018), the standard choice for bilinear KGE."""
+    total: Tensor | None = None
+    for embedding in embeddings:
+        term = (embedding.abs() ** 3).sum()
+        total = term if total is None else total + term
+    if total is None:
+        raise ValueError("n3_regularization received no embeddings")
+    return total * weight

@@ -1,0 +1,35 @@
+"""Neural-network substrate: parameters, layers, losses and optimisers.
+
+Built entirely on :mod:`repro.autodiff`; provides what the ERAS reproduction needs:
+embedding tables for entities/relations, linear layers and an LSTM cell for the REINFORCE
+controller, the multiclass log-loss used to train KG embeddings, and the Adagrad / Adam
+optimisers the paper uses for embeddings and controller respectively.
+"""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.layers import Embedding, Linear
+from repro.nn.lstm import LSTMCell, LSTM
+from repro.nn import init
+from repro.nn.optim import SGD, Adagrad, Adam, Optimizer
+from repro.nn.losses import (
+    MulticlassLogLoss,
+    BCEWithLogitsLoss,
+    MarginRankingLoss,
+)
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Embedding",
+    "Linear",
+    "LSTMCell",
+    "LSTM",
+    "init",
+    "Optimizer",
+    "SGD",
+    "Adagrad",
+    "Adam",
+    "MulticlassLogLoss",
+    "BCEWithLogitsLoss",
+    "MarginRankingLoss",
+]

@@ -1,0 +1,44 @@
+"""Parameter initialisation schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, new_rng
+
+
+def uniform(shape, low: float = -0.1, high: float = 0.1, seed: SeedLike = None) -> np.ndarray:
+    """Uniform initialisation in ``[low, high)``."""
+    rng = new_rng(seed)
+    return rng.uniform(low, high, size=shape)
+
+
+def normal(shape, mean: float = 0.0, std: float = 0.01, seed: SeedLike = None) -> np.ndarray:
+    """Gaussian initialisation."""
+    rng = new_rng(seed)
+    return rng.normal(mean, std, size=shape)
+
+
+def xavier_uniform(shape, gain: float = 1.0, seed: SeedLike = None) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation for 2-D weight matrices."""
+    if len(shape) < 2:
+        raise ValueError("xavier_uniform requires a shape with at least two dimensions")
+    fan_in, fan_out = shape[-2], shape[-1]
+    limit = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    rng = new_rng(seed)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def xavier_normal(shape, gain: float = 1.0, seed: SeedLike = None) -> np.ndarray:
+    """Glorot/Xavier normal initialisation for 2-D weight matrices."""
+    if len(shape) < 2:
+        raise ValueError("xavier_normal requires a shape with at least two dimensions")
+    fan_in, fan_out = shape[-2], shape[-1]
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    rng = new_rng(seed)
+    return rng.normal(0.0, std, size=shape)
+
+
+def zeros(shape) -> np.ndarray:
+    """All-zero initialisation (used for biases)."""
+    return np.zeros(shape, dtype=np.float64)

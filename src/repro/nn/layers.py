@@ -1,0 +1,71 @@
+"""Basic layers: embedding tables and affine maps."""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.autodiff import Tensor
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.utils.rng import SeedLike
+
+IndexLike = Union[np.ndarray, Sequence[int], int]
+
+
+class Embedding(Module):
+    """A lookup table mapping integer ids to dense vectors.
+
+    Entity and relation embeddings of every KG embedding model in this library are
+    instances of this layer; gradients flow only into the rows that were looked up.
+    """
+
+    def __init__(self, num_embeddings: int, dim: int, scale: float = 0.1, seed: SeedLike = None) -> None:
+        super().__init__()
+        if num_embeddings <= 0 or dim <= 0:
+            raise ValueError("num_embeddings and dim must be positive")
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        self.weight = Parameter(init.uniform((num_embeddings, dim), -scale, scale, seed=seed), name="embedding")
+
+    def forward(self, indices: IndexLike) -> Tensor:
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.num_embeddings):
+            raise IndexError(
+                f"embedding index out of range: valid ids are [0, {self.num_embeddings}), "
+                f"got range [{indices.min()}, {indices.max()}]"
+            )
+        return self.weight[indices]
+
+    def all(self) -> Tensor:
+        """The full table as a tensor (used for 1-vs-all scoring)."""
+        return self.weight
+
+    def __repr__(self) -> str:
+        return f"Embedding(num_embeddings={self.num_embeddings}, dim={self.dim})"
+
+
+class Linear(Module):
+    """Affine transformation ``y = x W + b``."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True, seed: SeedLike = None) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("in_features and out_features must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform((in_features, out_features), seed=seed), name="weight")
+        self.has_bias = bias
+        if bias:
+            self.bias = Parameter(init.zeros((out_features,)), name="bias")
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = Tensor._lift(x)
+        out = x @ self.weight
+        if self.has_bias:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return f"Linear(in_features={self.in_features}, out_features={self.out_features}, bias={self.has_bias})"

@@ -1,0 +1,49 @@
+"""Loss modules wrapping the functional losses in :mod:`repro.autodiff.functional`."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff import Tensor, functional as F
+from repro.nn.module import Module
+
+
+class MulticlassLogLoss(Module):
+    """Softmax cross-entropy over all candidate entities (Lacroix et al., 2018).
+
+    This is the training objective used by AutoSF and ERAS: for each training triple the
+    model scores every entity as the candidate tail (respectively head) and the true
+    entity is the target class.
+    """
+
+    def __init__(self, reduction: str = "mean") -> None:
+        super().__init__()
+        self.reduction = reduction
+
+    def forward(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        return F.cross_entropy(logits, targets, reduction=self.reduction)
+
+
+class BCEWithLogitsLoss(Module):
+    """Binary cross-entropy from logits, used for triplet-classification style training."""
+
+    def __init__(self, reduction: str = "mean") -> None:
+        super().__init__()
+        self.reduction = reduction
+
+    def forward(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        return F.binary_cross_entropy_with_logits(logits, targets, reduction=self.reduction)
+
+
+class MarginRankingLoss(Module):
+    """Margin-based ranking loss, used by the translational baselines (TransE)."""
+
+    def __init__(self, margin: float = 1.0, reduction: str = "mean") -> None:
+        super().__init__()
+        if margin < 0:
+            raise ValueError(f"margin must be non-negative, got {margin}")
+        self.margin = margin
+        self.reduction = reduction
+
+    def forward(self, positive_scores: Tensor, negative_scores: Tensor) -> Tensor:
+        return F.margin_ranking_loss(positive_scores, negative_scores, self.margin, reduction=self.reduction)

@@ -1,0 +1,119 @@
+"""``Module`` / ``Parameter`` base classes, loosely mirroring the PyTorch API surface
+that the original ERAS code relies on (named parameters, zero_grad, state dicts)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+import numpy as np
+
+from repro.autodiff import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor that is registered as a trainable parameter of a :class:`Module`."""
+
+    def __init__(self, data, name: str | None = None) -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for layers and models.
+
+    Sub-modules and parameters assigned as attributes are discovered automatically, so
+    models can be written in the familiar imperative style::
+
+        class MyModel(Module):
+            def __init__(self):
+                super().__init__()
+                self.entities = Embedding(100, 16)
+
+            def forward(self, idx):
+                return self.entities(idx)
+    """
+
+    def __init__(self) -> None:
+        self._parameters: Dict[str, Parameter] = {}
+        self._modules: Dict[str, "Module"] = {}
+        self.training = True
+
+    # ------------------------------------------------------------------ registration
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", {})[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", {})[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_parameter(self, name: str, parameter: Parameter) -> None:
+        """Explicitly register a parameter under ``name``."""
+        self._parameters[name] = parameter
+        object.__setattr__(self, name, parameter)
+
+    # ------------------------------------------------------------------ traversal
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield ``(qualified_name, parameter)`` for this module and all sub-modules."""
+        for name, parameter in self._parameters.items():
+            yield (f"{prefix}{name}", parameter)
+        for module_name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{module_name}.")
+
+    def parameters(self) -> list[Parameter]:
+        """All trainable parameters of this module and its sub-modules."""
+        return [parameter for _, parameter in self.named_parameters()]
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        """Yield ``(qualified_name, module)`` for this module and all sub-modules."""
+        yield (prefix.rstrip("."), self)
+        for module_name, module in self._modules.items():
+            yield from module.named_modules(prefix=f"{prefix}{module_name}.")
+
+    # ------------------------------------------------------------------ training state
+    def zero_grad(self) -> None:
+        """Clear gradients on every parameter."""
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode recursively (affects dropout-style layers)."""
+        self.training = mode
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        """Switch to evaluation mode."""
+        return self.train(False)
+
+    # ------------------------------------------------------------------ persistence
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Copy of every parameter's data keyed by qualified name."""
+        return {name: parameter.data.copy() for name, parameter in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load parameter values saved by :meth:`state_dict`.
+
+        Raises ``KeyError`` for missing entries and ``ValueError`` for shape mismatches.
+        """
+        parameters = dict(self.named_parameters())
+        missing = set(parameters) - set(state)
+        if missing:
+            raise KeyError(f"state dict is missing parameters: {sorted(missing)}")
+        for name, parameter in parameters.items():
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != parameter.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: expected {parameter.data.shape}, got {value.shape}"
+                )
+            parameter.data = value.copy()
+
+    # ------------------------------------------------------------------ call protocol
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def __repr__(self) -> str:
+        children = ", ".join(self._modules)
+        return f"{type(self).__name__}({children})"

@@ -1,0 +1,135 @@
+"""Optimisers: SGD, Adagrad (used for KG embeddings in the paper) and Adam (controller).
+
+All optimisers support decoupled L2 penalty (``weight_decay``) and an optional
+multiplicative learning-rate decay applied once per :meth:`Optimizer.decay_lr` call,
+matching the "learning rate, L2 penalty, decay rate" hyper-parameters the paper tunes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Base class holding the parameter list and the shared update bookkeeping."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float, weight_decay: float = 0.0) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if weight_decay < 0:
+            raise ValueError(f"weight_decay must be non-negative, got {weight_decay}")
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received an empty parameter list")
+        self.lr = lr
+        self.weight_decay = weight_decay
+
+    def zero_grad(self) -> None:
+        """Clear every parameter's gradient."""
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def decay_lr(self, factor: float) -> None:
+        """Multiply the learning rate by ``factor`` (e.g. per-epoch decay)."""
+        if factor <= 0:
+            raise ValueError(f"decay factor must be positive, got {factor}")
+        self.lr *= factor
+
+    def _gradient(self, parameter: Parameter) -> np.ndarray:
+        grad = parameter.grad if parameter.grad is not None else np.zeros_like(parameter.data)
+        if self.weight_decay:
+            grad = grad + self.weight_decay * parameter.data
+        return grad
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr, weight_decay)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for parameter, velocity in zip(self.parameters, self._velocity):
+            grad = self._gradient(parameter)
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                update = velocity
+            else:
+                update = grad
+            parameter.data = parameter.data - self.lr * update
+
+
+class Adagrad(Optimizer):
+    """Adagrad (Duchi et al., 2011); the paper optimises KG embeddings with it."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 0.1,
+        eps: float = 1e-10,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr, weight_decay)
+        self.eps = eps
+        self._accumulator = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for parameter, accumulator in zip(self.parameters, self._accumulator):
+            grad = self._gradient(parameter)
+            accumulator += grad**2
+            parameter.data = parameter.data - self.lr * grad / (np.sqrt(accumulator) + self.eps)
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2014); the paper optimises the LSTM controller with it."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 0.001,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr, weight_decay)
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        self.betas = (beta1, beta2)
+        self.eps = eps
+        self._step_count = 0
+        self._first_moment = [np.zeros_like(p.data) for p in self.parameters]
+        self._second_moment = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        beta1, beta2 = self.betas
+        self._step_count += 1
+        bias1 = 1.0 - beta1**self._step_count
+        bias2 = 1.0 - beta2**self._step_count
+        for parameter, first, second in zip(self.parameters, self._first_moment, self._second_moment):
+            grad = self._gradient(parameter)
+            first *= beta1
+            first += (1.0 - beta1) * grad
+            second *= beta2
+            second += (1.0 - beta2) * grad**2
+            corrected_first = first / bias1
+            corrected_second = second / bias2
+            parameter.data = parameter.data - self.lr * corrected_first / (np.sqrt(corrected_second) + self.eps)

@@ -1,0 +1,44 @@
+"""Scoring functions.
+
+The central object is :class:`~repro.scoring.structure.BlockStructure`, the bilinear
+block representation ``f(h, r, t) = sum_{i,j} <h_i, o_ij, t_j>`` with
+``o_ij in {0, +/- r_1 ... +/- r_M}`` that defines the AutoSF / ERAS search space.
+Classic scoring functions (DistMult, ComplEx, SimplE, Analogy) are expressed as named
+structures; TransE and RotatE are provided as non-bilinear baselines.
+"""
+
+from repro.scoring.operations import OperationSet
+from repro.scoring.structure import BlockStructure
+from repro.scoring.base import ScoringFunction
+from repro.scoring.bilinear import BlockScoringFunction
+from repro.scoring.classics import (
+    CLASSIC_STRUCTURES,
+    analogy_structure,
+    complex_structure,
+    distmult_structure,
+    simple_structure,
+    named_structure,
+)
+from repro.scoring.translational import TransEScorer, RotatEScorer
+from repro.scoring.expressiveness import ExpressivenessReport, analyze_structure, expressiveness_table
+from repro.scoring.render import render_structure, render_relation_aware
+
+__all__ = [
+    "OperationSet",
+    "BlockStructure",
+    "ScoringFunction",
+    "BlockScoringFunction",
+    "CLASSIC_STRUCTURES",
+    "distmult_structure",
+    "complex_structure",
+    "simple_structure",
+    "analogy_structure",
+    "named_structure",
+    "TransEScorer",
+    "RotatEScorer",
+    "ExpressivenessReport",
+    "analyze_structure",
+    "expressiveness_table",
+    "render_structure",
+    "render_relation_aware",
+]

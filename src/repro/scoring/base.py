@@ -1,0 +1,40 @@
+"""The abstract scoring-function interface shared by bilinear and translational models."""
+
+from __future__ import annotations
+
+import abc
+
+from repro.autodiff import Tensor
+
+
+class ScoringFunction(abc.ABC):
+    """Scores triples given already-looked-up head/relation/tail embeddings.
+
+    All three methods accept and return :class:`~repro.autodiff.Tensor` objects so that
+    gradients can flow into the embeddings during training; evaluation wraps the calls in
+    ``no_grad`` for speed.
+    """
+
+    name: str = "scoring_function"
+
+    @abc.abstractmethod
+    def score(self, head: Tensor, relation: Tensor, tail: Tensor) -> Tensor:
+        """Score a batch of triples.
+
+        All inputs have shape ``(batch, dim)``; the result has shape ``(batch,)``.
+        """
+
+    @abc.abstractmethod
+    def score_all_tails(self, head: Tensor, relation: Tensor, candidates: Tensor) -> Tensor:
+        """Score every candidate entity as the tail.
+
+        ``head`` and ``relation`` have shape ``(batch, dim)``, ``candidates`` has shape
+        ``(num_entities, dim)``; the result has shape ``(batch, num_entities)``.
+        """
+
+    @abc.abstractmethod
+    def score_all_heads(self, tail: Tensor, relation: Tensor, candidates: Tensor) -> Tensor:
+        """Score every candidate entity as the head (same shapes as :meth:`score_all_tails`)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,94 @@
+"""Classic hand-designed scoring functions expressed as block structures.
+
+Following AutoSF (Zhang et al., ICDE 2020), the well-known bilinear models are special
+points of the block search space with ``M = 4`` blocks.  With the convention that an
+embedding ``x`` is split into four blocks ``x1..x4`` (for ComplEx-style models blocks
+1-2 play the role of the real part and blocks 3-4 of the imaginary part), the classics are:
+
+* **DistMult**  ``<h1,r1,t1> + <h2,r2,t2> + <h3,r3,t3> + <h4,r4,t4>``
+* **ComplEx**   DistMult plus the cross real/imaginary terms with one negative sign
+* **SimplE**    the head-to-tail / tail-to-head coupling ``<h1,r1,t3> + <h2,r2,t4> + <h3,r3,t1> + <h4,r4,t2>``
+* **Analogy**   DistMult on the first two blocks plus a ComplEx-style pair on the last two
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.scoring.structure import BlockStructure
+
+
+def distmult_structure(num_blocks: int = 4) -> BlockStructure:
+    """DistMult: a diagonal structure (only handles symmetric relations)."""
+    return BlockStructure.diagonal(num_blocks)
+
+
+def complex_structure() -> BlockStructure:
+    """ComplEx with four blocks: (h1,h2)=real, (h3,h4)=imaginary.
+
+    score = <Re(h),Re(r),Re(t)> + <Im(h),Re(r),Im(t)> + <Re(h),Im(r),Im(t)> - <Im(h),Im(r),Re(t)>
+    with Re(r) represented by blocks (r1, r2) and Im(r) by blocks (r3, r4).
+    """
+    entries = np.zeros((4, 4), dtype=np.int64)
+    entries[0, 0] = 1   # <h1, r1, t1>
+    entries[1, 1] = 2   # <h2, r2, t2>
+    entries[2, 2] = 1   # <h3, r1, t3>
+    entries[3, 3] = 2   # <h4, r2, t4>
+    entries[0, 2] = 3   # <h1, r3, t3>
+    entries[1, 3] = 4   # <h2, r4, t4>
+    entries[2, 0] = -3  # -<h3, r3, t1>
+    entries[3, 1] = -4  # -<h4, r4, t2>
+    return BlockStructure(entries)
+
+
+def simple_structure() -> BlockStructure:
+    """SimplE: head-role and tail-role embeddings coupled through inverse relation blocks."""
+    entries = np.zeros((4, 4), dtype=np.int64)
+    entries[0, 2] = 1  # <h1, r1, t3>
+    entries[1, 3] = 2  # <h2, r2, t4>
+    entries[2, 0] = 3  # <h3, r3, t1>
+    entries[3, 1] = 4  # <h4, r4, t2>
+    return BlockStructure(entries)
+
+
+def analogy_structure() -> BlockStructure:
+    """Analogy: DistMult on blocks 1-2 plus a ComplEx-style rotation on blocks 3-4."""
+    entries = np.zeros((4, 4), dtype=np.int64)
+    entries[0, 0] = 1   # DistMult part
+    entries[1, 1] = 2
+    entries[2, 2] = 3   # ComplEx-style part on the last two blocks
+    entries[3, 3] = 3
+    entries[2, 3] = 4
+    entries[3, 2] = -4
+    return BlockStructure(entries)
+
+
+def autosf_wn18_structure() -> BlockStructure:
+    """The best structure AutoSF reports for WN18-style data (used as the AutoSF stand-in
+    for Table III where the searched structure is not re-derived)."""
+    entries = np.zeros((4, 4), dtype=np.int64)
+    entries[0, 0] = 1
+    entries[1, 1] = 2
+    entries[2, 3] = 3
+    entries[3, 2] = -3
+    entries[2, 2] = 4
+    entries[3, 3] = 4
+    return BlockStructure(entries)
+
+
+CLASSIC_STRUCTURES: Dict[str, BlockStructure] = {
+    "distmult": distmult_structure(),
+    "complex": complex_structure(),
+    "simple": simple_structure(),
+    "analogy": analogy_structure(),
+}
+
+
+def named_structure(name: str) -> BlockStructure:
+    """Look up a classic structure by (case-insensitive) name."""
+    try:
+        return CLASSIC_STRUCTURES[name.lower()]
+    except KeyError:
+        raise KeyError(f"unknown classic scoring function {name!r}; available: {sorted(CLASSIC_STRUCTURES)}") from None

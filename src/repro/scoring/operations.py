@@ -1,0 +1,73 @@
+"""The operation set ``O = {0, +r_1 ... +r_M, -r_1 ... -r_M}`` and its token encoding.
+
+Both the LSTM controller and the search-space utilities reason about operations as token
+indices ``k in [0, 2M]``; this module centralises the mapping between token indices and
+signed block values so the two encodings can never drift apart:
+
+* token 0            -> the zero operation (entry value 0)
+* tokens 1 .. M      -> +r_1 .. +r_M      (entry values +1 .. +M)
+* tokens M+1 .. 2M   -> -r_1 .. -r_M      (entry values -1 .. -M)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class OperationSet:
+    """The operation vocabulary for a search space with ``num_blocks`` relation blocks."""
+
+    num_blocks: int
+
+    def __post_init__(self) -> None:
+        if self.num_blocks < 1:
+            raise ValueError(f"num_blocks must be at least 1, got {self.num_blocks}")
+
+    @property
+    def size(self) -> int:
+        """Number of distinct operations, ``2M + 1``."""
+        return 2 * self.num_blocks + 1
+
+    # ------------------------------------------------------------------ conversions
+    def token_to_value(self, token: int) -> int:
+        """Convert a token index to a signed block value (0, +k or -k)."""
+        if not 0 <= token < self.size:
+            raise ValueError(f"token {token} out of range [0, {self.size})")
+        if token == 0:
+            return 0
+        if token <= self.num_blocks:
+            return token
+        return -(token - self.num_blocks)
+
+    def value_to_token(self, value: int) -> int:
+        """Convert a signed block value to its token index."""
+        if abs(value) > self.num_blocks:
+            raise ValueError(f"block value {value} out of range for M={self.num_blocks}")
+        if value == 0:
+            return 0
+        if value > 0:
+            return value
+        return self.num_blocks - value  # value is negative: -1 -> M+1, -2 -> M+2, ...
+
+    def tokens_to_values(self, tokens: List[int]) -> List[int]:
+        """Vectorised :meth:`token_to_value`."""
+        return [self.token_to_value(int(t)) for t in tokens]
+
+    def values_to_tokens(self, values: List[int]) -> List[int]:
+        """Vectorised :meth:`value_to_token`."""
+        return [self.value_to_token(int(v)) for v in values]
+
+    # ------------------------------------------------------------------ descriptions
+    def describe(self, token: int) -> str:
+        """Human-readable description of a token ("0", "+r2", "-r4", ...)."""
+        value = self.token_to_value(token)
+        if value == 0:
+            return "0"
+        sign = "+" if value > 0 else "-"
+        return f"{sign}r{abs(value)}"
+
+    def all_descriptions(self) -> List[str]:
+        """Descriptions of every operation, in token order."""
+        return [self.describe(token) for token in range(self.size)]

@@ -1,0 +1,58 @@
+"""Human-readable rendering of searched scoring functions (Figures 3 and 4 of the paper)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.scoring.structure import BlockStructure
+
+
+def render_structure(structure: BlockStructure, function_name: str = "f") -> str:
+    """Render a structure as ``f(h,r,t) = <h1,r1,t1> - <h2,r3,t4> + ...``."""
+    items = structure.nonzero_items()
+    if not items:
+        return f"{function_name}(h,r,t) = 0"
+    parts: List[str] = []
+    for index, (head_block, tail_block, value) in enumerate(items):
+        sign = "+" if value > 0 else "-"
+        term = f"<h{head_block + 1},r{abs(value)},t{tail_block + 1}>"
+        if index == 0 and sign == "+":
+            parts.append(term)
+        else:
+            parts.append(f"{sign} {term}")
+    return f"{function_name}(h,r,t) = " + " ".join(parts)
+
+
+def render_matrix(structure: BlockStructure) -> str:
+    """Render the raw entry matrix with ``+rk`` / ``-rk`` / ``.`` cells."""
+    rows = []
+    for row in structure.entries:
+        cells = []
+        for value in row:
+            if value == 0:
+                cells.append("   . ")
+            else:
+                sign = "+" if value > 0 else "-"
+                cells.append(f" {sign}r{abs(int(value))} ")
+        rows.append("".join(cells))
+    return "\n".join(rows)
+
+
+def render_relation_aware(
+    structures: Sequence[BlockStructure],
+    group_relations: Dict[int, Sequence[str]] | None = None,
+) -> str:
+    """Render a full relation-aware scoring function set: one block per group.
+
+    ``group_relations`` optionally maps group index to the relation names assigned to it,
+    which reproduces the presentation of Figures 3 and 4.
+    """
+    lines: List[str] = []
+    for group, structure in enumerate(structures):
+        lines.append(f"group {group + 1}: {render_structure(structure, function_name=f'f{group + 1}')}")
+        if group_relations and group in group_relations and group_relations[group]:
+            names = ", ".join(str(name) for name in group_relations[group])
+            lines.append(f"  relations: {names}")
+        lines.append(render_matrix(structure))
+        lines.append("")
+    return "\n".join(lines).rstrip()

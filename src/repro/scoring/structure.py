@@ -1,0 +1,177 @@
+"""The :class:`BlockStructure` representation of a bilinear scoring function.
+
+A structure with ``M`` blocks is an ``M x M`` integer matrix whose entry ``(i, j)`` is the
+signed block value of the operation assigned to the multiplicative item ``<h_i, o, t_j>``:
+``0`` (item absent), ``+k`` (use ``+r_k``) or ``-k`` (use ``-r_k``).
+
+The same object serves as
+
+* the output of the controller / searchers,
+* the specification consumed by :class:`~repro.scoring.bilinear.BlockScoringFunction`,
+* the unit of analysis for the expressiveness checks (Table I) and the rendered case
+  studies (Figures 3 and 4).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.scoring.operations import OperationSet
+
+EntryMatrix = Union[np.ndarray, Sequence[Sequence[int]]]
+
+
+class BlockStructure:
+    """An immutable ``M x M`` signed-block matrix defining a bilinear scoring function."""
+
+    def __init__(self, entries: EntryMatrix) -> None:
+        array = np.asarray(entries, dtype=np.int64)
+        if array.ndim != 2 or array.shape[0] != array.shape[1]:
+            raise ValueError(f"entries must be a square matrix, got shape {array.shape}")
+        num_blocks = array.shape[0]
+        if num_blocks < 1:
+            raise ValueError("structure must have at least one block")
+        if np.abs(array).max(initial=0) > num_blocks:
+            raise ValueError(
+                f"entry values must be in [-{num_blocks}, {num_blocks}], got max abs {np.abs(array).max()}"
+            )
+        self._entries = array
+        self._entries.setflags(write=False)
+
+    # ------------------------------------------------------------------ basic accessors
+    @property
+    def entries(self) -> np.ndarray:
+        """The read-only ``M x M`` signed entry matrix."""
+        return self._entries
+
+    @property
+    def num_blocks(self) -> int:
+        """The number of blocks M."""
+        return self._entries.shape[0]
+
+    @property
+    def operation_set(self) -> OperationSet:
+        """The operation vocabulary this structure draws from."""
+        return OperationSet(self.num_blocks)
+
+    def nonzero_items(self) -> List[Tuple[int, int, int]]:
+        """All multiplicative items as ``(head_block, tail_block, signed_value)`` tuples."""
+        items = []
+        for i in range(self.num_blocks):
+            for j in range(self.num_blocks):
+                value = int(self._entries[i, j])
+                if value != 0:
+                    items.append((i, j, value))
+        return items
+
+    def nonzero_count(self) -> int:
+        """Number of non-zero multiplicative items (the "budget" b of AutoSF)."""
+        return int(np.count_nonzero(self._entries))
+
+    def used_relation_blocks(self) -> set:
+        """The set of relation block indices (1-based) that appear in the structure."""
+        return {abs(int(v)) for v in self._entries.reshape(-1) if v != 0}
+
+    def uses_all_relation_blocks(self) -> bool:
+        """The "exploitative constraint" of Section IV-B2: every r_k appears at least once."""
+        return self.used_relation_blocks() == set(range(1, self.num_blocks + 1))
+
+    # ------------------------------------------------------------------ token encoding
+    def to_tokens(self) -> List[int]:
+        """Row-major flattening into ``M^2`` operation tokens (controller encoding)."""
+        ops = self.operation_set
+        return [ops.value_to_token(int(v)) for v in self._entries.reshape(-1)]
+
+    @classmethod
+    def from_tokens(cls, tokens: Sequence[int], num_blocks: int) -> "BlockStructure":
+        """Inverse of :meth:`to_tokens`."""
+        tokens = list(tokens)
+        if len(tokens) != num_blocks * num_blocks:
+            raise ValueError(f"expected {num_blocks * num_blocks} tokens, got {len(tokens)}")
+        ops = OperationSet(num_blocks)
+        values = np.asarray(ops.tokens_to_values(tokens), dtype=np.int64)
+        return cls(values.reshape(num_blocks, num_blocks))
+
+    # ------------------------------------------------------------------ named constructors
+    @classmethod
+    def zeros(cls, num_blocks: int) -> "BlockStructure":
+        """The all-zero (degenerate) structure."""
+        return cls(np.zeros((num_blocks, num_blocks), dtype=np.int64))
+
+    @classmethod
+    def diagonal(cls, num_blocks: int) -> "BlockStructure":
+        """The DistMult-style structure: ``entry(i, i) = +r_i``."""
+        return cls(np.diag(np.arange(1, num_blocks + 1)))
+
+    @classmethod
+    def random(cls, num_blocks: int, rng: np.random.Generator, nonzero_fraction: float = 0.5,
+               require_all_blocks: bool = True, max_attempts: int = 200) -> "BlockStructure":
+        """Sample a random structure.
+
+        Entries are non-zero with probability ``nonzero_fraction``; non-zero entries draw a
+        uniformly random signed block.  When ``require_all_blocks`` is set the sampler
+        retries until the exploitative constraint holds (falling back to the diagonal
+        structure if ``max_attempts`` is exhausted, which only happens for extreme
+        ``nonzero_fraction`` values).
+        """
+        if not 0.0 < nonzero_fraction <= 1.0:
+            raise ValueError("nonzero_fraction must be in (0, 1]")
+        for _ in range(max_attempts):
+            mask = rng.random((num_blocks, num_blocks)) < nonzero_fraction
+            blocks = rng.integers(1, num_blocks + 1, size=(num_blocks, num_blocks))
+            signs = rng.choice([-1, 1], size=(num_blocks, num_blocks))
+            entries = np.where(mask, signs * blocks, 0)
+            structure = cls(entries)
+            if structure.nonzero_count() == 0:
+                continue
+            if not require_all_blocks or structure.uses_all_relation_blocks():
+                return structure
+        return cls.diagonal(num_blocks)
+
+    # ------------------------------------------------------------------ algebra
+    def transposed(self) -> "BlockStructure":
+        """Structure of the reversed triple direction: ``f'(h, r, t) = f(t, r, h)``."""
+        return BlockStructure(self._entries.T.copy())
+
+    def negated(self) -> "BlockStructure":
+        """Structure with every sign flipped."""
+        return BlockStructure(-self._entries)
+
+    def signature(self) -> Tuple[int, ...]:
+        """A hashable canonical form (row-major entries)."""
+        return tuple(int(v) for v in self._entries.reshape(-1))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BlockStructure):
+            return NotImplemented
+        return self.num_blocks == other.num_blocks and np.array_equal(self._entries, other._entries)
+
+    def __hash__(self) -> int:
+        return hash(self.signature())
+
+    def __repr__(self) -> str:
+        rows = "; ".join(" ".join(f"{int(v):+d}" if v else "0" for v in row) for row in self._entries)
+        return f"BlockStructure(M={self.num_blocks}, [{rows}])"
+
+    # ------------------------------------------------------------------ helpers for search
+    def with_item(self, head_block: int, tail_block: int, value: int) -> "BlockStructure":
+        """Return a copy with one multiplicative item replaced (used by AutoSF's greedy step)."""
+        if not 0 <= head_block < self.num_blocks or not 0 <= tail_block < self.num_blocks:
+            raise IndexError("block index out of range")
+        if abs(value) > self.num_blocks:
+            raise ValueError(f"value {value} out of range for M={self.num_blocks}")
+        entries = self._entries.copy()
+        entries[head_block, tail_block] = value
+        return BlockStructure(entries)
+
+    def free_positions(self) -> List[Tuple[int, int]]:
+        """All (head_block, tail_block) positions currently set to zero."""
+        return [(int(i), int(j)) for i, j in zip(*np.where(self._entries == 0))]
+
+
+def structures_equal(first: Iterable[BlockStructure], second: Iterable[BlockStructure]) -> bool:
+    """Whether two sequences of structures are element-wise equal."""
+    first, second = list(first), list(second)
+    return len(first) == len(second) and all(a == b for a, b in zip(first, second))

@@ -1,0 +1,108 @@
+"""Translational (distance-based) baselines: TransE and RotatE.
+
+These are outside the bilinear family -- they are included because Table III and Table VI
+of the paper compare against them, in particular TransE's failure on symmetric relations.
+Scores are negated distances so that "higher is better" holds uniformly across the
+library.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff import Tensor
+from repro.scoring.base import ScoringFunction
+
+
+class TransEScorer(ScoringFunction):
+    """TransE: ``score(h, r, t) = -|| h + r - t ||_p`` with p in {1, 2}."""
+
+    def __init__(self, norm: int = 1) -> None:
+        if norm not in (1, 2):
+            raise ValueError(f"norm must be 1 or 2, got {norm}")
+        self.norm = norm
+        self.name = f"transe_l{norm}"
+
+    def _distance(self, difference: Tensor) -> Tensor:
+        if self.norm == 1:
+            return difference.abs().sum(axis=-1)
+        return (difference * difference).sum(axis=-1).sqrt()
+
+    def score(self, head: Tensor, relation: Tensor, tail: Tensor) -> Tensor:
+        return -self._distance(head + relation - tail)
+
+    def score_all_tails(self, head: Tensor, relation: Tensor, candidates: Tensor) -> Tensor:
+        translated = head + relation                       # (batch, dim)
+        batch, dim = translated.shape
+        expanded = translated.reshape(batch, 1, dim) - candidates.reshape(1, len(candidates), dim)
+        return -self._distance(expanded)
+
+    def score_all_heads(self, tail: Tensor, relation: Tensor, candidates: Tensor) -> Tensor:
+        target = tail - relation                            # h should equal t - r
+        batch, dim = target.shape
+        expanded = candidates.reshape(1, len(candidates), dim) - target.reshape(batch, 1, dim)
+        return -self._distance(expanded)
+
+
+class RotatEScorer(ScoringFunction):
+    """RotatE: relations act as rotations in the complex plane.
+
+    Embeddings of dimension ``d`` are interpreted as ``d/2`` complex numbers: the first
+    half is the real part and the second half the imaginary part.  The relation embedding
+    supplies phases through ``cos``/``sin`` of its first half.
+    """
+
+    def __init__(self) -> None:
+        self.name = "rotate"
+
+    @staticmethod
+    def _halves(embeddings: Tensor) -> tuple[Tensor, Tensor]:
+        dim = embeddings.shape[-1]
+        if dim % 2 != 0:
+            raise ValueError(f"RotatE requires an even embedding dimension, got {dim}")
+        half = dim // 2
+        return embeddings[..., :half], embeddings[..., half:]
+
+    def _rotate(self, head: Tensor, relation: Tensor) -> tuple[Tensor, Tensor]:
+        head_re, head_im = self._halves(head)
+        phase, _ = self._halves(relation)
+        cos = Tensor(np.cos(phase.data))
+        sin = Tensor(np.sin(phase.data))
+        rotated_re = head_re * cos - head_im * sin
+        rotated_im = head_re * sin + head_im * cos
+        return rotated_re, rotated_im
+
+    def score(self, head: Tensor, relation: Tensor, tail: Tensor) -> Tensor:
+        rotated_re, rotated_im = self._rotate(head, relation)
+        tail_re, tail_im = self._halves(tail)
+        diff_re = rotated_re - tail_re
+        diff_im = rotated_im - tail_im
+        return -((diff_re * diff_re + diff_im * diff_im + 1e-12).sqrt()).sum(axis=-1)
+
+    def score_all_tails(self, head: Tensor, relation: Tensor, candidates: Tensor) -> Tensor:
+        rotated_re, rotated_im = self._rotate(head, relation)
+        cand_re, cand_im = self._halves(candidates)
+        batch, half = rotated_re.shape
+        num_candidates = len(candidates)
+        diff_re = rotated_re.reshape(batch, 1, half) - cand_re.reshape(1, num_candidates, half)
+        diff_im = rotated_im.reshape(batch, 1, half) - cand_im.reshape(1, num_candidates, half)
+        return -((diff_re * diff_re + diff_im * diff_im + 1e-12).sqrt()).sum(axis=-1)
+
+    def score_all_heads(self, tail: Tensor, relation: Tensor, candidates: Tensor) -> Tensor:
+        # Rotate every candidate head by the relation phase and compare with the tail.
+        tail_re, tail_im = self._halves(tail)
+        cand_re, cand_im = self._halves(candidates)
+        phase, _ = self._halves(relation)
+        cos = Tensor(np.cos(phase.data))
+        sin = Tensor(np.sin(phase.data))
+        batch, half = tail_re.shape
+        num_candidates = len(candidates)
+        cand_re_b = cand_re.reshape(1, num_candidates, half)
+        cand_im_b = cand_im.reshape(1, num_candidates, half)
+        cos_b = cos.reshape(batch, 1, half)
+        sin_b = sin.reshape(batch, 1, half)
+        rotated_re = cand_re_b * cos_b - cand_im_b * sin_b
+        rotated_im = cand_re_b * sin_b + cand_im_b * cos_b
+        diff_re = rotated_re - tail_re.reshape(batch, 1, half)
+        diff_im = rotated_im - tail_im.reshape(batch, 1, half)
+        return -((diff_re * diff_re + diff_im * diff_im + 1e-12).sqrt()).sum(axis=-1)

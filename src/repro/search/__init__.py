@@ -1,0 +1,47 @@
+"""Scoring-function search.
+
+This package contains the paper's contribution and everything it is compared against:
+
+* :class:`~repro.search.eras.ERASSearcher` -- the relation-aware one-shot search
+  (Algorithm 2): shared-embedding supernet, EM relation clustering, REINFORCE controller.
+* :class:`~repro.search.autosf.AutoSFSearcher` -- the progressive greedy baseline
+  (Algorithm 1) with a learned performance predictor.
+* :class:`~repro.search.random_search.RandomSearcher` and
+  :class:`~repro.search.bayes_search.BayesSearcher` -- the AutoML baselines of Figure 2.
+* :mod:`~repro.search.variants` -- the ablation variants of Table XI
+  (ERAS_N=1, ERAS_los, ERAS_dif, ERAS_sig, ERAS_pde, ERAS_smt).
+"""
+
+from repro.search.space import RelationAwareSearchSpace
+from repro.search.result import Candidate, SearchResult, TracePoint
+from repro.search.supernet import SharedEmbeddingSupernet, SupernetConfig
+from repro.search.controller import ArchitectureController, ControllerConfig
+from repro.search.clustering import EMRelationClustering
+from repro.search.eras import ERASConfig, ERASSearcher
+from repro.search.autosf import AutoSFConfig, AutoSFSearcher
+from repro.search.random_search import RandomSearchConfig, RandomSearcher
+from repro.search.bayes_search import BayesSearchConfig, BayesSearcher
+from repro.search.predictor import StructurePerformancePredictor
+from repro.search import variants
+
+__all__ = [
+    "RelationAwareSearchSpace",
+    "Candidate",
+    "SearchResult",
+    "TracePoint",
+    "SharedEmbeddingSupernet",
+    "SupernetConfig",
+    "ArchitectureController",
+    "ControllerConfig",
+    "EMRelationClustering",
+    "ERASConfig",
+    "ERASSearcher",
+    "AutoSFConfig",
+    "AutoSFSearcher",
+    "RandomSearchConfig",
+    "RandomSearcher",
+    "BayesSearchConfig",
+    "BayesSearcher",
+    "StructurePerformancePredictor",
+    "variants",
+]

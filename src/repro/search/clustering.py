@@ -1,0 +1,122 @@
+"""Expectation-Maximisation clustering of relation embeddings (Section IV-A, Eq. 5).
+
+The lower-level objective assigns each relation to the group whose centroid is closest to
+its embedding (E-step) and re-estimates centroids as cluster means (M-step) -- i.e.
+k-means, the hard-assignment EM special case the paper's Eq. (5) describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, new_rng
+
+
+@dataclass
+class ClusteringResult:
+    """Assignment vector plus diagnostics of one clustering run."""
+
+    assignment: np.ndarray
+    centroids: np.ndarray
+    inertia: float
+    iterations: int
+
+
+class EMRelationClustering:
+    """Cluster relation embeddings into ``num_groups`` groups."""
+
+    def __init__(self, num_groups: int, max_iterations: int = 25, tolerance: float = 1e-6,
+                 seed: SeedLike = 0) -> None:
+        if num_groups < 1:
+            raise ValueError("num_groups must be at least 1")
+        if max_iterations < 1:
+            raise ValueError("max_iterations must be at least 1")
+        self.num_groups = num_groups
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self._rng = new_rng(seed)
+
+    # ------------------------------------------------------------------ public API
+    def fit(self, embeddings: np.ndarray, initial_assignment: Optional[np.ndarray] = None) -> ClusteringResult:
+        """Cluster the rows of ``embeddings``; optionally warm-start from a previous assignment."""
+        embeddings = np.asarray(embeddings, dtype=np.float64)
+        if embeddings.ndim != 2:
+            raise ValueError(f"embeddings must be 2-D, got shape {embeddings.shape}")
+        num_relations = embeddings.shape[0]
+        if self.num_groups == 1 or num_relations <= self.num_groups:
+            # Degenerate cases: everything in group 0, or one relation per group.
+            assignment = (
+                np.zeros(num_relations, dtype=np.int64)
+                if self.num_groups == 1
+                else np.arange(num_relations, dtype=np.int64) % self.num_groups
+            )
+            centroids = self._centroids(embeddings, assignment)
+            return ClusteringResult(assignment, centroids, self._inertia(embeddings, assignment, centroids), 0)
+
+        centroids = self._initial_centroids(embeddings, initial_assignment)
+        assignment = np.zeros(num_relations, dtype=np.int64)
+        previous_inertia = np.inf
+        iterations = 0
+        for iterations in range(1, self.max_iterations + 1):
+            # E-step: assign each relation to its nearest centroid.
+            distances = self._pairwise_sq_distances(embeddings, centroids)
+            assignment = distances.argmin(axis=1).astype(np.int64)
+            assignment = self._fix_empty_groups(embeddings, assignment)
+            # M-step: recompute centroids.
+            centroids = self._centroids(embeddings, assignment)
+            inertia = self._inertia(embeddings, assignment, centroids)
+            if previous_inertia - inertia < self.tolerance:
+                break
+            previous_inertia = inertia
+        return ClusteringResult(assignment, centroids, self._inertia(embeddings, assignment, centroids), iterations)
+
+    def assign(self, embeddings: np.ndarray, initial_assignment: Optional[np.ndarray] = None) -> np.ndarray:
+        """Convenience wrapper returning only the assignment vector."""
+        return self.fit(embeddings, initial_assignment=initial_assignment).assignment
+
+    # ------------------------------------------------------------------ internals
+    def _initial_centroids(self, embeddings: np.ndarray, initial_assignment: Optional[np.ndarray]) -> np.ndarray:
+        if initial_assignment is not None:
+            initial_assignment = np.asarray(initial_assignment, dtype=np.int64)
+            if initial_assignment.shape == (embeddings.shape[0],) and initial_assignment.max(initial=0) < self.num_groups:
+                return self._centroids(embeddings, initial_assignment)
+        chosen = self._rng.choice(embeddings.shape[0], size=self.num_groups, replace=False)
+        return embeddings[chosen].copy()
+
+    def _centroids(self, embeddings: np.ndarray, assignment: np.ndarray) -> np.ndarray:
+        groups = max(self.num_groups, int(assignment.max(initial=0)) + 1)
+        centroids = np.zeros((self.num_groups, embeddings.shape[1]))
+        for group in range(self.num_groups):
+            members = embeddings[assignment == group]
+            if len(members):
+                centroids[group] = members.mean(axis=0)
+            else:
+                centroids[group] = embeddings[self._rng.integers(0, embeddings.shape[0])]
+        del groups
+        return centroids
+
+    def _fix_empty_groups(self, embeddings: np.ndarray, assignment: np.ndarray) -> np.ndarray:
+        """Re-seed empty groups with the points farthest from their current centroid."""
+        assignment = assignment.copy()
+        for group in range(self.num_groups):
+            if np.any(assignment == group):
+                continue
+            centroids = self._centroids(embeddings, assignment)
+            distances = self._pairwise_sq_distances(embeddings, centroids)
+            current = distances[np.arange(len(assignment)), assignment]
+            victim = int(np.argmax(current))
+            assignment[victim] = group
+        return assignment
+
+    @staticmethod
+    def _pairwise_sq_distances(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+        differences = points[:, None, :] - centroids[None, :, :]
+        return np.einsum("ijk,ijk->ij", differences, differences)
+
+    @staticmethod
+    def _inertia(embeddings: np.ndarray, assignment: np.ndarray, centroids: np.ndarray) -> float:
+        differences = embeddings - centroids[assignment]
+        return float(np.sum(differences * differences))

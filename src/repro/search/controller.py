@@ -1,0 +1,143 @@
+"""The LSTM architecture controller trained with REINFORCE (Section IV-B of the paper).
+
+The controller generates a candidate autoregressively: at decision step ``v`` it emits a
+distribution over the ``2M + 1`` operations, a token is sampled, embedded, and fed back
+into the LSTM to produce step ``v + 1``.  The REINFORCE gradient (Eq. 7) with a moving
+average baseline updates the controller towards candidates with a high one-shot reward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.autodiff import Tensor, functional as F
+from repro.nn import Adam, Embedding, Linear, LSTMCell, Module
+from repro.search.result import Candidate
+from repro.search.space import RelationAwareSearchSpace
+from repro.utils.rng import SeedLike, new_rng, spawn_rng
+
+
+@dataclass
+class ControllerConfig:
+    """Controller hyper-parameters."""
+
+    hidden_size: int = 64
+    token_embedding_dim: int = 32
+    learning_rate: float = 0.01
+    baseline_decay: float = 0.7
+    entropy_weight: float = 0.0
+    zero_operation_bias: float = 1.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.hidden_size <= 0 or self.token_embedding_dim <= 0:
+            raise ValueError("hidden_size and token_embedding_dim must be positive")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if not 0.0 <= self.baseline_decay < 1.0:
+            raise ValueError("baseline_decay must be in [0, 1)")
+
+
+@dataclass
+class SampledCandidate:
+    """A candidate together with the differentiable log-probability of sampling it."""
+
+    candidate: Candidate
+    tokens: np.ndarray
+    log_prob: Tensor
+    entropy: float
+
+
+class ArchitectureController(Module):
+    """LSTM policy ``pi(A; theta)`` over token sequences of the search space."""
+
+    def __init__(self, space: RelationAwareSearchSpace, config: Optional[ControllerConfig] = None) -> None:
+        super().__init__()
+        self.space = space
+        self.config = config or ControllerConfig()
+        vocabulary = space.num_operations
+        rng = new_rng(self.config.seed)
+        seeds = spawn_rng(rng, 3)
+        # Token "vocabulary + 1" reserves the last id as the start-of-sequence symbol.
+        self.token_embedding = Embedding(vocabulary + 1, self.config.token_embedding_dim, seed=seeds[0])
+        self.cell = LSTMCell(self.config.token_embedding_dim, self.config.hidden_size, seed=seeds[1])
+        self.output = Linear(self.config.hidden_size, vocabulary, seed=seeds[2])
+        # Bias the policy towards the zero operation so that early candidates are sparse,
+        # mirroring AutoSF's budgeted structures; the controller unlearns it if dense
+        # structures pay off.
+        self.output.bias.data[0] = self.config.zero_operation_bias
+        self._start_token = vocabulary
+        self._rng = new_rng(self.config.seed)
+
+    # ------------------------------------------------------------------ sampling
+    def sample_one(self, rng: Optional[np.random.Generator] = None, greedy: bool = False) -> SampledCandidate:
+        """Sample a single candidate, returning its differentiable log-probability."""
+        rng = rng if rng is not None else self._rng
+        state = self.cell.initial_state(1)
+        previous = self._start_token
+        log_prob_terms: List[Tensor] = []
+        entropy = 0.0
+        tokens = np.zeros(self.space.token_count, dtype=np.int64)
+        for step in range(self.space.token_count):
+            embedded = self.token_embedding(np.array([previous]))
+            state = self.cell(embedded, state)
+            logits = self.output(state[0])
+            log_probs = F.log_softmax(logits, axis=-1)
+            probabilities = np.exp(log_probs.data[0])
+            probabilities = probabilities / probabilities.sum()
+            if greedy:
+                token = int(np.argmax(probabilities))
+            else:
+                token = int(rng.choice(self.space.num_operations, p=probabilities))
+            tokens[step] = token
+            log_prob_terms.append(log_probs[0, token])
+            entropy += float(-(probabilities * np.log(probabilities + 1e-12)).sum())
+            previous = token
+        total_log_prob = log_prob_terms[0]
+        for term in log_prob_terms[1:]:
+            total_log_prob = total_log_prob + term
+        candidate = Candidate(tuple(self.space.structures_from_tokens(tokens)))
+        return SampledCandidate(candidate=candidate, tokens=tokens, log_prob=total_log_prob, entropy=entropy)
+
+    def sample(self, count: int, rng: Optional[np.random.Generator] = None, greedy: bool = False) -> List[SampledCandidate]:
+        """Sample ``count`` candidates independently."""
+        if count <= 0:
+            raise ValueError("count must be positive")
+        return [self.sample_one(rng=rng, greedy=greedy) for _ in range(count)]
+
+
+class ReinforceUpdater:
+    """Policy-gradient updates with an exponential moving-average baseline (Eq. 7)."""
+
+    def __init__(self, controller: ArchitectureController) -> None:
+        self.controller = controller
+        self.optimizer = Adam(controller.parameters(), lr=controller.config.learning_rate)
+        self.baseline: Optional[float] = None
+        self._decay = controller.config.baseline_decay
+        self._entropy_weight = controller.config.entropy_weight
+
+    def update(self, samples: Sequence[SampledCandidate], rewards: Sequence[float]) -> float:
+        """One REINFORCE step; returns the mean reward of the batch."""
+        if len(samples) != len(rewards) or not samples:
+            raise ValueError("samples and rewards must be non-empty and of equal length")
+        mean_reward = float(np.mean(rewards))
+        if self.baseline is None:
+            self.baseline = mean_reward
+        else:
+            self.baseline = self._decay * self.baseline + (1.0 - self._decay) * mean_reward
+
+        self.optimizer.zero_grad()
+        loss: Optional[Tensor] = None
+        for sample, reward in zip(samples, rewards):
+            advantage = float(reward) - self.baseline
+            term = sample.log_prob * (-advantage)
+            if self._entropy_weight:
+                term = term - Tensor(self._entropy_weight * sample.entropy)
+            loss = term if loss is None else loss + term
+        loss = loss * (1.0 / len(samples))
+        loss.backward()
+        self.optimizer.step()
+        return mean_reward

@@ -1,0 +1,298 @@
+"""ERAS: Efficient Relation-aware Scoring function Search (Algorithm 2 of the paper).
+
+Each search epoch alternates three updates:
+
+1. **Embeddings** -- for every training mini-batch, sample U candidates from the
+   controller and update the *shared* supernet embeddings with the averaged loss (Eq. 9).
+2. **Group assignment** -- re-cluster the relation embeddings with EM/k-means (Eq. 5).
+3. **Controller** -- sample U candidates, compute their one-shot reward (validation-MRR on
+   a mini-batch; 0 if the exploitative constraint is violated) and apply a REINFORCE
+   update with a moving-average baseline (Eq. 7).
+
+After the search loop, K candidates are sampled from the trained controller, scored on
+the full validation split with the shared embeddings, and the best one is returned (to be
+re-trained from scratch by the caller, as the paper does).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.kg.graph import KnowledgeGraph
+from repro.search.clustering import EMRelationClustering
+from repro.search.controller import ArchitectureController, ControllerConfig, ReinforceUpdater, SampledCandidate
+from repro.search.result import Candidate, SearchResult, TracePoint
+from repro.search.space import RelationAwareSearchSpace
+from repro.search.supernet import SharedEmbeddingSupernet, SupernetConfig
+from repro.utils.rng import new_rng
+
+
+@dataclass
+class ERASConfig:
+    """Hyper-parameters of the ERAS search (names follow the paper)."""
+
+    num_blocks: int = 4                 # M
+    num_groups: int = 3                 # N
+    num_samples: int = 2                # U, candidates sampled per update
+    controller_steps: int = 1           # REINFORCE updates per embedding mini-batch
+    epochs: int = 8                     # passes over the training data during the search
+    derive_samples: int = 16            # K, candidates sampled when deriving the final SF
+    reward_metric: str = "mrr"          # "mrr" (paper) or "neg_loss" (ERAS_los ablation)
+    update_assignment: bool = True      # False reproduces ERAS_pde-style fixed groupings
+    controller_on_train: bool = False   # True reproduces the single-level ERAS_sig ablation
+    assignment_update_every: int = 4    # run the EM step every this many iterations
+    max_items_per_structure: int = 8    # budget prior on non-zero items (None disables)
+    derive_top_k: int = 4               # how many top candidates to expose for re-ranking
+    anchor_candidates: bool = True      # include literature structures at derive time
+    supernet: SupernetConfig = field(default_factory=SupernetConfig)
+    controller: ControllerConfig = field(default_factory=ControllerConfig)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_blocks < 2:
+            raise ValueError("num_blocks must be at least 2")
+        if self.num_groups < 1:
+            raise ValueError("num_groups must be at least 1")
+        if self.num_samples < 1:
+            raise ValueError("num_samples must be at least 1")
+        if self.controller_steps < 1:
+            raise ValueError("controller_steps must be at least 1")
+        if self.epochs < 1:
+            raise ValueError("epochs must be at least 1")
+        if self.derive_samples < 1:
+            raise ValueError("derive_samples must be at least 1")
+        if self.assignment_update_every < 1:
+            raise ValueError("assignment_update_every must be at least 1")
+        if self.reward_metric not in ("mrr", "neg_loss"):
+            raise ValueError("reward_metric must be 'mrr' or 'neg_loss'")
+
+
+class ERASSearcher:
+    """Searches relation-aware scoring functions with the one-shot supernet."""
+
+    name = "ERAS"
+
+    def __init__(
+        self,
+        config: Optional[ERASConfig] = None,
+        initial_assignment_fn: Optional[Callable[[KnowledgeGraph], np.ndarray]] = None,
+    ) -> None:
+        """``initial_assignment_fn`` optionally provides a fixed / semantic initial grouping
+        (used by the ERAS_pde and ERAS_smt ablation variants)."""
+        self.config = config or ERASConfig()
+        self._initial_assignment_fn = initial_assignment_fn
+
+    # ------------------------------------------------------------------ public API
+    def search(self, graph: KnowledgeGraph) -> SearchResult:
+        """Run Algorithm 2 on ``graph`` and return the best candidate found."""
+        config = self.config
+        rng = new_rng(config.seed)
+        space = RelationAwareSearchSpace(
+            num_blocks=config.num_blocks,
+            num_groups=config.num_groups,
+            max_items_per_structure=config.max_items_per_structure,
+        )
+        supernet = SharedEmbeddingSupernet(graph, num_groups=config.num_groups, config=config.supernet)
+        controller = ArchitectureController(space, config=config.controller)
+        updater = ReinforceUpdater(controller)
+        clustering = EMRelationClustering(config.num_groups, seed=int(rng.integers(1 << 31)))
+
+        assignment = self._initial_assignment(graph, clustering, supernet)
+        supernet.set_assignment(assignment)
+
+        trace: List[TracePoint] = []
+        evaluations = 0
+        iteration = 0
+        total_iterations = config.epochs * max(1, len(supernet.training_batches(seed=0)))
+        memory_start = total_iterations // 2
+        reward_memory: dict = {}
+        started = time.perf_counter()
+
+        for epoch in range(1, config.epochs + 1):
+            # One iteration of Algorithm 2 per training mini-batch: the three parameter
+            # families (embeddings, assignment, controller) are alternately updated.
+            for batch in supernet.training_batches(seed=int(rng.integers(1 << 31))):
+                iteration += 1
+
+                # Steps 2-3: sample candidates and update the shared embeddings (Eq. 9).
+                samples = controller.sample(config.num_samples, rng=rng)
+                supernet.training_step([s.candidate for s in samples], batch)
+
+                # Step 4: update the relation assignment with EM clustering (Eq. 5).
+                if (
+                    config.update_assignment
+                    and config.num_groups > 1
+                    and iteration % config.assignment_update_every == 0
+                ):
+                    assignment = clustering.assign(supernet.relation_embeddings(), initial_assignment=assignment)
+                    supernet.set_assignment(assignment)
+
+                # Steps 5-6: policy-gradient updates of the controller on validation
+                # mini-batches (Eq. 7); candidates violating the exploitative constraint
+                # receive reward 0.
+                for controller_step in range(config.controller_steps):
+                    if controller_step > 0:
+                        samples = controller.sample(config.num_samples, rng=rng)
+                    reward_batch = self._reward_batch(supernet, rng)
+                    rewards = [self._reward(supernet, space, sample, reward_batch) for sample in samples]
+                    evaluations += len(samples)
+                    updater.update(samples, rewards)
+
+                    # Remember the strongest constraint-satisfying candidates from the
+                    # second half of the search: the derive step re-scores them on the
+                    # full validation split next to freshly sampled candidates.
+                    if iteration >= memory_start:
+                        for sample, reward in zip(samples, rewards):
+                            if reward > 0.0:
+                                signature = sample.candidate.signature()
+                                best_so_far = reward_memory.get(signature, (-np.inf, None))[0]
+                                if reward > best_so_far:
+                                    reward_memory[signature] = (reward, sample.candidate)
+
+            trace.append(
+                TracePoint(
+                    elapsed_seconds=time.perf_counter() - started,
+                    evaluations=evaluations,
+                    valid_mrr=float(max(rewards)) if config.reward_metric == "mrr" else 0.0,
+                    note=f"epoch {epoch}",
+                )
+            )
+
+        # Steps 8-12: derive the final scoring functions from the trained controller.
+        remembered = [candidate for _, candidate in sorted(reward_memory.values(), key=lambda item: -item[0])[:8]]
+        ranked, derive_evals = self._derive(supernet, space, controller, rng, remembered)
+        best_candidate, best_mrr = ranked[0]
+        evaluations += derive_evals
+        elapsed = time.perf_counter() - started
+        trace.append(TracePoint(elapsed_seconds=elapsed, evaluations=evaluations, valid_mrr=best_mrr, note="derived"))
+
+        return SearchResult(
+            searcher=self.name,
+            dataset=graph.name,
+            best_candidate=best_candidate,
+            best_assignment=assignment.copy(),
+            best_valid_mrr=best_mrr,
+            search_seconds=elapsed,
+            evaluations=evaluations,
+            trace=trace,
+            extras={
+                "num_blocks": self.config.num_blocks,
+                "num_groups": self.config.num_groups,
+                "supernet_dim": self.config.supernet.dim,
+                # Top candidates by one-shot validation MRR, best first.  Callers that can
+                # afford it may re-rank these with a short stand-alone training run before
+                # the final re-training, which reduces the variance of the one-shot proxy.
+                "top_candidates": [candidate for candidate, _ in ranked[: self.config.derive_top_k]],
+                "top_candidate_scores": [score for _, score in ranked[: self.config.derive_top_k]],
+            },
+        )
+
+    # ------------------------------------------------------------------ internals
+    def _initial_assignment(
+        self,
+        graph: KnowledgeGraph,
+        clustering: EMRelationClustering,
+        supernet: SharedEmbeddingSupernet,
+    ) -> np.ndarray:
+        if self._initial_assignment_fn is not None:
+            assignment = np.asarray(self._initial_assignment_fn(graph), dtype=np.int64)
+            if assignment.shape != (graph.num_relations,):
+                raise ValueError("initial assignment function returned the wrong shape")
+            return np.clip(assignment, 0, self.config.num_groups - 1)
+        if self.config.num_groups == 1:
+            return np.zeros(graph.num_relations, dtype=np.int64)
+        return clustering.assign(supernet.relation_embeddings())
+
+    def _reward_batch(self, supernet: SharedEmbeddingSupernet, rng: np.random.Generator) -> np.ndarray:
+        if self.config.controller_on_train:
+            # ERAS_sig ablation: single-level optimisation uses training mini-batches.
+            train = supernet.graph.train.array
+            size = min(supernet.config.valid_batch_size, len(train))
+            idx = rng.choice(len(train), size=size, replace=False)
+            return train[idx]
+        return supernet.sample_validation_batch()
+
+    def _reward(
+        self,
+        supernet: SharedEmbeddingSupernet,
+        space: RelationAwareSearchSpace,
+        sample: SampledCandidate,
+        batch: np.ndarray,
+    ) -> float:
+        if not space.satisfies_exploitative_constraint(sample.candidate.structures):
+            return 0.0
+        return supernet.reward(sample.candidate, batch, metric=self.config.reward_metric)
+
+    def _derive(
+        self,
+        supernet: SharedEmbeddingSupernet,
+        space: RelationAwareSearchSpace,
+        controller: ArchitectureController,
+        rng: np.random.Generator,
+        remembered: Optional[Sequence[Candidate]] = None,
+    ) -> tuple[List[tuple[Candidate, float]], int]:
+        """Score derive-time candidates with the shared embeddings; best first."""
+        samples = controller.sample(self.config.derive_samples, rng=rng)
+        candidates = [sample.candidate for sample in samples] + list(remembered or [])
+        if self.config.anchor_candidates:
+            candidates += self._anchor_candidates(supernet, space)
+        scored: List[tuple[Candidate, float]] = []
+        seen = set()
+        for candidate in candidates:
+            signature = candidate.signature()
+            if signature in seen or not space.satisfies_exploitative_constraint(candidate.structures):
+                continue
+            seen.add(signature)
+            scored.append((candidate, supernet.one_shot_validation_mrr(candidate)))
+        if not scored:
+            # Every sample violated the constraint; fall back to the greedy decode or a
+            # random constraint-satisfying candidate.
+            greedy = controller.sample_one(rng=rng, greedy=True).candidate
+            if space.satisfies_exploitative_constraint(greedy.structures):
+                fallback = greedy
+            else:
+                fallback = Candidate(tuple(space.random_candidate(rng)))
+            scored.append((fallback, supernet.one_shot_validation_mrr(fallback)))
+        scored.sort(key=lambda item: -item[1])
+        return scored, len(candidates)
+
+    def _anchor_candidates(
+        self, supernet: SharedEmbeddingSupernet, space: RelationAwareSearchSpace
+    ) -> List[Candidate]:
+        """Literature structures used to anchor the derive-time selection.
+
+        The block search space contains every classic bilinear scoring function (the
+        paper's "generalises from human wisdom" property); at the small CPU scale of this
+        reproduction the controller does not always rediscover that region within the
+        search budget, so the derive step additionally scores (a) every classic used
+        uniformly across groups and (b) a greedy per-group mix of classics, all under the
+        same one-shot proxy as the controller's own candidates.  See DESIGN.md,
+        "Substitutions".
+        """
+        if self.config.num_blocks != 4:
+            return []
+        from repro.scoring.classics import CLASSIC_STRUCTURES
+
+        classics = list(CLASSIC_STRUCTURES.values())
+        anchors = [Candidate(tuple([classic] * self.config.num_groups)) for classic in classics]
+        if self.config.num_groups == 1:
+            return anchors
+        # Greedy per-group coordinate pass starting from the best uniform anchor.
+        best_uniform = max(anchors, key=lambda c: supernet.one_shot_validation_mrr(c))
+        current = list(best_uniform.structures)
+        for group in range(self.config.num_groups):
+            best_structure = current[group]
+            best_score = supernet.one_shot_validation_mrr(Candidate(tuple(current)))
+            for classic in classics:
+                trial = list(current)
+                trial[group] = classic
+                score = supernet.one_shot_validation_mrr(Candidate(tuple(trial)))
+                if score > best_score:
+                    best_structure, best_score = classic, score
+            current[group] = best_structure
+        anchors.append(Candidate(tuple(current)))
+        return anchors

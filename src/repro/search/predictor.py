@@ -1,0 +1,99 @@
+"""The performance predictor used inside AutoSF's progressive greedy search.
+
+AutoSF trains a regressor mapping symmetry-related features of a candidate structure to
+its observed validation MRR; at each greedy step the predictor pre-filters the sampled
+candidates so that only the most promising ones are actually trained (step 4 of
+Algorithm 1).  We follow the original paper's design: hand-crafted structural features
+plus a ridge-regularised linear model, which works with a handful of observations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.scoring.structure import BlockStructure
+
+
+def structure_features(structure: BlockStructure) -> np.ndarray:
+    """Feature vector describing a block structure.
+
+    Features: per-operation usage counts (2M+1 values), number of diagonal non-zeros,
+    number of symmetric position pairs with matching / opposite signs, and the number of
+    distinct relation blocks used.
+    """
+    num_blocks = structure.num_blocks
+    entries = structure.entries
+    counts = np.zeros(2 * num_blocks + 1)
+    for value in entries.reshape(-1):
+        if value == 0:
+            counts[0] += 1
+        elif value > 0:
+            counts[value] += 1
+        else:
+            counts[num_blocks - value] += 1
+    diagonal_nonzero = float(np.count_nonzero(np.diag(entries)))
+    matching_pairs = 0.0
+    opposing_pairs = 0.0
+    for i in range(num_blocks):
+        for j in range(i + 1, num_blocks):
+            if entries[i, j] == 0 or entries[j, i] == 0:
+                continue
+            if entries[i, j] == entries[j, i]:
+                matching_pairs += 1.0
+            elif entries[i, j] == -entries[j, i]:
+                opposing_pairs += 1.0
+    used_blocks = float(len(structure.used_relation_blocks()))
+    return np.concatenate([counts, [diagonal_nonzero, matching_pairs, opposing_pairs, used_blocks]])
+
+
+def candidate_features(structures: Sequence[BlockStructure]) -> np.ndarray:
+    """Features of a multi-structure candidate: the concatenated per-structure features."""
+    return np.concatenate([structure_features(s) for s in structures])
+
+
+class StructurePerformancePredictor:
+    """Ridge regression from structure features to observed validation MRR."""
+
+    def __init__(self, ridge: float = 1e-2) -> None:
+        if ridge <= 0:
+            raise ValueError("ridge must be positive")
+        self.ridge = ridge
+        self._features: List[np.ndarray] = []
+        self._targets: List[float] = []
+        self._weights: np.ndarray | None = None
+
+    def __len__(self) -> int:
+        return len(self._targets)
+
+    def observe(self, structure: BlockStructure, performance: float) -> None:
+        """Record one (structure, observed MRR) pair and refit."""
+        self._features.append(structure_features(structure))
+        self._targets.append(float(performance))
+        self._fit()
+
+    def _fit(self) -> None:
+        if len(self._targets) < 2:
+            self._weights = None
+            return
+        features = np.stack(self._features)
+        features = np.concatenate([features, np.ones((len(features), 1))], axis=1)
+        targets = np.asarray(self._targets)
+        gram = features.T @ features + self.ridge * np.eye(features.shape[1])
+        self._weights = np.linalg.solve(gram, features.T @ targets)
+
+    def predict(self, structure: BlockStructure) -> float:
+        """Predicted MRR of an unseen structure (mean of observations until trained)."""
+        if self._weights is None:
+            return float(np.mean(self._targets)) if self._targets else 0.0
+        features = np.concatenate([structure_features(structure), [1.0]])
+        return float(features @ self._weights)
+
+    def rank(self, structures: Sequence[BlockStructure], top_k: int) -> List[BlockStructure]:
+        """The ``top_k`` structures by predicted performance (ties kept in input order)."""
+        if top_k <= 0:
+            raise ValueError("top_k must be positive")
+        scored = [(self.predict(structure), index) for index, structure in enumerate(structures)]
+        order = sorted(range(len(scored)), key=lambda i: (-scored[i][0], scored[i][1]))
+        return [structures[i] for i in order[:top_k]]

@@ -1,0 +1,83 @@
+"""Common result containers shared by all searchers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.scoring.structure import BlockStructure
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """A point of the (relation-aware) search space: one structure per relation group."""
+
+    structures: Tuple[BlockStructure, ...]
+
+    def __post_init__(self) -> None:
+        if not self.structures:
+            raise ValueError("a candidate needs at least one structure")
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.structures)
+
+    def signature(self) -> Tuple[Tuple[int, ...], ...]:
+        """Hashable canonical form."""
+        return tuple(structure.signature() for structure in self.structures)
+
+    def __iter__(self):
+        return iter(self.structures)
+
+
+@dataclass(frozen=True)
+class TracePoint:
+    """One observation of search progress (the points of Figure 2)."""
+
+    elapsed_seconds: float
+    evaluations: int
+    valid_mrr: float
+    note: str = ""
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a scoring-function search."""
+
+    searcher: str
+    dataset: str
+    best_candidate: Candidate
+    best_assignment: np.ndarray
+    best_valid_mrr: float
+    search_seconds: float
+    evaluations: int
+    trace: List[TracePoint] = field(default_factory=list)
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    def best_structures(self) -> List[BlockStructure]:
+        """The searched structures as a list."""
+        return list(self.best_candidate.structures)
+
+    def group_of_relation(self, relation: int) -> int:
+        """The group (scoring function index) a relation was assigned to."""
+        return int(self.best_assignment[relation])
+
+    def relations_per_group(self) -> Dict[int, List[int]]:
+        """Relation ids grouped by assigned scoring function."""
+        groups: Dict[int, List[int]] = {g: [] for g in range(self.best_candidate.num_groups)}
+        for relation, group in enumerate(self.best_assignment):
+            groups[int(group)].append(relation)
+        return groups
+
+    def summary(self) -> Dict[str, object]:
+        """Compact description used in logs and benchmark reports."""
+        return {
+            "searcher": self.searcher,
+            "dataset": self.dataset,
+            "groups": self.best_candidate.num_groups,
+            "valid_mrr": round(self.best_valid_mrr, 4),
+            "search_seconds": round(self.search_seconds, 2),
+            "evaluations": self.evaluations,
+        }

@@ -1,0 +1,124 @@
+"""The relation-aware search space F_e (Definition 2 of the paper).
+
+A point of the space is a *candidate*: one :class:`BlockStructure` per relation group.
+With ``M`` blocks and ``N`` groups a candidate is encoded as ``V = N * M^2`` operation
+tokens (group-major, then row-major inside each group), each token drawn from the
+operation set ``O`` of size ``2M + 1``; the space size is ``(2M+1)^(N*M^2)`` versus
+``(2M+1)^(M^2)`` for the task-aware AutoSF space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.scoring.operations import OperationSet
+from repro.scoring.structure import BlockStructure
+
+
+@dataclass(frozen=True)
+class RelationAwareSearchSpace:
+    """Search-space geometry: number of blocks M and relation groups N.
+
+    ``max_items_per_structure`` optionally caps the number of non-zero multiplicative
+    items of every searched structure (a budget in the AutoSF sense); candidates
+    exceeding it are treated as violating the prior encoded in the search (Section
+    IV-B2) and receive reward 0.
+    """
+
+    num_blocks: int = 4
+    num_groups: int = 3
+    max_items_per_structure: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_blocks < 1:
+            raise ValueError("num_blocks must be at least 1")
+        if self.num_groups < 1:
+            raise ValueError("num_groups must be at least 1")
+        if self.max_items_per_structure is not None and self.max_items_per_structure < self.num_blocks:
+            raise ValueError("max_items_per_structure must be at least num_blocks")
+
+    # ------------------------------------------------------------------ geometry
+    @property
+    def operation_set(self) -> OperationSet:
+        return OperationSet(self.num_blocks)
+
+    @property
+    def tokens_per_structure(self) -> int:
+        """M^2 multiplicative-item decisions per group."""
+        return self.num_blocks * self.num_blocks
+
+    @property
+    def token_count(self) -> int:
+        """Total decisions V = N * M^2 of a candidate."""
+        return self.num_groups * self.tokens_per_structure
+
+    @property
+    def num_operations(self) -> int:
+        """Size of the operation vocabulary, 2M + 1."""
+        return self.operation_set.size
+
+    def log10_size(self) -> float:
+        """log10 of the number of candidates, ``(2M+1)^(N*M^2)``."""
+        return self.token_count * np.log10(self.num_operations)
+
+    # ------------------------------------------------------------------ encodings
+    def structures_from_tokens(self, tokens: Sequence[int]) -> List[BlockStructure]:
+        """Decode a flat token sequence into one structure per group."""
+        tokens = list(int(t) for t in tokens)
+        if len(tokens) != self.token_count:
+            raise ValueError(f"expected {self.token_count} tokens, got {len(tokens)}")
+        per_structure = self.tokens_per_structure
+        return [
+            BlockStructure.from_tokens(tokens[g * per_structure : (g + 1) * per_structure], self.num_blocks)
+            for g in range(self.num_groups)
+        ]
+
+    def tokens_from_structures(self, structures: Sequence[BlockStructure]) -> List[int]:
+        """Inverse of :meth:`structures_from_tokens`."""
+        structures = list(structures)
+        if len(structures) != self.num_groups:
+            raise ValueError(f"expected {self.num_groups} structures, got {len(structures)}")
+        tokens: List[int] = []
+        for structure in structures:
+            if structure.num_blocks != self.num_blocks:
+                raise ValueError(
+                    f"structure has {structure.num_blocks} blocks, space expects {self.num_blocks}"
+                )
+            tokens.extend(structure.to_tokens())
+        return tokens
+
+    # ------------------------------------------------------------------ sampling & constraints
+    def random_candidate(self, rng: np.random.Generator, nonzero_fraction: float = 0.45) -> List[BlockStructure]:
+        """One random structure per group, each satisfying the exploitative constraint."""
+        return [
+            BlockStructure.random(self.num_blocks, rng, nonzero_fraction=nonzero_fraction)
+            for _ in range(self.num_groups)
+        ]
+
+    def satisfies_exploitative_constraint(self, structures: Sequence[BlockStructure]) -> bool:
+        """Section IV-B2: every relation block must appear in every searched structure.
+
+        When ``max_items_per_structure`` is set, structures with more non-zero items than
+        the budget also violate the constraint.  Violating candidates receive reward 0
+        during the RL search.
+        """
+        for structure in structures:
+            if not structure.uses_all_relation_blocks():
+                return False
+            if (
+                self.max_items_per_structure is not None
+                and structure.nonzero_count() > self.max_items_per_structure
+            ):
+                return False
+        return True
+
+    def task_aware(self) -> "RelationAwareSearchSpace":
+        """The AutoSF-style space with a single group (used by ERAS_N=1)."""
+        return RelationAwareSearchSpace(
+            num_blocks=self.num_blocks,
+            num_groups=1,
+            max_items_per_structure=self.max_items_per_structure,
+        )

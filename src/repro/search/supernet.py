@@ -1,0 +1,168 @@
+"""The shared-embedding supernet (Section IV-C of the paper).
+
+The supernet holds a single set of entity/relation embeddings.  Any candidate (a set of
+per-group block structures plus a relation-to-group assignment) is a subgraph of the
+supernet: evaluating it just means scoring with those structures on the *shared*
+embeddings.  This is what lets ERAS evaluate thousands of candidates without training
+each of them from scratch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.autodiff import no_grad
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.sampling import BatchIterator
+from repro.models.kge import KGEModel
+from repro.models.regularizers import n3_regularization
+from repro.nn.optim import Adagrad
+from repro.scoring.structure import BlockStructure
+from repro.search.result import Candidate
+from repro.utils.rng import SeedLike, new_rng
+
+
+@dataclass
+class SupernetConfig:
+    """Hyper-parameters of the shared-embedding supernet."""
+
+    dim: int = 64
+    embedding_lr: float = 0.5
+    regularization_weight: float = 1e-4
+    batch_size: int = 256
+    valid_batch_size: int = 128
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.dim <= 0:
+            raise ValueError("dim must be positive")
+        if self.embedding_lr <= 0:
+            raise ValueError("embedding_lr must be positive")
+        if self.batch_size <= 0 or self.valid_batch_size <= 0:
+            raise ValueError("batch sizes must be positive")
+
+
+class SharedEmbeddingSupernet:
+    """Shared KG embeddings evaluated under arbitrary sampled candidates."""
+
+    def __init__(self, graph: KnowledgeGraph, num_groups: int, config: Optional[SupernetConfig] = None) -> None:
+        self.graph = graph
+        self.config = config or SupernetConfig()
+        self.num_groups = num_groups
+        # The model starts with placeholder diagonal structures; candidates swap them in.
+        placeholder = [BlockStructure.diagonal(4) for _ in range(num_groups)]
+        self.model = KGEModel(
+            num_entities=graph.num_entities,
+            num_relations=graph.num_relations,
+            dim=self.config.dim,
+            scorers=placeholder,
+            assignment=np.zeros(graph.num_relations, dtype=np.int64),
+            seed=self.config.seed,
+        )
+        self.optimizer = Adagrad(self.model.parameters(), lr=self.config.embedding_lr)
+        self._rng = new_rng(self.config.seed)
+        self.assignment = np.zeros(graph.num_relations, dtype=np.int64)
+
+    # ------------------------------------------------------------------ assignment handling
+    def set_assignment(self, assignment: np.ndarray) -> None:
+        """Install a relation-to-group assignment (validated against the group count)."""
+        assignment = np.asarray(assignment, dtype=np.int64)
+        if assignment.shape != (self.graph.num_relations,):
+            raise ValueError(
+                f"assignment must have shape ({self.graph.num_relations},), got {assignment.shape}"
+            )
+        if assignment.size and (assignment.min() < 0 or assignment.max() >= self.num_groups):
+            raise ValueError("assignment group ids out of range")
+        self.assignment = assignment
+
+    def relation_embeddings(self) -> np.ndarray:
+        """Current shared relation embeddings (input of the EM clustering step)."""
+        return self.model.relation_embedding_matrix()
+
+    # ------------------------------------------------------------------ data plumbing
+    def training_batches(self, seed: SeedLike = None) -> BatchIterator:
+        """A fresh shuffled iterator over the training split."""
+        seed = seed if seed is not None else int(self._rng.integers(1 << 31))
+        return BatchIterator(self.graph.train, self.config.batch_size, seed=seed)
+
+    def sample_validation_batch(self) -> np.ndarray:
+        """A random mini-batch of validation triples (used for rewards)."""
+        valid = self.graph.valid.array
+        size = min(self.config.valid_batch_size, len(valid))
+        idx = self._rng.choice(len(valid), size=size, replace=False)
+        return valid[idx]
+
+    # ------------------------------------------------------------------ optimisation
+    def _install(self, candidate: Candidate) -> None:
+        if candidate.num_groups != self.num_groups:
+            raise ValueError(
+                f"candidate has {candidate.num_groups} groups, supernet expects {self.num_groups}"
+            )
+        self.model.set_scorers(list(candidate.structures), assignment=self.assignment)
+
+    def candidate_loss(self, candidate: Candidate, batch: np.ndarray) -> "Tensor":
+        """Training loss of one candidate on one batch using the shared embeddings."""
+        self._install(candidate)
+        loss = self.model.multiclass_loss(batch)
+        if self.config.regularization_weight > 0:
+            head, relation, tail = self.model.embed_triples(batch)
+            loss = loss + n3_regularization([head, relation, tail], self.config.regularization_weight)
+        return loss
+
+    def training_step(self, candidates: Sequence[Candidate], batch: np.ndarray) -> float:
+        """One stochastic update of the shared embeddings, averaging over sampled candidates (Eq. 9)."""
+        if not candidates:
+            raise ValueError("training_step needs at least one candidate")
+        self.optimizer.zero_grad()
+        total = None
+        for candidate in candidates:
+            loss = self.candidate_loss(candidate, batch)
+            total = loss if total is None else total + loss
+        average = total * (1.0 / len(candidates))
+        average.backward()
+        self.optimizer.step()
+        return float(average.data)
+
+    # ------------------------------------------------------------------ evaluation
+    def reward(self, candidate: Candidate, validation_batch: np.ndarray, metric: str = "mrr") -> float:
+        """One-shot reward Q of a candidate on a validation mini-batch.
+
+        ``metric='mrr'`` is the paper's default; ``metric='neg_loss'`` implements the
+        ERAS_los ablation where the (negated) validation loss replaces MRR.
+        """
+        self._install(candidate)
+        if metric == "neg_loss":
+            with no_grad():
+                loss = self.model.multiclass_loss(validation_batch)
+            return -float(loss.data)
+        if metric != "mrr":
+            raise ValueError(f"unknown reward metric {metric!r}")
+        with no_grad():
+            tail_scores = self.model.score_all_tails(validation_batch).data
+            head_scores = self.model.score_all_heads(validation_batch).data
+        ranks = np.concatenate(
+            [
+                _unfiltered_ranks(tail_scores, validation_batch[:, 2]),
+                _unfiltered_ranks(head_scores, validation_batch[:, 0]),
+            ]
+        )
+        return float(np.mean(1.0 / ranks))
+
+    def one_shot_validation_mrr(self, candidate: Candidate, sample_size: Optional[int] = None) -> float:
+        """Reward computed on the full validation split (or a fixed-size sample of it)."""
+        valid = self.graph.valid.array
+        if sample_size is not None and sample_size < len(valid):
+            idx = self._rng.choice(len(valid), size=sample_size, replace=False)
+            valid = valid[idx]
+        return self.reward(candidate, valid)
+
+
+def _unfiltered_ranks(scores: np.ndarray, targets: np.ndarray) -> np.ndarray:
+    """Optimistic-tie ranks of the target entities within raw score rows."""
+    target_scores = scores[np.arange(len(targets)), targets]
+    higher = (scores > target_scores[:, None]).sum(axis=1)
+    ties = (scores == target_scores[:, None]).sum(axis=1) - 1
+    return 1 + higher + ties // 2

@@ -1,0 +1,290 @@
+"""Ablation variants of ERAS (Section V-E / Table XI of the paper).
+
+Factory functions return configured searchers whose ``name`` identifies the variant:
+
+* ``eras_n1``  -- task-aware only: a single relation group (same space as AutoSF).
+* ``eras_los`` -- validation *loss* replaces MRR as the controller reward.
+* ``eras_dif`` -- differentiable architecture weights optimised by gradient descent on
+  the validation loss (NASP-style), instead of reinforcement learning.
+* ``eras_sig`` -- single-level optimisation: the controller reward is computed on
+  training mini-batches.
+* ``eras_pde`` -- relation groups are fixed from embeddings pre-trained with SimplE and
+  never updated during the search.
+* ``eras_smt`` -- relation groups are fixed from the detected semantic patterns
+  (symmetric / anti-symmetric / inverse / general asymmetric).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.autodiff import Tensor, functional as F
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.patterns import RelationPattern, RelationPatternAnalyzer
+from repro.models.kge import KGEModel
+from repro.models.trainer import Trainer, TrainerConfig
+from repro.nn import Adam, Module, Parameter
+from repro.scoring.classics import simple_structure
+from repro.scoring.structure import BlockStructure
+from repro.search.clustering import EMRelationClustering
+from repro.search.eras import ERASConfig, ERASSearcher
+from repro.search.result import Candidate, SearchResult, TracePoint
+from repro.search.space import RelationAwareSearchSpace
+from repro.search.supernet import SharedEmbeddingSupernet, SupernetConfig
+from repro.utils.rng import new_rng
+
+__all__ = [
+    "eras_n1",
+    "eras_los",
+    "eras_sig",
+    "eras_pde",
+    "eras_smt",
+    "eras_dif",
+    "ERASDifferentiableSearcher",
+    "semantic_assignment",
+    "pretrained_assignment",
+]
+
+
+# ---------------------------------------------------------------------- assignment helpers
+def semantic_assignment(graph: KnowledgeGraph, num_groups: int) -> np.ndarray:
+    """Group relations by detected semantic pattern (the ERAS_smt grouping)."""
+    analyzer = RelationPatternAnalyzer()
+    pattern_order = [
+        RelationPattern.SYMMETRIC,
+        RelationPattern.ANTI_SYMMETRIC,
+        RelationPattern.INVERSE,
+        RelationPattern.GENERAL_ASYMMETRIC,
+    ]
+    pattern_to_group = {pattern: min(index, num_groups - 1) for index, pattern in enumerate(pattern_order)}
+    assignment = np.zeros(graph.num_relations, dtype=np.int64)
+    for report in analyzer.analyze(graph):
+        assignment[report.relation] = pattern_to_group[report.pattern]
+    return assignment
+
+
+def pretrained_assignment(
+    graph: KnowledgeGraph,
+    num_groups: int,
+    dim: int = 32,
+    epochs: int = 10,
+    seed: int = 0,
+) -> np.ndarray:
+    """Group relations by clustering embeddings pre-trained with SimplE (the ERAS_pde grouping)."""
+    model = KGEModel(graph.num_entities, graph.num_relations, dim=dim, scorers=simple_structure(), seed=seed)
+    trainer = Trainer(TrainerConfig(epochs=epochs, valid_every=max(1, epochs // 2), patience=2, seed=seed))
+    trainer.fit(model, graph)
+    clustering = EMRelationClustering(num_groups, seed=seed)
+    return clustering.assign(model.relation_embedding_matrix())
+
+
+# ---------------------------------------------------------------------- RL-based variants
+def _configured(base: Optional[ERASConfig], **overrides) -> ERASConfig:
+    base = base or ERASConfig()
+    return dataclasses.replace(base, **overrides)
+
+
+def eras_n1(config: Optional[ERASConfig] = None) -> ERASSearcher:
+    """ERAS restricted to a single relation group (task-aware, like AutoSF)."""
+    searcher = ERASSearcher(_configured(config, num_groups=1))
+    searcher.name = "ERAS_N=1"
+    return searcher
+
+
+def eras_los(config: Optional[ERASConfig] = None) -> ERASSearcher:
+    """ERAS with the validation loss as the (negated) reward instead of MRR."""
+    searcher = ERASSearcher(_configured(config, reward_metric="neg_loss"))
+    searcher.name = "ERAS_los"
+    return searcher
+
+
+def eras_sig(config: Optional[ERASConfig] = None) -> ERASSearcher:
+    """Single-level ERAS: the controller reward is computed on training mini-batches."""
+    searcher = ERASSearcher(_configured(config, controller_on_train=True))
+    searcher.name = "ERAS_sig"
+    return searcher
+
+
+def eras_pde(config: Optional[ERASConfig] = None, pretrain_epochs: int = 10) -> ERASSearcher:
+    """ERAS with the grouping fixed from SimplE-pretrained embeddings (no dynamic update)."""
+    config = _configured(config, update_assignment=False)
+
+    def assignment_fn(graph: KnowledgeGraph) -> np.ndarray:
+        return pretrained_assignment(graph, config.num_groups, epochs=pretrain_epochs, seed=config.seed)
+
+    searcher = ERASSearcher(config, initial_assignment_fn=assignment_fn)
+    searcher.name = "ERAS_pde"
+    return searcher
+
+
+def eras_smt(config: Optional[ERASConfig] = None) -> ERASSearcher:
+    """ERAS with the grouping fixed from detected semantic patterns (no dynamic update)."""
+    config = _configured(config, update_assignment=False)
+
+    def assignment_fn(graph: KnowledgeGraph) -> np.ndarray:
+        return semantic_assignment(graph, config.num_groups)
+
+    searcher = ERASSearcher(config, initial_assignment_fn=assignment_fn)
+    searcher.name = "ERAS_smt"
+    return searcher
+
+
+# ---------------------------------------------------------------------- differentiable variant
+class _MixtureArchitecture(Module):
+    """Continuous architecture weights A of shape (groups, M^2, ops) with softmax relaxation."""
+
+    def __init__(self, num_groups: int, num_blocks: int, seed: int = 0) -> None:
+        super().__init__()
+        self.num_groups = num_groups
+        self.num_blocks = num_blocks
+        self.num_ops = 2 * num_blocks + 1
+        rng = new_rng(seed)
+        self.weights = Parameter(
+            0.01 * rng.normal(size=(num_groups, num_blocks * num_blocks, self.num_ops)), name="arch"
+        )
+
+    def probabilities(self) -> Tensor:
+        """Softmax over operations for every (group, position)."""
+        flat = self.weights.reshape(self.num_groups * self.num_blocks * self.num_blocks, self.num_ops)
+        return F.softmax(flat, axis=-1).reshape(self.num_groups, self.num_blocks * self.num_blocks, self.num_ops)
+
+    def discretize(self) -> List[BlockStructure]:
+        """Argmax decode into one discrete structure per group."""
+        space = RelationAwareSearchSpace(self.num_blocks, self.num_groups)
+        tokens: List[int] = []
+        probs = self.probabilities().data
+        for group in range(self.num_groups):
+            tokens.extend(int(t) for t in probs[group].argmax(axis=-1))
+        return space.structures_from_tokens(tokens)
+
+
+class ERASDifferentiableSearcher:
+    """ERAS_dif: DARTS/NASP-style differentiable search over the supernet.
+
+    The architecture is a per-group softmax mixture over operations.  Shared embeddings
+    are updated on training batches with the mixture loss; architecture weights are
+    updated on validation mini-batches by gradient descent (the validation loss is
+    differentiable, unlike MRR); the relation grouping is refreshed by EM clustering each
+    epoch.  The final structure is the argmax decode of the mixture weights.
+    """
+
+    name = "ERAS_dif"
+
+    def __init__(self, config: Optional[ERASConfig] = None) -> None:
+        self.config = config or ERASConfig()
+
+    # -------------------------------------------------------------- candidate scoring
+    def _mixture_loss(
+        self,
+        supernet: SharedEmbeddingSupernet,
+        architecture: _MixtureArchitecture,
+        batch: np.ndarray,
+    ) -> Tensor:
+        """Cross-entropy of the mixture-weighted scores on one batch."""
+        model = supernet.model
+        probabilities = architecture.probabilities()
+        space = RelationAwareSearchSpace(architecture.num_blocks, architecture.num_groups)
+        # Build, per group, the expected structure as a dense weighting of signed ops and
+        # evaluate it directly: expected score = sum_v sum_k p_vk * sign_k <h_i, r_b(k), t_j>.
+        head, relation, tail = model.embed_triples(batch)
+        candidates = model.entities.all()
+        num_blocks = architecture.num_blocks
+        block_dim = model.dim // num_blocks
+        head_blocks = [head[:, b * block_dim : (b + 1) * block_dim] for b in range(num_blocks)]
+        relation_blocks = [relation[:, b * block_dim : (b + 1) * block_dim] for b in range(num_blocks)]
+        tail_blocks = [tail[:, b * block_dim : (b + 1) * block_dim] for b in range(num_blocks)]
+        candidate_blocks = [candidates[:, b * block_dim : (b + 1) * block_dim] for b in range(num_blocks)]
+
+        groups = supernet.assignment[batch[:, 1]]
+        total_loss: Optional[Tensor] = None
+        for group in range(architecture.num_groups):
+            rows = np.where(groups == group)[0]
+            if rows.size == 0:
+                continue
+            tail_logits: Optional[Tensor] = None
+            head_logits: Optional[Tensor] = None
+            for position in range(num_blocks * num_blocks):
+                i, j = divmod(position, num_blocks)
+                for block in range(1, num_blocks + 1):
+                    plus = probabilities[group, position, block]
+                    minus = probabilities[group, position, num_blocks + block]
+                    weight = plus - minus
+                    hr = head_blocks[i][rows] * relation_blocks[block - 1][rows] * weight
+                    rt = relation_blocks[block - 1][rows] * tail_blocks[j][rows] * weight
+                    tail_term = hr @ candidate_blocks[j].T
+                    head_term = rt @ candidate_blocks[i].T
+                    tail_logits = tail_term if tail_logits is None else tail_logits + tail_term
+                    head_logits = head_term if head_logits is None else head_logits + head_term
+            loss = (
+                F.cross_entropy(tail_logits, batch[rows, 2]) + F.cross_entropy(head_logits, batch[rows, 0])
+            ) * (0.5 * rows.size / len(batch))
+            total_loss = loss if total_loss is None else total_loss + loss
+        if total_loss is None:
+            raise RuntimeError("empty batch in mixture loss")
+        del space
+        return total_loss
+
+    # -------------------------------------------------------------- public API
+    def search(self, graph: KnowledgeGraph) -> SearchResult:
+        config = self.config
+        rng = new_rng(config.seed)
+        supernet = SharedEmbeddingSupernet(graph, num_groups=config.num_groups, config=config.supernet)
+        architecture = _MixtureArchitecture(config.num_groups, config.num_blocks, seed=config.seed)
+        architecture_optimizer = Adam(architecture.parameters(), lr=config.controller.learning_rate)
+        clustering = EMRelationClustering(config.num_groups, seed=config.seed)
+
+        if config.num_groups > 1:
+            supernet.set_assignment(clustering.assign(supernet.relation_embeddings()))
+
+        trace: List[TracePoint] = []
+        evaluations = 0
+        started = time.perf_counter()
+        for epoch in range(1, config.epochs + 1):
+            for batch in supernet.training_batches(seed=int(rng.integers(1 << 31))):
+                supernet.optimizer.zero_grad()
+                loss = self._mixture_loss(supernet, architecture, batch)
+                loss.backward()
+                supernet.optimizer.step()
+            if config.update_assignment and config.num_groups > 1:
+                supernet.set_assignment(
+                    clustering.assign(supernet.relation_embeddings(), initial_assignment=supernet.assignment)
+                )
+            validation_batch = supernet.sample_validation_batch()
+            architecture_optimizer.zero_grad()
+            validation_loss = self._mixture_loss(supernet, architecture, validation_batch)
+            validation_loss.backward()
+            architecture_optimizer.step()
+            evaluations += 1
+            candidate = Candidate(tuple(architecture.discretize()))
+            mrr = supernet.reward(candidate, validation_batch)
+            trace.append(
+                TracePoint(
+                    elapsed_seconds=time.perf_counter() - started,
+                    evaluations=evaluations,
+                    valid_mrr=mrr,
+                    note=f"epoch {epoch}",
+                )
+            )
+
+        best_candidate = Candidate(tuple(architecture.discretize()))
+        best_mrr = supernet.one_shot_validation_mrr(best_candidate)
+        return SearchResult(
+            searcher=self.name,
+            dataset=graph.name,
+            best_candidate=best_candidate,
+            best_assignment=supernet.assignment.copy(),
+            best_valid_mrr=float(best_mrr),
+            search_seconds=time.perf_counter() - started,
+            evaluations=evaluations,
+            trace=trace,
+        )
+
+
+def eras_dif(config: Optional[ERASConfig] = None) -> ERASDifferentiableSearcher:
+    """Factory mirroring the other variants."""
+    return ERASDifferentiableSearcher(config)

@@ -1,0 +1,7 @@
+"""Shared utilities: deterministic RNG handling, configuration objects, logging, serialization."""
+
+from repro.utils.rng import RngMixin, new_rng, spawn_rng
+from repro.utils.config import frozen_dataclass_repr
+from repro.utils.timer import Timer
+
+__all__ = ["RngMixin", "new_rng", "spawn_rng", "frozen_dataclass_repr", "Timer"]

@@ -1,0 +1,49 @@
+"""Small helpers for configuration dataclasses used across the library."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Mapping
+
+
+def frozen_dataclass_repr(obj: Any) -> str:
+    """Compact ``repr`` for configuration dataclasses that omits default values."""
+    if not dataclasses.is_dataclass(obj):
+        return repr(obj)
+    parts = []
+    for field in dataclasses.fields(obj):
+        value = getattr(obj, field.name)
+        default = field.default
+        if default is not dataclasses.MISSING and value == default:
+            continue
+        parts.append(f"{field.name}={value!r}")
+    return f"{type(obj).__name__}({', '.join(parts)})"
+
+
+def as_dict(obj: Any) -> dict:
+    """Convert a (possibly nested) configuration dataclass to a plain dictionary."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {f.name: as_dict(getattr(obj, f.name)) for f in dataclasses.fields(obj)}
+    if isinstance(obj, Mapping):
+        return {k: as_dict(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return type(obj)(as_dict(v) for v in obj)
+    return obj
+
+
+def validate_positive(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value`` is strictly positive."""
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+
+
+def validate_non_negative(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value`` is zero or positive."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+
+
+def validate_in_range(name: str, value: float, low: float, high: float) -> None:
+    """Raise ``ValueError`` unless ``low <= value <= high``."""
+    if not (low <= value <= high):
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value}")

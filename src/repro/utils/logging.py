@@ -1,0 +1,29 @@
+"""Minimal logging helpers.
+
+The library uses the standard :mod:`logging` machinery; this module only provides a
+consistently named logger factory and a convenience function to switch on human-readable
+output in examples and benchmarks.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_ROOT_NAME = "repro"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger namespaced under the library root ("repro.<name>")."""
+    if name.startswith(_ROOT_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def configure_logging(level: int = logging.INFO) -> None:
+    """Attach a stream handler with a compact format to the library root logger."""
+    logger = logging.getLogger(_ROOT_NAME)
+    logger.setLevel(level)
+    if not logger.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter("[%(asctime)s] %(name)s %(levelname)s: %(message)s"))
+        logger.addHandler(handler)

@@ -1,0 +1,58 @@
+"""Deterministic random-number handling.
+
+Every stochastic component in the library (dataset generators, negative samplers,
+controllers, searchers) accepts either an integer seed or a ``numpy.random.Generator``.
+Centralising the conversion here keeps experiments reproducible and avoids the global
+``numpy.random`` state entirely.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def new_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` from a seed, an existing generator, or None.
+
+    Passing an existing generator returns it unchanged so that callers can thread a
+    single stream through a pipeline of components.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rng(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
+    """Split ``rng`` into ``count`` independent child generators.
+
+    Children are derived through ``SeedSequence.spawn`` so that the parent stream is not
+    consumed and the children do not overlap.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    seeds = rng.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]
+
+
+class RngMixin:
+    """Mixin giving a component a private, lazily created random generator."""
+
+    def __init__(self, seed: SeedLike = None) -> None:
+        self._seed = seed
+        self._rng: Optional[np.random.Generator] = None
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The component's random generator, created on first use."""
+        if self._rng is None:
+            self._rng = new_rng(self._seed)
+        return self._rng
+
+    def reseed(self, seed: SeedLike) -> None:
+        """Reset the generator with a new seed."""
+        self._seed = seed
+        self._rng = new_rng(seed)

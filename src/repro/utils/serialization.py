@@ -1,0 +1,48 @@
+"""JSON serialisation helpers for search results and experiment records.
+
+Search outputs (block structures, group assignments, metric traces) are plain Python and
+NumPy objects.  These helpers convert them to and from JSON-compatible structures so that
+examples and benchmarks can persist results without pickling.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Union
+
+import numpy as np
+
+PathLike = Union[str, Path]
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert NumPy scalars/arrays and tuples into JSON-compatible values."""
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, (np.bool_,)):
+        return bool(obj)
+    if isinstance(obj, dict):
+        return {str(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(v) for v in obj]
+    return obj
+
+
+def save_json(obj: Any, path: PathLike, indent: int = 2) -> Path:
+    """Serialise ``obj`` to ``path`` as JSON (creating parent directories)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as fh:
+        json.dump(to_jsonable(obj), fh, indent=indent, sort_keys=True)
+    return path
+
+
+def load_json(path: PathLike) -> Any:
+    """Load a JSON document written by :func:`save_json`."""
+    with Path(path).open("r", encoding="utf-8") as fh:
+        return json.load(fh)

@@ -1,0 +1,56 @@
+"""Wall-clock timing helper used by the search-efficiency experiments (Table IX, Figure 2)."""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+class Timer:
+    """A simple cumulative stopwatch.
+
+    The timer can be used either as a context manager::
+
+        timer = Timer()
+        with timer:
+            do_work()
+        print(timer.elapsed)
+
+    or through explicit ``start`` / ``stop`` calls.  Repeated sessions accumulate into
+    :attr:`elapsed`, which is what the running-time tables report.
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._started_at: Optional[float] = None
+
+    def start(self) -> "Timer":
+        """Begin a timing session; raises if one is already running."""
+        if self._started_at is not None:
+            raise RuntimeError("Timer is already running")
+        self._started_at = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """End the current session and return the cumulative elapsed time."""
+        if self._started_at is None:
+            raise RuntimeError("Timer is not running")
+        self.elapsed += time.perf_counter() - self._started_at
+        self._started_at = None
+        return self.elapsed
+
+    def reset(self) -> None:
+        """Zero the cumulative time and discard any running session."""
+        self.elapsed = 0.0
+        self._started_at = None
+
+    @property
+    def running(self) -> bool:
+        """Whether a session is currently open."""
+        return self._started_at is not None
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

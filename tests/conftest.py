@@ -1,0 +1,60 @@
+"""Shared fixtures: small synthetic graphs and cheaply trained models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import PatternSpec, SyntheticKGConfig, SyntheticKGGenerator, load_benchmark
+from repro.kg.patterns import RelationPattern
+from repro.models import KGEModel, Trainer, TrainerConfig
+from repro.scoring import named_structure
+
+
+def make_tiny_config(name: str = "tiny") -> SyntheticKGConfig:
+    """A minimal but pattern-complete dataset configuration used across the test-suite."""
+    return SyntheticKGConfig(
+        name=name,
+        num_entities=40,
+        pattern_specs=(
+            PatternSpec(RelationPattern.SYMMETRIC, 2),
+            PatternSpec(RelationPattern.ANTI_SYMMETRIC, 2),
+            PatternSpec(RelationPattern.INVERSE, 2),
+            PatternSpec(RelationPattern.GENERAL_ASYMMETRIC, 1),
+        ),
+        triples_per_relation=30,
+        latent_dim=6,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_graph():
+    """A 40-entity, 7-relation graph that generates in milliseconds."""
+    return SyntheticKGGenerator(make_tiny_config()).generate(seed=0)
+
+
+@pytest.fixture(scope="session")
+def small_graph():
+    """A scaled-down wn18rr-like benchmark for integration tests."""
+    return load_benchmark("wn18rr_like", scale=0.6, seed=1)
+
+
+@pytest.fixture(scope="session")
+def trained_tiny_model(tiny_graph):
+    """A DistMult model trained briefly on the tiny graph (shared by evaluation tests)."""
+    model = KGEModel(
+        num_entities=tiny_graph.num_entities,
+        num_relations=tiny_graph.num_relations,
+        dim=16,
+        scorers=named_structure("distmult"),
+        seed=0,
+    )
+    config = TrainerConfig(epochs=12, batch_size=128, learning_rate=0.5, valid_every=4, patience=3, seed=0)
+    Trainer(config).fit(model, tiny_graph)
+    return model
+
+
+@pytest.fixture()
+def rng():
+    """A fresh deterministic random generator per test."""
+    return np.random.default_rng(12345)

@@ -1,0 +1,134 @@
+"""Tests for the composite differentiable functions (softmax, losses)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.autodiff import Tensor, check_gradients, functional as F
+
+
+class TestSoftmaxFamily:
+    def test_softmax_rows_sum_to_one(self, rng):
+        logits = Tensor(rng.normal(size=(5, 7)))
+        probabilities = F.softmax(logits).data
+        np.testing.assert_allclose(probabilities.sum(axis=1), np.ones(5), atol=1e-12)
+        assert (probabilities >= 0).all()
+
+    def test_log_softmax_matches_softmax_log(self, rng):
+        logits = Tensor(rng.normal(size=(3, 4)))
+        np.testing.assert_allclose(F.log_softmax(logits).data, np.log(F.softmax(logits).data), atol=1e-10)
+
+    def test_softmax_shift_invariance(self, rng):
+        logits = rng.normal(size=(2, 5))
+        shifted = logits + 100.0
+        np.testing.assert_allclose(F.softmax(Tensor(logits)).data, F.softmax(Tensor(shifted)).data, atol=1e-10)
+
+    def test_logsumexp_matches_numpy(self, rng):
+        data = rng.normal(size=(4, 6))
+        expected = np.log(np.exp(data).sum(axis=1))
+        np.testing.assert_allclose(F.logsumexp(Tensor(data), axis=1).data.reshape(-1), expected, atol=1e-10)
+
+    def test_softmax_gradient(self, rng):
+        logits = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        weights = rng.normal(size=(3, 4))
+        check_gradients(lambda inputs: (F.softmax(inputs[0]) * Tensor(weights)).sum(), [logits])
+
+
+class TestCrossEntropy:
+    def test_uniform_logits_give_log_classes(self):
+        logits = Tensor(np.zeros((2, 4)))
+        loss = F.cross_entropy(logits, np.array([0, 3]))
+        assert loss.item() == pytest.approx(np.log(4.0))
+
+    def test_perfect_prediction_loss_near_zero(self):
+        logits = np.full((2, 3), -100.0)
+        logits[0, 1] = 100.0
+        logits[1, 2] = 100.0
+        loss = F.cross_entropy(Tensor(logits), np.array([1, 2]))
+        assert loss.item() == pytest.approx(0.0, abs=1e-8)
+
+    def test_gradient_matches_numerical(self, rng):
+        logits = Tensor(rng.normal(size=(4, 5)), requires_grad=True)
+        targets = np.array([0, 1, 2, 4])
+        check_gradients(lambda inputs: F.cross_entropy(inputs[0], targets), [logits])
+
+    def test_reduction_modes(self, rng):
+        logits = Tensor(rng.normal(size=(3, 4)))
+        targets = np.array([1, 2, 0])
+        mean_loss = F.cross_entropy(logits, targets, reduction="mean").item()
+        sum_loss = F.cross_entropy(logits, targets, reduction="sum").item()
+        none_loss = F.cross_entropy(logits, targets, reduction="none").data
+        assert sum_loss == pytest.approx(mean_loss * 3)
+        assert none_loss.shape == (3,)
+        with pytest.raises(ValueError):
+            F.cross_entropy(logits, targets, reduction="bogus")
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            F.nll_loss(Tensor(np.zeros((2, 3, 4))), np.array([0, 1]))
+        with pytest.raises(ValueError):
+            F.nll_loss(Tensor(np.zeros((2, 3))), np.array([0]))
+
+
+class TestOtherLosses:
+    def test_bce_with_logits_matches_reference(self, rng):
+        logits_data = rng.normal(size=(6,))
+        targets = rng.integers(0, 2, size=6).astype(float)
+        loss = F.binary_cross_entropy_with_logits(Tensor(logits_data), targets).item()
+        probabilities = 1.0 / (1.0 + np.exp(-logits_data))
+        reference = -(targets * np.log(probabilities) + (1 - targets) * np.log(1 - probabilities)).mean()
+        assert loss == pytest.approx(reference, rel=1e-6)
+
+    def test_bce_gradient(self, rng):
+        logits = Tensor(rng.normal(size=(5,)), requires_grad=True)
+        targets = rng.integers(0, 2, size=5).astype(float)
+        check_gradients(lambda inputs: F.binary_cross_entropy_with_logits(inputs[0], targets), [logits])
+
+    def test_margin_ranking_loss_zero_when_separated(self):
+        positive = Tensor([5.0, 6.0])
+        negative = Tensor([1.0, 2.0])
+        assert F.margin_ranking_loss(positive, negative, margin=1.0).item() == pytest.approx(0.0)
+
+    def test_margin_ranking_loss_positive_when_violated(self):
+        positive = Tensor([1.0])
+        negative = Tensor([1.5])
+        assert F.margin_ranking_loss(positive, negative, margin=1.0).item() == pytest.approx(1.5)
+
+    def test_softplus_positive_and_accurate(self, rng):
+        data = rng.normal(size=(10,)) * 5
+        values = F.softplus(Tensor(data)).data
+        np.testing.assert_allclose(values, np.log1p(np.exp(-np.abs(data))) + np.maximum(data, 0), atol=1e-10)
+        assert (values > 0).all()
+
+    def test_dropout_identity_when_eval_or_zero(self, rng):
+        data = rng.normal(size=(4, 4))
+        np.testing.assert_allclose(F.dropout(Tensor(data), p=0.0).data, data)
+        np.testing.assert_allclose(F.dropout(Tensor(data), p=0.5, training=False).data, data)
+
+    def test_dropout_validates_probability(self):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor([1.0]), p=1.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    batch=st.integers(min_value=1, max_value=5),
+    classes=st.integers(min_value=2, max_value=6),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_cross_entropy_is_non_negative(batch, classes, seed):
+    rng = np.random.default_rng(seed)
+    logits = Tensor(rng.normal(size=(batch, classes)))
+    targets = rng.integers(0, classes, size=batch)
+    assert F.cross_entropy(logits, targets).item() >= 0.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_property_softmax_is_permutation_equivariant(seed):
+    rng = np.random.default_rng(seed)
+    logits = rng.normal(size=(1, 6))
+    permutation = rng.permutation(6)
+    direct = F.softmax(Tensor(logits[:, permutation])).data
+    permuted = F.softmax(Tensor(logits)).data[:, permutation]
+    np.testing.assert_allclose(direct, permuted, atol=1e-10)

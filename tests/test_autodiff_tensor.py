@@ -1,0 +1,199 @@
+"""Unit and property-based tests for the autodiff Tensor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.autodiff import Tensor, check_gradients, no_grad
+from repro.autodiff.tensor import concat, stack
+
+
+def _random_tensor(rng, shape, requires_grad=True):
+    return Tensor(rng.normal(size=shape), requires_grad=requires_grad)
+
+
+class TestBasics:
+    def test_shape_and_size(self):
+        tensor = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert tensor.shape == (2, 2)
+        assert tensor.ndim == 2
+        assert tensor.size == 4
+
+    def test_item_on_scalar(self):
+        assert Tensor(3.5).item() == pytest.approx(3.5)
+
+    def test_detach_cuts_graph(self):
+        tensor = Tensor([1.0, 2.0], requires_grad=True)
+        detached = tensor.detach()
+        assert not detached.requires_grad
+
+    def test_backward_requires_grad(self):
+        tensor = Tensor([1.0])
+        with pytest.raises(RuntimeError):
+            tensor.backward()
+
+    def test_backward_seed_shape_mismatch(self):
+        tensor = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(ValueError):
+            tensor.backward(np.ones(3))
+
+    def test_no_grad_disables_graph(self):
+        with no_grad():
+            tensor = Tensor([1.0, 2.0], requires_grad=True)
+            result = tensor * 2.0
+        assert not result.requires_grad
+
+    def test_repr_mentions_shape(self):
+        assert "shape=(2,)" in repr(Tensor([1.0, 2.0]))
+
+
+class TestArithmeticGradients:
+    def test_add_mul_chain(self, rng):
+        a = _random_tensor(rng, (3, 4))
+        b = _random_tensor(rng, (3, 4))
+        check_gradients(lambda inputs: ((inputs[0] + inputs[1]) * inputs[0]).sum(), [a, b])
+
+    def test_broadcast_add(self, rng):
+        a = _random_tensor(rng, (3, 4))
+        b = _random_tensor(rng, (4,))
+        check_gradients(lambda inputs: (inputs[0] + inputs[1]).sum(), [a, b])
+
+    def test_broadcast_mul_row_vector(self, rng):
+        a = _random_tensor(rng, (2, 5))
+        b = _random_tensor(rng, (1, 5))
+        check_gradients(lambda inputs: (inputs[0] * inputs[1]).sum(), [a, b])
+
+    def test_division(self, rng):
+        a = _random_tensor(rng, (3,))
+        b = Tensor(rng.uniform(0.5, 2.0, size=(3,)), requires_grad=True)
+        check_gradients(lambda inputs: (inputs[0] / inputs[1]).sum(), [a, b])
+
+    def test_power(self, rng):
+        a = Tensor(rng.uniform(0.5, 2.0, size=(4,)), requires_grad=True)
+        check_gradients(lambda inputs: (inputs[0] ** 3).sum(), [a])
+
+    def test_negation_and_subtraction(self, rng):
+        a = _random_tensor(rng, (2, 3))
+        b = _random_tensor(rng, (2, 3))
+        check_gradients(lambda inputs: (inputs[0] - inputs[1]).sum(), [a, b])
+
+    def test_rsub_and_rdiv(self):
+        a = Tensor([2.0, 4.0], requires_grad=True)
+        out = (1.0 - a) + (8.0 / a)
+        out.sum().backward()
+        assert a.grad is not None
+
+    def test_matmul_2d(self, rng):
+        a = _random_tensor(rng, (3, 4))
+        b = _random_tensor(rng, (4, 2))
+        check_gradients(lambda inputs: (inputs[0] @ inputs[1]).sum(), [a, b])
+
+    def test_matmul_vector_cases(self, rng):
+        a = _random_tensor(rng, (4,))
+        b = _random_tensor(rng, (4, 3))
+        check_gradients(lambda inputs: (inputs[0] @ inputs[1]).sum(), [a, b])
+        c = _random_tensor(rng, (3, 4))
+        d = _random_tensor(rng, (4,))
+        check_gradients(lambda inputs: (inputs[0] @ inputs[1]).sum(), [c, d])
+
+
+class TestReductionsAndShapes:
+    def test_sum_axis_keepdims(self, rng):
+        a = _random_tensor(rng, (3, 4))
+        check_gradients(lambda inputs: inputs[0].sum(axis=0, keepdims=True).sum(), [a])
+        check_gradients(lambda inputs: inputs[0].sum(axis=1).sum(), [a])
+
+    def test_mean(self, rng):
+        a = _random_tensor(rng, (5, 2))
+        check_gradients(lambda inputs: inputs[0].mean(), [a])
+        check_gradients(lambda inputs: inputs[0].mean(axis=0).sum(), [a])
+
+    def test_max_forward(self):
+        tensor = Tensor([[1.0, 5.0], [7.0, 2.0]])
+        assert tensor.max().item() == pytest.approx(7.0)
+        np.testing.assert_allclose(tensor.max(axis=1).data, [5.0, 7.0])
+
+    def test_reshape_roundtrip_gradient(self, rng):
+        a = _random_tensor(rng, (2, 6))
+        check_gradients(lambda inputs: inputs[0].reshape(3, 4).sum(), [a])
+
+    def test_transpose_gradient(self, rng):
+        a = _random_tensor(rng, (2, 3))
+        check_gradients(lambda inputs: (inputs[0].T @ inputs[0]).sum(), [a])
+
+    def test_getitem_rows(self, rng):
+        a = _random_tensor(rng, (5, 3))
+        idx = np.array([0, 2, 2, 4])
+        check_gradients(lambda inputs: inputs[0][idx].sum(), [a])
+
+    def test_getitem_accumulates_duplicates(self):
+        a = Tensor(np.zeros((3, 2)), requires_grad=True)
+        out = a[np.array([1, 1, 1])].sum()
+        out.backward()
+        np.testing.assert_allclose(a.grad[1], [3.0, 3.0])
+
+    def test_concat_and_stack(self, rng):
+        a = _random_tensor(rng, (2, 3))
+        b = _random_tensor(rng, (2, 3))
+        check_gradients(lambda inputs: concat([inputs[0], inputs[1]], axis=0).sum(), [a, b])
+        check_gradients(lambda inputs: stack([inputs[0], inputs[1]], axis=0).sum(), [a, b])
+
+
+class TestElementwiseGradients:
+    @pytest.mark.parametrize("op", ["exp", "tanh", "sigmoid", "relu", "abs"])
+    def test_unary_ops(self, rng, op):
+        a = _random_tensor(rng, (3, 3))
+        check_gradients(lambda inputs: getattr(inputs[0], op)().sum(), [a])
+
+    def test_log_gradient(self, rng):
+        a = Tensor(rng.uniform(0.5, 3.0, size=(4,)), requires_grad=True)
+        check_gradients(lambda inputs: inputs[0].log().sum(), [a])
+
+    def test_clip_gradient_masks_outside(self):
+        a = Tensor([-2.0, 0.5, 2.0], requires_grad=True)
+        a.clip(-1.0, 1.0).sum().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0, 0.0])
+
+    def test_sqrt(self, rng):
+        a = Tensor(rng.uniform(0.5, 2.0, size=(4,)), requires_grad=True)
+        check_gradients(lambda inputs: inputs[0].sqrt().sum(), [a])
+
+
+class TestGradientAccumulation:
+    def test_reused_tensor_accumulates(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        out = (a * 2.0).sum() + (a * 3.0).sum()
+        out.backward()
+        np.testing.assert_allclose(a.grad, [5.0, 5.0])
+
+    def test_zero_grad_clears(self):
+        a = Tensor([1.0], requires_grad=True)
+        (a * 2.0).sum().backward()
+        a.zero_grad()
+        assert a.grad is None
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    rows=st.integers(min_value=1, max_value=4),
+    cols=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_sum_of_product_matches_numpy(rows, cols, seed):
+    """Forward values always agree with NumPy regardless of shape."""
+    rng = np.random.default_rng(seed)
+    a_data = rng.normal(size=(rows, cols))
+    b_data = rng.normal(size=(rows, cols))
+    result = (Tensor(a_data) * Tensor(b_data)).sum()
+    assert np.isclose(result.data, (a_data * b_data).sum())
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_property_linear_gradient_is_exact(seed):
+    """d(sum(w*x))/dw equals x exactly for any x."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(3, 3))
+    w = Tensor(rng.normal(size=(3, 3)), requires_grad=True)
+    (w * Tensor(x)).sum().backward()
+    np.testing.assert_allclose(w.grad, x)

@@ -1,0 +1,147 @@
+"""Tests for ranking evaluation, pattern-level metrics, triplet classification and
+correlation utilities."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    CorrelationStudy,
+    PatternLevelEvaluator,
+    RankingEvaluator,
+    RankingMetrics,
+    TripletClassifier,
+    pearson_correlation,
+    spearman_correlation,
+)
+from repro.kg import KnowledgeGraph, RelationPattern, TripleSet
+from repro.models import KGEModel
+from repro.scoring import named_structure
+
+
+class TestRankingMetrics:
+    def test_from_ranks_values(self):
+        metrics = RankingMetrics.from_ranks(np.array([1, 2, 10, 100]))
+        assert metrics.hit1 == pytest.approx(0.25)
+        assert metrics.hit10 == pytest.approx(0.75)
+        assert metrics.mrr == pytest.approx((1 + 0.5 + 0.1 + 0.01) / 4)
+        assert metrics.count == 4
+
+    def test_empty_ranks(self):
+        metrics = RankingMetrics.from_ranks(np.array([]))
+        assert metrics.count == 0 and metrics.mrr == 0.0
+
+    def test_as_row_uses_percentages(self):
+        row = RankingMetrics.from_ranks(np.array([1, 1])).as_row()
+        assert row["Hit@1"] == 100.0
+
+
+class _OracleGraph:
+    """A tiny graph where the perfect model is known analytically."""
+
+    @staticmethod
+    def build():
+        # Relation 0 maps entity i to entity i+1 (mod 6).
+        triples = [(i, 0, (i + 1) % 6) for i in range(6)]
+        train = TripleSet(triples[:4])
+        valid = TripleSet(triples[4:5])
+        test = TripleSet(triples[5:])
+        return KnowledgeGraph("oracle", 6, 1, train, valid, test)
+
+
+class TestRankingEvaluator:
+    def test_ranks_are_within_valid_bounds(self):
+        graph = _OracleGraph.build()
+        model = KGEModel(6, 1, dim=4, scorers=named_structure("distmult"), seed=0)
+        evaluator = RankingEvaluator(graph, filtered=True)
+        ranks = evaluator.ranks(model, graph.test)
+        assert ranks.min() >= 1
+        assert ranks.max() <= graph.num_entities
+
+    def test_filtered_ranks_never_worse_than_raw(self, tiny_graph, trained_tiny_model):
+        filtered = RankingEvaluator(tiny_graph, filtered=True).evaluate(trained_tiny_model, split="test")
+        raw = RankingEvaluator(tiny_graph, filtered=False).evaluate(trained_tiny_model, split="test")
+        assert filtered.mrr >= raw.mrr - 1e-9
+
+    def test_sample_size_limits_count(self, tiny_graph, trained_tiny_model):
+        metrics = RankingEvaluator(tiny_graph).evaluate(trained_tiny_model, split="test", sample_size=5)
+        assert metrics.count == 10  # 5 triples, head and tail direction each
+
+    def test_per_relation_covers_test_relations(self, tiny_graph, trained_tiny_model):
+        per_relation = RankingEvaluator(tiny_graph).per_relation(trained_tiny_model, split="test")
+        assert set(per_relation) == set(int(r) for r in tiny_graph.test.relation_ids())
+
+    def test_unknown_split_raises(self, tiny_graph, trained_tiny_model):
+        with pytest.raises(ValueError):
+            RankingEvaluator(tiny_graph).evaluate(trained_tiny_model, split="nope")
+
+    def test_validation_mrr_helper(self, tiny_graph, trained_tiny_model):
+        value = RankingEvaluator(tiny_graph).validation_mrr(trained_tiny_model)
+        assert 0.0 < value <= 1.0
+
+
+class TestPatternLevelEvaluator:
+    def test_hit1_by_pattern_keys(self, tiny_graph, trained_tiny_model):
+        evaluator = PatternLevelEvaluator(tiny_graph)
+        by_pattern = evaluator.hit1_by_pattern(trained_tiny_model, split="test")
+        assert set(by_pattern) <= {p.value for p in RelationPattern}
+        assert all(0.0 <= v <= 100.0 for v in by_pattern.values())
+
+    def test_explicit_pattern_mapping_respected(self, tiny_graph, trained_tiny_model):
+        mapping = {r: RelationPattern.SYMMETRIC for r in range(tiny_graph.num_relations)}
+        evaluator = PatternLevelEvaluator(tiny_graph, pattern_of_relation=mapping)
+        assert evaluator.relations_of(RelationPattern.SYMMETRIC) == list(range(tiny_graph.num_relations))
+        assert evaluator.relations_of(RelationPattern.INVERSE) == []
+
+    def test_evaluate_all_returns_every_pattern(self, tiny_graph, trained_tiny_model):
+        results = PatternLevelEvaluator(tiny_graph).evaluate_all(trained_tiny_model, split="test")
+        assert set(results) == set(RelationPattern)
+
+
+class TestTripletClassifier:
+    def test_accuracy_between_zero_and_one(self, tiny_graph, trained_tiny_model):
+        classifier = TripletClassifier(tiny_graph, seed=0)
+        result = classifier.evaluate(trained_tiny_model)
+        assert 0.0 <= result.accuracy <= 1.0
+        assert result.count == 2 * len(tiny_graph.test)
+        assert set(result.thresholds) == set(range(tiny_graph.num_relations))
+
+    def test_trained_model_beats_chance(self, tiny_graph, trained_tiny_model):
+        result = TripletClassifier(tiny_graph, seed=0).evaluate(trained_tiny_model)
+        assert result.accuracy > 0.5
+
+    def test_best_threshold_separates_perfectly_separable_scores(self):
+        scores = np.array([-2.0, -1.0, 1.0, 2.0])
+        labels = np.array([0.0, 0.0, 1.0, 1.0])
+        threshold = TripletClassifier._best_threshold(scores, labels)
+        assert -1.0 < threshold < 1.0
+
+    def test_labelled_split_is_balanced(self, tiny_graph):
+        classifier = TripletClassifier(tiny_graph, seed=0)
+        triples, labels = classifier.build_labelled_split("valid")
+        assert len(triples) == 2 * len(tiny_graph.valid)
+        assert labels.sum() == len(tiny_graph.valid)
+
+
+class TestCorrelation:
+    def test_spearman_perfect_monotone(self):
+        assert spearman_correlation([1, 2, 3, 4], [10, 20, 30, 40]) == pytest.approx(1.0)
+        assert spearman_correlation([1, 2, 3, 4], [40, 30, 20, 10]) == pytest.approx(-1.0)
+
+    def test_pearson_linear(self):
+        assert pearson_correlation([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_degenerate_inputs_return_zero(self):
+        assert spearman_correlation([1, 1, 1], [1, 2, 3]) == 0.0
+        assert pearson_correlation([1], [2]) == 0.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            spearman_correlation([1, 2], [1])
+
+    def test_correlation_study_accumulates(self):
+        study = CorrelationStudy(label="test")
+        for x, y in [(0.1, 0.2), (0.2, 0.3), (0.3, 0.5)]:
+            study.add(x, y)
+        summary = study.summary()
+        assert summary["count"] == 3
+        assert summary["spearman"] == pytest.approx(1.0)

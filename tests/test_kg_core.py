@@ -1,0 +1,167 @@
+"""Tests for the KG data layer: vocabularies, triple sets and the graph container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kg import KnowledgeGraph, TripleSet, Vocabulary
+
+
+class TestVocabulary:
+    def test_add_and_lookup(self):
+        vocab = Vocabulary()
+        assert vocab.add("alice") == 0
+        assert vocab.add("bob") == 1
+        assert vocab.add("alice") == 0
+        assert vocab.id_of("bob") == 1
+        assert vocab.symbol_of(0) == "alice"
+        assert "alice" in vocab and "carol" not in vocab
+
+    def test_unknown_symbol_raises(self):
+        with pytest.raises(KeyError):
+            Vocabulary().id_of("missing")
+
+    def test_out_of_range_id_raises(self):
+        with pytest.raises(IndexError):
+            Vocabulary(["a"]).symbol_of(5)
+
+    def test_from_ids(self):
+        vocab = Vocabulary.from_ids(3, "e")
+        assert vocab.symbols() == ["e_0", "e_1", "e_2"]
+        assert len(vocab) == 3
+
+    def test_iteration_order_is_insertion_order(self):
+        vocab = Vocabulary(["z", "a", "m"])
+        assert list(vocab) == ["z", "a", "m"]
+
+    def test_to_dict(self):
+        assert Vocabulary(["x", "y"]).to_dict() == {"x": 0, "y": 1}
+
+
+class TestTripleSet:
+    def test_construction_and_columns(self):
+        triples = TripleSet([(0, 1, 2), (3, 0, 1)])
+        assert len(triples) == 2
+        np.testing.assert_array_equal(triples.heads, [0, 3])
+        np.testing.assert_array_equal(triples.relations, [1, 0])
+        np.testing.assert_array_equal(triples.tails, [2, 1])
+
+    def test_empty_set(self):
+        empty = TripleSet.empty()
+        assert len(empty) == 0
+        assert empty.entities().size == 0
+
+    def test_rejects_bad_shapes_and_negative_ids(self):
+        with pytest.raises(ValueError):
+            TripleSet(np.zeros((2, 4), dtype=np.int64))
+        with pytest.raises(ValueError):
+            TripleSet([(-1, 0, 1)])
+
+    def test_array_is_read_only(self):
+        triples = TripleSet([(0, 0, 1)])
+        with pytest.raises(ValueError):
+            triples.array[0, 0] = 5
+
+    def test_contains_and_equality(self):
+        first = TripleSet([(0, 1, 2), (2, 1, 0)])
+        second = TripleSet([(2, 1, 0), (0, 1, 2)])
+        assert (0, 1, 2) in first
+        assert first == second
+
+    def test_for_relation_filters(self):
+        triples = TripleSet([(0, 0, 1), (1, 1, 2), (2, 0, 3)])
+        subset = triples.for_relation(0)
+        assert len(subset) == 2
+        assert set(subset.relations) == {0}
+
+    def test_for_relations_multiple(self):
+        triples = TripleSet([(0, 0, 1), (1, 1, 2), (2, 2, 3)])
+        assert len(triples.for_relations([0, 2])) == 2
+
+    def test_relation_counts(self):
+        triples = TripleSet([(0, 0, 1), (1, 0, 2), (2, 1, 3)])
+        np.testing.assert_array_equal(triples.relation_counts(3), [2, 1, 0])
+
+    def test_concat_unique_difference(self):
+        first = TripleSet([(0, 0, 1)])
+        second = TripleSet([(0, 0, 1), (1, 0, 2)])
+        combined = first.concat(second)
+        assert len(combined) == 3
+        assert len(combined.unique()) == 2
+        assert len(second.difference(first)) == 1
+
+    def test_inverted_swaps_head_and_tail(self):
+        triples = TripleSet([(0, 5, 9)])
+        assert list(triples.inverted()) == [(9, 5, 0)]
+
+    def test_split_fractions(self, rng):
+        triples = TripleSet([(i, 0, i + 1) for i in range(20)])
+        train, valid, test = triples.split([0.8, 0.1, 0.1], rng)
+        assert len(train) + len(valid) + len(test) == 20
+        assert len(train) == 16
+
+    def test_split_rejects_bad_fractions(self, rng):
+        with pytest.raises(ValueError):
+            TripleSet([(0, 0, 1)]).split([0.5, 0.2], rng)
+
+    def test_indexing_returns_tripleset(self):
+        triples = TripleSet([(0, 0, 1), (1, 0, 2)])
+        assert isinstance(triples[0], TripleSet)
+        assert len(triples[:1]) == 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    count=st.integers(min_value=1, max_value=30),
+    seed=st.integers(min_value=0, max_value=1_000),
+)
+def test_property_unique_is_idempotent_and_bounded(count, seed):
+    rng = np.random.default_rng(seed)
+    array = rng.integers(0, 5, size=(count, 3))
+    triples = TripleSet(array)
+    unique_once = triples.unique()
+    assert len(unique_once) <= len(triples)
+    assert unique_once == unique_once.unique()
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1_000))
+def test_property_inverted_twice_is_identity(seed):
+    rng = np.random.default_rng(seed)
+    triples = TripleSet(rng.integers(0, 8, size=(12, 3)))
+    assert triples.inverted().inverted() == triples
+
+
+class TestKnowledgeGraph:
+    def _graph(self):
+        train = TripleSet([(0, 0, 1), (1, 1, 2), (2, 0, 3)])
+        valid = TripleSet([(3, 1, 0)])
+        test = TripleSet([(1, 0, 3)])
+        return KnowledgeGraph("toy", 4, 2, train, valid, test)
+
+    def test_statistics(self):
+        stats = self._graph().statistics()
+        assert stats.num_training == 3
+        assert stats.num_validation == 1
+        assert stats.num_testing == 1
+        assert stats.as_row()["#entity"] == 4
+
+    def test_all_triples_unions_splits(self):
+        assert len(self._graph().all_triples()) == 5
+
+    def test_relation_frequencies(self):
+        np.testing.assert_array_equal(self._graph().relation_frequencies(), [2, 1])
+
+    def test_id_validation(self):
+        with pytest.raises(ValueError):
+            KnowledgeGraph("bad", 2, 2, TripleSet([(0, 0, 5)]), TripleSet.empty(), TripleSet.empty())
+        with pytest.raises(ValueError):
+            KnowledgeGraph("bad", 10, 1, TripleSet([(0, 3, 1)]), TripleSet.empty(), TripleSet.empty())
+
+    def test_subsample_reduces_training(self, rng):
+        graph = self._graph()
+        smaller = graph.subsample(0.5, rng)
+        assert len(smaller.train) < len(graph.train)
+        assert len(smaller.valid) == len(graph.valid)
+        with pytest.raises(ValueError):
+            graph.subsample(0.0, rng)

@@ -1,0 +1,138 @@
+"""Tests for dataset TSV IO, negative sampling, batch iteration and the filter index."""
+
+import numpy as np
+import pytest
+
+from repro.kg import (
+    BatchIterator,
+    FilterIndex,
+    KnowledgeGraph,
+    NegativeSampler,
+    TripleSet,
+    load_tsv_dataset,
+    save_tsv_dataset,
+)
+from repro.kg.sampling import generate_classification_negatives
+
+
+class TestTsvIO:
+    def test_roundtrip(self, tiny_graph, tmp_path):
+        directory = save_tsv_dataset(tiny_graph, tmp_path / "tiny")
+        loaded = load_tsv_dataset(directory)
+        assert loaded.num_entities == tiny_graph.num_entities
+        assert loaded.num_relations == tiny_graph.num_relations
+        assert len(loaded.train) == len(tiny_graph.train)
+        assert len(loaded.test) == len(tiny_graph.test)
+        # The triples themselves must be identical up to the id remapping of the loader.
+        original = {
+            (tiny_graph.entity_vocab.symbol_of(h), tiny_graph.relation_vocab.symbol_of(r),
+             tiny_graph.entity_vocab.symbol_of(t))
+            for h, r, t in tiny_graph.train
+        }
+        reloaded = {
+            (loaded.entity_vocab.symbol_of(h), loaded.relation_vocab.symbol_of(r),
+             loaded.entity_vocab.symbol_of(t))
+            for h, r, t in loaded.train
+        }
+        assert original == reloaded
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_tsv_dataset(tmp_path / "does_not_exist")
+
+    def test_missing_split_file_raises(self, tmp_path):
+        (tmp_path / "train.txt").write_text("a\tr\tb\n")
+        with pytest.raises(FileNotFoundError):
+            load_tsv_dataset(tmp_path)
+
+    def test_malformed_line_raises(self, tmp_path):
+        for name in ("train.txt", "valid.txt", "test.txt"):
+            (tmp_path / name).write_text("a\tr\tb\n")
+        (tmp_path / "train.txt").write_text("a\tr\n")
+        with pytest.raises(ValueError):
+            load_tsv_dataset(tmp_path)
+
+
+class TestBatchIterator:
+    def test_covers_all_triples(self, tiny_graph):
+        iterator = BatchIterator(tiny_graph.train, batch_size=16, seed=0)
+        total = sum(len(batch) for batch in iterator)
+        assert total == len(tiny_graph.train)
+
+    def test_len_matches_iteration(self, tiny_graph):
+        iterator = BatchIterator(tiny_graph.train, batch_size=50, seed=0)
+        assert len(list(iterator)) == len(iterator)
+
+    def test_drop_last(self, tiny_graph):
+        iterator = BatchIterator(tiny_graph.train, batch_size=32, seed=0, drop_last=True)
+        assert all(len(batch) == 32 for batch in iterator)
+
+    def test_invalid_batch_size(self, tiny_graph):
+        with pytest.raises(ValueError):
+            BatchIterator(tiny_graph.train, batch_size=0)
+
+
+class TestFilterIndex:
+    def test_known_lookups(self):
+        triples = TripleSet([(0, 0, 1), (0, 0, 2), (3, 1, 1)])
+        index = FilterIndex([triples])
+        assert index.known_tails(0, 0) == {1, 2}
+        assert index.known_heads(1, 1) == {3}
+        assert index.contains(0, 0, 1)
+        assert not index.contains(9, 9, 9)
+        assert len(index) == 3
+
+    def test_masks_exclude_known_but_keep_target(self):
+        triples = TripleSet([(0, 0, 1), (0, 0, 2)])
+        index = FilterIndex([triples])
+        mask = index.tail_filter_mask(0, 0, true_tail=1, num_entities=4)
+        assert mask[2] and not mask[1] and not mask[3]
+        head_mask = index.head_filter_mask(0, 1, true_head=0, num_entities=4)
+        assert not head_mask[0]
+
+    def test_from_graph_covers_all_splits(self, tiny_graph):
+        index = FilterIndex.from_graph(tiny_graph)
+        assert len(index) == len(tiny_graph.all_triples())
+
+
+class TestNegativeSampler:
+    def test_corrupt_changes_one_slot(self, tiny_graph, rng):
+        sampler = NegativeSampler(tiny_graph.num_entities, seed=0)
+        positives = tiny_graph.train.array[:50]
+        negatives, corrupted_tail = sampler.corrupt(positives)
+        assert negatives.shape == positives.shape
+        for row in range(len(positives)):
+            if corrupted_tail[row]:
+                assert negatives[row, 0] == positives[row, 0]
+            else:
+                assert negatives[row, 2] == positives[row, 2]
+            assert negatives[row, 1] == positives[row, 1]
+
+    def test_negatives_per_positive(self, tiny_graph):
+        sampler = NegativeSampler(tiny_graph.num_entities, negatives_per_positive=3, seed=0)
+        negatives, _ = sampler.corrupt(tiny_graph.train.array[:10])
+        assert len(negatives) == 30
+
+    def test_filtered_sampling_avoids_known_true(self, tiny_graph):
+        index = FilterIndex.from_graph(tiny_graph)
+        sampler = NegativeSampler(tiny_graph.num_entities, filtered=True, filter_index=index, seed=0)
+        negatives, _ = sampler.corrupt(tiny_graph.train.array)
+        known = sum(index.contains(int(h), int(r), int(t)) for h, r, t in negatives)
+        assert known / len(negatives) < 0.1
+
+    def test_filtered_requires_index(self):
+        with pytest.raises(ValueError):
+            NegativeSampler(10, filtered=True)
+
+    def test_corrupt_heads_and_tails_only(self, tiny_graph):
+        sampler = NegativeSampler(tiny_graph.num_entities, seed=0)
+        positives = tiny_graph.train.array[:5]
+        tails_only = sampler.corrupt_tails(positives)
+        np.testing.assert_array_equal(tails_only[:, 0], positives[:, 0])
+        heads_only = sampler.corrupt_heads(positives)
+        np.testing.assert_array_equal(heads_only[:, 2], positives[:, 2])
+
+    def test_classification_negatives_match_positive_count(self, tiny_graph):
+        index = FilterIndex.from_graph(tiny_graph)
+        negatives = generate_classification_negatives(tiny_graph.test, tiny_graph.num_entities, index, seed=0)
+        assert len(negatives) == len(tiny_graph.test)

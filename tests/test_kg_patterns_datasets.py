@@ -1,0 +1,150 @@
+"""Tests for relation-pattern detection and the synthetic benchmark generators."""
+
+import collections
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    BENCHMARK_NAMES,
+    PatternSpec,
+    SyntheticKGConfig,
+    SyntheticKGGenerator,
+    benchmark_config,
+    load_benchmark,
+)
+from repro.kg import RelationPattern, RelationPatternAnalyzer, TripleSet
+from tests.conftest import make_tiny_config
+
+
+class TestPatternAnalyzer:
+    def test_symmetric_relation_detected(self):
+        pairs = [(0, 1), (2, 3), (4, 5)]
+        triples = TripleSet([(a, 0, b) for a, b in pairs] + [(b, 0, a) for a, b in pairs])
+        report = RelationPatternAnalyzer().analyze_triples(triples, 1)[0]
+        assert report.pattern is RelationPattern.SYMMETRIC
+        assert report.symmetry_score == pytest.approx(1.0)
+
+    def test_antisymmetric_relation_detected(self):
+        triples = TripleSet([(i, 0, i + 1) for i in range(10)])
+        report = RelationPatternAnalyzer().analyze_triples(triples, 1)[0]
+        assert report.pattern is RelationPattern.ANTI_SYMMETRIC
+
+    def test_inverse_pair_detected(self):
+        forward = [(i, 0, i + 10) for i in range(8)]
+        backward = [(t, 1, h) for h, _, t in forward]
+        triples = TripleSet(forward + backward)
+        reports = RelationPatternAnalyzer().analyze_triples(triples, 2)
+        assert reports[0].pattern is RelationPattern.INVERSE
+        assert reports[0].inverse_partner == 1
+        assert reports[1].pattern is RelationPattern.INVERSE
+
+    def test_general_asymmetric_detected(self):
+        forward = [(i, 0, i + 10) for i in range(9)]
+        some_reverse = [(forward[i][2], 0, forward[i][0]) for i in range(3)]
+        triples = TripleSet(forward + some_reverse)
+        report = RelationPatternAnalyzer().analyze_triples(triples, 1)[0]
+        assert report.pattern is RelationPattern.GENERAL_ASYMMETRIC
+
+    def test_low_support_defaults_to_general(self):
+        triples = TripleSet([(0, 0, 1)])
+        report = RelationPatternAnalyzer(min_support=5).analyze_triples(triples, 1)[0]
+        assert report.pattern is RelationPattern.GENERAL_ASYMMETRIC
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            RelationPatternAnalyzer(symmetric_threshold=0.2, antisymmetric_threshold=0.5)
+        with pytest.raises(ValueError):
+            RelationPatternAnalyzer(inverse_threshold=0.0)
+
+    def test_unknown_split_raises(self, tiny_graph):
+        with pytest.raises(ValueError):
+            RelationPatternAnalyzer().analyze(tiny_graph, split="bogus")
+
+    def test_pattern_groups_cover_all_relations(self, tiny_graph):
+        groups = RelationPatternAnalyzer().pattern_groups(tiny_graph)
+        covered = sorted(r for ids in groups.values() for r in ids)
+        assert covered == list(range(tiny_graph.num_relations))
+
+
+class TestSyntheticConfig:
+    def test_inverse_count_must_be_even(self):
+        with pytest.raises(ValueError):
+            PatternSpec(RelationPattern.INVERSE, 3)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticKGConfig("x", 5, (PatternSpec(RelationPattern.SYMMETRIC, 1),))
+        with pytest.raises(ValueError):
+            SyntheticKGConfig("x", 50, ())
+
+    def test_scaled_changes_sizes(self):
+        config = make_tiny_config()
+        bigger = config.scaled(2.0)
+        assert bigger.num_entities == config.num_entities * 2
+        assert bigger.num_relations == config.num_relations
+        with pytest.raises(ValueError):
+            config.scaled(0.0)
+
+
+class TestSyntheticGenerator:
+    def test_deterministic_generation(self):
+        config = make_tiny_config()
+        first = SyntheticKGGenerator(config).generate(seed=7)
+        second = SyntheticKGGenerator(config).generate(seed=7)
+        assert first.train == second.train
+        assert first.test == second.test
+
+    def test_different_seeds_differ(self):
+        config = make_tiny_config()
+        first = SyntheticKGGenerator(config).generate(seed=1)
+        second = SyntheticKGGenerator(config).generate(seed=2)
+        assert first.train != second.train
+
+    def test_every_relation_in_training_split(self, tiny_graph):
+        present = set(int(r) for r in tiny_graph.train.relation_ids())
+        assert present == set(range(tiny_graph.num_relations))
+
+    def test_eval_entities_seen_in_training(self, tiny_graph):
+        train_entities = set(int(e) for e in tiny_graph.train.entities())
+        for split in (tiny_graph.valid, tiny_graph.test):
+            for head, _, tail in split:
+                assert head in train_entities and tail in train_entities
+
+    def test_planted_patterns_are_recovered(self, tiny_graph):
+        generator = SyntheticKGGenerator(make_tiny_config())
+        planted = generator.relation_pattern_labels()
+        detected = RelationPatternAnalyzer().analyze(tiny_graph)
+        planted_counts = collections.Counter(p.value for p in planted)
+        detected_counts = collections.Counter(r.pattern.value for r in detected)
+        assert planted_counts == detected_counts
+
+    def test_no_self_loops(self, tiny_graph):
+        triples = tiny_graph.all_triples()
+        assert not np.any(triples.heads == triples.tails)
+
+
+class TestRegistry:
+    def test_all_benchmarks_load(self):
+        for name in BENCHMARK_NAMES:
+            config = benchmark_config(name)
+            assert config.num_relations > 0
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError):
+            benchmark_config("not_a_dataset")
+
+    def test_load_benchmark_is_cached(self):
+        first = load_benchmark("wn18rr_like", scale=0.5, seed=3)
+        second = load_benchmark("wn18rr_like", scale=0.5, seed=3)
+        assert first is second
+
+    def test_wn18rr_like_has_no_inverse_relations(self):
+        graph = load_benchmark("wn18rr_like", scale=0.6, seed=1)
+        summary = RelationPatternAnalyzer().summary(graph)
+        assert summary["inverse"] == 0
+
+    def test_wn18_like_has_inverse_relations(self):
+        graph = load_benchmark("wn18_like", scale=0.6, seed=1)
+        summary = RelationPatternAnalyzer().summary(graph)
+        assert summary["inverse"] > 0

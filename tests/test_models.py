@@ -1,0 +1,149 @@
+"""Tests for the KGE model, trainer and regularisers."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.models import KGEModel, Trainer, TrainerConfig, l2_regularization, n3_regularization
+from repro.scoring import BlockStructure, TransEScorer, named_structure
+
+
+class TestKGEModel:
+    def _model(self, graph, **kwargs):
+        defaults = dict(num_entities=graph.num_entities, num_relations=graph.num_relations,
+                        dim=16, scorers=named_structure("distmult"), seed=0)
+        defaults.update(kwargs)
+        return KGEModel(**defaults)
+
+    def test_score_shapes(self, tiny_graph):
+        model = self._model(tiny_graph)
+        batch = tiny_graph.train.array[:7]
+        assert model.score_triples(batch).shape == (7,)
+        assert model.score_all_tails(batch).shape == (7, tiny_graph.num_entities)
+        assert model.score_all_heads(batch).shape == (7, tiny_graph.num_entities)
+
+    def test_score_all_consistent_with_score(self, tiny_graph):
+        model = self._model(tiny_graph)
+        batch = tiny_graph.train.array[:9]
+        direct = model.score_triples(batch).data
+        tails = model.score_all_tails(batch).data[np.arange(9), batch[:, 2]]
+        heads = model.score_all_heads(batch).data[np.arange(9), batch[:, 0]]
+        np.testing.assert_allclose(direct, tails, atol=1e-10)
+        np.testing.assert_allclose(direct, heads, atol=1e-10)
+
+    def test_relation_aware_dispatch_matches_manual(self, tiny_graph, rng):
+        """With two groups, each triple must be scored by the structure of its group."""
+        structures = [named_structure("distmult"), named_structure("complex")]
+        assignment = rng.integers(0, 2, size=tiny_graph.num_relations)
+        model = self._model(tiny_graph, scorers=structures, assignment=assignment)
+        batch = tiny_graph.train.array[:20]
+        scores = model.score_triples(batch).data
+        for group in (0, 1):
+            single = self._model(tiny_graph, scorers=structures[group])
+            single.entities.weight.data = model.entities.weight.data.copy()
+            single.relations.weight.data = model.relations.weight.data.copy()
+            rows = np.where(assignment[batch[:, 1]] == group)[0]
+            if rows.size:
+                np.testing.assert_allclose(scores[rows], single.score_triples(batch[rows]).data, atol=1e-10)
+
+    def test_relation_aware_score_all_consistency(self, tiny_graph, rng):
+        structures = [named_structure("distmult"), named_structure("simple")]
+        assignment = rng.integers(0, 2, size=tiny_graph.num_relations)
+        model = self._model(tiny_graph, scorers=structures, assignment=assignment)
+        batch = tiny_graph.train.array[:15]
+        direct = model.score_triples(batch).data
+        tails = model.score_all_tails(batch).data[np.arange(15), batch[:, 2]]
+        np.testing.assert_allclose(direct, tails, atol=1e-10)
+
+    def test_assignment_validation(self, tiny_graph):
+        with pytest.raises(ValueError):
+            self._model(tiny_graph, assignment=np.zeros(3, dtype=np.int64))
+        with pytest.raises(ValueError):
+            self._model(
+                tiny_graph,
+                scorers=[named_structure("distmult")],
+                assignment=np.full(tiny_graph.num_relations, 2, dtype=np.int64),
+            )
+
+    def test_set_scorers_keeps_embeddings(self, tiny_graph):
+        model = self._model(tiny_graph)
+        before = model.entities.weight.data.copy()
+        model.set_scorers([named_structure("complex")])
+        np.testing.assert_allclose(model.entities.weight.data, before)
+        assert model.num_groups == 1
+
+    def test_set_scorers_requires_assignment_on_group_change(self, tiny_graph):
+        model = self._model(tiny_graph)
+        with pytest.raises(ValueError):
+            model.set_scorers([named_structure("distmult"), named_structure("complex")])
+
+    def test_accepts_translational_scorer(self, tiny_graph):
+        model = self._model(tiny_graph, scorers=TransEScorer())
+        batch = tiny_graph.train.array[:4]
+        assert model.score_triples(batch).shape == (4,)
+
+    def test_multiclass_loss_positive_and_differentiable(self, tiny_graph):
+        model = self._model(tiny_graph)
+        loss = model.multiclass_loss(tiny_graph.train.array[:16])
+        assert loss.item() > 0
+        loss.backward()
+        assert model.entities.weight.grad is not None
+        assert model.relations.weight.grad is not None
+
+    def test_invalid_scorer_type(self, tiny_graph):
+        with pytest.raises(TypeError):
+            self._model(tiny_graph, scorers=42)
+
+
+class TestRegularizers:
+    def test_l2_value(self):
+        value = l2_regularization([Tensor([[3.0, 4.0]])], weight=0.1)
+        assert value.item() == pytest.approx(2.5)
+
+    def test_n3_value(self):
+        value = n3_regularization([Tensor([[2.0, -2.0]])], weight=1.0)
+        assert value.item() == pytest.approx(16.0)
+
+    def test_empty_inputs_raise(self):
+        with pytest.raises(ValueError):
+            l2_regularization([], 0.1)
+        with pytest.raises(ValueError):
+            n3_regularization([], 0.1)
+
+
+class TestTrainer:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TrainerConfig(epochs=0)
+        with pytest.raises(ValueError):
+            TrainerConfig(optimizer="rmsprop")
+        with pytest.raises(ValueError):
+            TrainerConfig(lr_decay=0.0)
+
+    def test_training_reduces_loss_and_tracks_history(self, tiny_graph):
+        model = KGEModel(tiny_graph.num_entities, tiny_graph.num_relations, dim=16,
+                         scorers=named_structure("distmult"), seed=0)
+        config = TrainerConfig(epochs=10, batch_size=64, learning_rate=0.5, valid_every=5, patience=3, seed=0)
+        result = Trainer(config).fit(model, tiny_graph)
+        assert len(result.loss_history) == result.epochs_run
+        assert result.loss_history[-1] < result.loss_history[0]
+        assert result.best_valid_mrr > 0
+        assert result.best_state is not None
+
+    def test_training_improves_over_untrained(self, tiny_graph, trained_tiny_model):
+        from repro.eval import RankingEvaluator
+
+        untrained = KGEModel(tiny_graph.num_entities, tiny_graph.num_relations, dim=16,
+                             scorers=named_structure("distmult"), seed=3)
+        evaluator = RankingEvaluator(tiny_graph)
+        trained_mrr = evaluator.evaluate(trained_tiny_model, split="test").mrr
+        untrained_mrr = evaluator.evaluate(untrained, split="test").mrr
+        assert trained_mrr > untrained_mrr
+
+    def test_lr_decay_and_sgd_optimizer(self, tiny_graph):
+        model = KGEModel(tiny_graph.num_entities, tiny_graph.num_relations, dim=8,
+                         scorers=named_structure("distmult"), seed=0)
+        config = TrainerConfig(epochs=3, batch_size=64, learning_rate=0.1, optimizer="sgd",
+                               lr_decay=0.9, valid_every=2, seed=0)
+        result = Trainer(config).fit(model, tiny_graph)
+        assert result.epochs_run == 3

@@ -1,0 +1,94 @@
+"""Tests for Embedding and Linear layers plus initialisers."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.nn import Embedding, Linear, init
+
+
+class TestEmbedding:
+    def test_lookup_shape_and_values(self):
+        embedding = Embedding(10, 4, seed=0)
+        out = embedding(np.array([1, 3, 1]))
+        assert out.shape == (3, 4)
+        np.testing.assert_allclose(out.data[0], out.data[2])
+
+    def test_out_of_range_raises(self):
+        embedding = Embedding(5, 4, seed=0)
+        with pytest.raises(IndexError):
+            embedding(np.array([5]))
+        with pytest.raises(IndexError):
+            embedding(np.array([-1]))
+
+    def test_gradient_only_touches_looked_up_rows(self):
+        embedding = Embedding(6, 3, seed=0)
+        out = embedding(np.array([2, 4]))
+        out.sum().backward()
+        grad = embedding.weight.grad
+        assert np.allclose(grad[[0, 1, 3, 5]], 0.0)
+        assert np.allclose(grad[[2, 4]], 1.0)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            Embedding(0, 4)
+        with pytest.raises(ValueError):
+            Embedding(4, 0)
+
+    def test_all_returns_full_table(self):
+        embedding = Embedding(7, 2, seed=0)
+        assert embedding.all().shape == (7, 2)
+
+    def test_deterministic_seeding(self):
+        first = Embedding(5, 3, seed=42)
+        second = Embedding(5, 3, seed=42)
+        np.testing.assert_allclose(first.weight.data, second.weight.data)
+
+
+class TestLinear:
+    def test_forward_matches_numpy(self):
+        layer = Linear(3, 2, seed=0)
+        x = np.random.default_rng(0).normal(size=(5, 3))
+        expected = x @ layer.weight.data + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected)
+
+    def test_no_bias(self):
+        layer = Linear(3, 2, bias=False, seed=0)
+        assert len(layer.parameters()) == 1
+
+    def test_gradients_flow_to_weight_and_bias(self):
+        layer = Linear(3, 2, seed=0)
+        out = layer(Tensor(np.ones((4, 3))))
+        out.sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+        np.testing.assert_allclose(layer.bias.grad, [4.0, 4.0])
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            Linear(0, 2)
+
+
+class TestInitialisers:
+    def test_uniform_range(self):
+        values = init.uniform((1000,), -0.2, 0.2, seed=0)
+        assert values.min() >= -0.2 and values.max() < 0.2
+
+    def test_normal_statistics(self):
+        values = init.normal((5000,), mean=1.0, std=0.5, seed=0)
+        assert abs(values.mean() - 1.0) < 0.05
+        assert abs(values.std() - 0.5) < 0.05
+
+    def test_xavier_limits(self):
+        values = init.xavier_uniform((100, 100), seed=0)
+        limit = np.sqrt(6.0 / 200)
+        assert np.abs(values).max() <= limit
+
+    def test_xavier_requires_2d(self):
+        with pytest.raises(ValueError):
+            init.xavier_uniform((10,))
+        with pytest.raises(ValueError):
+            init.xavier_normal((10,))
+
+    def test_zeros(self):
+        np.testing.assert_allclose(init.zeros((3, 2)), 0.0)

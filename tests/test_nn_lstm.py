@@ -1,0 +1,74 @@
+"""Tests for the LSTM cell and unrolled LSTM."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.nn import LSTM, LSTMCell
+
+
+class TestLSTMCell:
+    def test_output_shapes(self):
+        cell = LSTMCell(5, 8, seed=0)
+        hidden, cell_state = cell(Tensor(np.zeros((3, 5))))
+        assert hidden.shape == (3, 8)
+        assert cell_state.shape == (3, 8)
+
+    def test_initial_state_is_zero(self):
+        cell = LSTMCell(4, 6, seed=0)
+        hidden, cell_state = cell.initial_state(2)
+        np.testing.assert_allclose(hidden.data, 0.0)
+        np.testing.assert_allclose(cell_state.data, 0.0)
+
+    def test_state_changes_with_input(self, rng):
+        cell = LSTMCell(4, 6, seed=0)
+        h1, _ = cell(Tensor(rng.normal(size=(1, 4))))
+        h2, _ = cell(Tensor(rng.normal(size=(1, 4))))
+        assert not np.allclose(h1.data, h2.data)
+
+    def test_rejects_wrong_rank(self):
+        cell = LSTMCell(4, 6, seed=0)
+        with pytest.raises(ValueError):
+            cell(Tensor(np.zeros(4)))
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            LSTMCell(0, 4)
+
+    def test_gradients_reach_all_parameters(self, rng):
+        cell = LSTMCell(3, 5, seed=0)
+        hidden, _ = cell(Tensor(rng.normal(size=(2, 3)), requires_grad=True))
+        (hidden * hidden).sum().backward()
+        assert all(p.grad is not None for p in cell.parameters())
+
+    def test_hidden_values_bounded_by_tanh(self, rng):
+        cell = LSTMCell(3, 5, seed=0)
+        hidden, _ = cell(Tensor(rng.normal(size=(10, 3)) * 10))
+        assert np.abs(hidden.data).max() <= 1.0
+
+
+class TestLSTM:
+    def test_sequence_output_shape(self, rng):
+        lstm = LSTM(4, 6, seed=0)
+        outputs, (hidden, cell_state) = lstm(Tensor(rng.normal(size=(2, 5, 4))))
+        assert outputs.shape == (2, 5, 6)
+        assert hidden.shape == (2, 6)
+        assert cell_state.shape == (2, 6)
+
+    def test_last_output_equals_final_hidden(self, rng):
+        lstm = LSTM(4, 6, seed=0)
+        outputs, (hidden, _) = lstm(Tensor(rng.normal(size=(1, 3, 4))))
+        np.testing.assert_allclose(outputs.data[:, -1, :], hidden.data)
+
+    def test_rejects_wrong_rank(self):
+        lstm = LSTM(4, 6, seed=0)
+        with pytest.raises(ValueError):
+            lstm(Tensor(np.zeros((2, 4))))
+
+    def test_gradients_flow_through_time(self, rng):
+        lstm = LSTM(3, 4, seed=0)
+        sequence = Tensor(rng.normal(size=(1, 6, 3)), requires_grad=True)
+        outputs, _ = lstm(sequence)
+        outputs.sum().backward()
+        assert sequence.grad is not None
+        assert not np.allclose(sequence.grad[:, 0, :], 0.0)

@@ -1,0 +1,87 @@
+"""Tests for the Module / Parameter base classes."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.nn import Embedding, Linear, Module, Parameter
+
+
+class TwoLayer(Module):
+    def __init__(self):
+        super().__init__()
+        self.first = Linear(4, 8, seed=0)
+        self.second = Linear(8, 2, seed=1)
+
+    def forward(self, x):
+        return self.second(self.first(x).tanh())
+
+
+class TestRegistration:
+    def test_parameters_discovered_recursively(self):
+        model = TwoLayer()
+        names = dict(model.named_parameters())
+        assert set(names) == {"first.weight", "first.bias", "second.weight", "second.bias"}
+        assert len(model.parameters()) == 4
+
+    def test_register_parameter_explicitly(self):
+        module = Module()
+        module.register_parameter("scale", Parameter(np.ones(3)))
+        assert "scale" in dict(module.named_parameters())
+
+    def test_named_modules(self):
+        model = TwoLayer()
+        names = [name for name, _ in model.named_modules()]
+        assert "" in names and "first" in names and "second" in names
+
+
+class TestTrainingState:
+    def test_zero_grad_clears_all(self):
+        model = TwoLayer()
+        out = model(Tensor(np.random.default_rng(0).normal(size=(3, 4))))
+        out.sum().backward()
+        assert any(p.grad is not None for p in model.parameters())
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+    def test_train_eval_mode_recursive(self):
+        model = TwoLayer()
+        model.eval()
+        assert not model.training and not model.first.training
+        model.train()
+        assert model.training and model.second.training
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        fresh = TwoLayer()
+        fresh.load_state_dict(state)
+        for (name_a, param_a), (name_b, param_b) in zip(model.named_parameters(), fresh.named_parameters()):
+            assert name_a == name_b
+            np.testing.assert_allclose(param_a.data, param_b.data)
+
+    def test_state_dict_is_a_copy(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        state["first.weight"][:] = 0.0
+        assert not np.allclose(model.first.weight.data, 0.0)
+
+    def test_missing_key_raises(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        del state["first.weight"]
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        state["first.weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_forward_not_implemented_on_base(self):
+        with pytest.raises(NotImplementedError):
+            Module()(None)

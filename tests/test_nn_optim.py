@@ -1,0 +1,95 @@
+"""Tests for the optimisers and loss modules."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.nn import SGD, Adagrad, Adam, BCEWithLogitsLoss, MarginRankingLoss, MulticlassLogLoss
+from repro.nn.module import Parameter
+
+
+def _minimise_quadratic(optimizer_factory, steps=200):
+    """Minimise ||x - target||^2 and return the final parameter value."""
+    target = np.array([1.0, -2.0, 3.0])
+    parameter = Parameter(np.zeros(3))
+    optimizer = optimizer_factory([parameter])
+    for _ in range(steps):
+        optimizer.zero_grad()
+        loss = ((parameter - Tensor(target)) ** 2).sum()
+        loss.backward()
+        optimizer.step()
+    return parameter.data, target
+
+
+class TestConvergence:
+    def test_sgd_converges(self):
+        value, target = _minimise_quadratic(lambda p: SGD(p, lr=0.1))
+        np.testing.assert_allclose(value, target, atol=1e-3)
+
+    def test_sgd_momentum_converges(self):
+        value, target = _minimise_quadratic(lambda p: SGD(p, lr=0.05, momentum=0.9))
+        np.testing.assert_allclose(value, target, atol=1e-3)
+
+    def test_adagrad_converges(self):
+        value, target = _minimise_quadratic(lambda p: Adagrad(p, lr=1.0), steps=400)
+        np.testing.assert_allclose(value, target, atol=1e-2)
+
+    def test_adam_converges(self):
+        value, target = _minimise_quadratic(lambda p: Adam(p, lr=0.1), steps=400)
+        np.testing.assert_allclose(value, target, atol=1e-2)
+
+    def test_weight_decay_shrinks_solution(self):
+        no_decay, target = _minimise_quadratic(lambda p: SGD(p, lr=0.1, weight_decay=0.0))
+        with_decay, _ = _minimise_quadratic(lambda p: SGD(p, lr=0.1, weight_decay=1.0))
+        assert np.linalg.norm(with_decay) < np.linalg.norm(no_decay)
+
+
+class TestValidation:
+    def test_empty_parameter_list_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_invalid_learning_rate(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], lr=0.0)
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.1, momentum=1.5)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], betas=(1.0, 0.9))
+
+    def test_decay_lr(self):
+        optimizer = SGD([Parameter(np.zeros(1))], lr=1.0)
+        optimizer.decay_lr(0.5)
+        assert optimizer.lr == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            optimizer.decay_lr(0.0)
+
+    def test_step_with_no_gradient_is_noop_for_sgd(self):
+        parameter = Parameter(np.array([1.0]))
+        optimizer = SGD([parameter], lr=0.5)
+        optimizer.step()
+        np.testing.assert_allclose(parameter.data, [1.0])
+
+
+class TestLossModules:
+    def test_multiclass_log_loss(self, rng):
+        logits = Tensor(rng.normal(size=(4, 6)))
+        loss = MulticlassLogLoss()(logits, np.array([0, 1, 2, 3]))
+        assert loss.item() > 0
+
+    def test_bce_module(self, rng):
+        logits = Tensor(rng.normal(size=(5,)))
+        loss = BCEWithLogitsLoss()(logits, np.ones(5))
+        assert loss.item() > 0
+
+    def test_margin_module_validation(self):
+        with pytest.raises(ValueError):
+            MarginRankingLoss(margin=-1.0)
+
+    def test_margin_module_value(self):
+        loss = MarginRankingLoss(margin=2.0)(Tensor([3.0]), Tensor([2.0]))
+        assert loss.item() == pytest.approx(1.0)

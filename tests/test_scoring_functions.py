@@ -1,0 +1,193 @@
+"""Tests for bilinear block scoring, classic structures, translational baselines and
+expressiveness analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.autodiff import Tensor
+from repro.scoring import (
+    CLASSIC_STRUCTURES,
+    BlockScoringFunction,
+    BlockStructure,
+    RotatEScorer,
+    TransEScorer,
+    analogy_structure,
+    analyze_structure,
+    complex_structure,
+    distmult_structure,
+    named_structure,
+    render_relation_aware,
+    render_structure,
+    simple_structure,
+)
+from repro.scoring.expressiveness import expressiveness_table
+from repro.scoring.render import render_matrix
+
+
+def _embeddings(rng, count, dim):
+    return Tensor(rng.normal(size=(count, dim)))
+
+
+class TestBlockScoringFunction:
+    @pytest.mark.parametrize("name", list(CLASSIC_STRUCTURES))
+    def test_score_consistent_with_score_all(self, rng, name):
+        scorer = BlockScoringFunction(named_structure(name))
+        entities = _embeddings(rng, 12, 8)
+        heads = Tensor(entities.data[[0, 1, 2]])
+        tails_idx = [5, 6, 7]
+        tails = Tensor(entities.data[tails_idx])
+        relations = _embeddings(rng, 3, 8)
+        direct = scorer.score(heads, relations, tails).data
+        via_tails = scorer.score_all_tails(heads, relations, entities).data[np.arange(3), tails_idx]
+        via_heads = scorer.score_all_heads(tails, relations, entities).data[np.arange(3), [0, 1, 2]]
+        np.testing.assert_allclose(direct, via_tails, atol=1e-10)
+        np.testing.assert_allclose(direct, via_heads, atol=1e-10)
+
+    def test_distmult_is_symmetric_in_head_and_tail(self, rng):
+        scorer = BlockScoringFunction(distmult_structure())
+        head = _embeddings(rng, 5, 8)
+        relation = _embeddings(rng, 5, 8)
+        tail = _embeddings(rng, 5, 8)
+        forward = scorer.score(head, relation, tail).data
+        backward = scorer.score(tail, relation, head).data
+        np.testing.assert_allclose(forward, backward, atol=1e-10)
+
+    def test_complex_is_not_symmetric(self, rng):
+        scorer = BlockScoringFunction(complex_structure())
+        head = _embeddings(rng, 5, 8)
+        relation = _embeddings(rng, 5, 8)
+        tail = _embeddings(rng, 5, 8)
+        assert not np.allclose(scorer.score(head, relation, tail).data, scorer.score(tail, relation, head).data)
+
+    def test_dimension_must_divide(self, rng):
+        scorer = BlockScoringFunction(distmult_structure())
+        with pytest.raises(ValueError):
+            scorer.score(_embeddings(rng, 2, 6), _embeddings(rng, 2, 6), _embeddings(rng, 2, 6))
+
+    def test_zero_structure_scores_zero(self, rng):
+        scorer = BlockScoringFunction(BlockStructure.zeros(4))
+        scores = scorer.score(_embeddings(rng, 3, 8), _embeddings(rng, 3, 8), _embeddings(rng, 3, 8))
+        np.testing.assert_allclose(scores.data, 0.0)
+
+    def test_gradients_flow_to_embeddings(self, rng):
+        scorer = BlockScoringFunction(complex_structure())
+        head = Tensor(rng.normal(size=(3, 8)), requires_grad=True)
+        relation = Tensor(rng.normal(size=(3, 8)), requires_grad=True)
+        tail = Tensor(rng.normal(size=(3, 8)), requires_grad=True)
+        scorer.score(head, relation, tail).sum().backward()
+        assert head.grad is not None and relation.grad is not None and tail.grad is not None
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_property_score_is_linear_in_relation(self, seed):
+        """Bilinear structures are linear in the relation embedding: f(h, 2r, t) = 2 f(h, r, t)."""
+        rng = np.random.default_rng(seed)
+        scorer = BlockScoringFunction(simple_structure())
+        head = Tensor(rng.normal(size=(2, 8)))
+        relation = Tensor(rng.normal(size=(2, 8)))
+        tail = Tensor(rng.normal(size=(2, 8)))
+        single = scorer.score(head, relation, tail).data
+        doubled = scorer.score(head, relation * 2.0, tail).data
+        np.testing.assert_allclose(doubled, 2.0 * single, atol=1e-10)
+
+
+class TestTranslationalScorers:
+    @pytest.mark.parametrize("scorer", [TransEScorer(norm=1), TransEScorer(norm=2), RotatEScorer()])
+    def test_consistency_with_score_all(self, rng, scorer):
+        entities = _embeddings(rng, 10, 8)
+        heads = Tensor(entities.data[[1, 2]])
+        tails_idx = [3, 4]
+        tails = Tensor(entities.data[tails_idx])
+        relations = _embeddings(rng, 2, 8)
+        direct = scorer.score(heads, relations, tails).data
+        via_tails = scorer.score_all_tails(heads, relations, entities).data[np.arange(2), tails_idx]
+        via_heads = scorer.score_all_heads(tails, relations, entities).data[np.arange(2), [1, 2]]
+        np.testing.assert_allclose(direct, via_tails, atol=1e-8)
+        np.testing.assert_allclose(direct, via_heads, atol=1e-8)
+
+    def test_transe_perfect_translation_scores_highest(self):
+        head = Tensor([[1.0, 2.0, 0.0, 1.0]])
+        relation = Tensor([[0.5, -1.0, 1.0, 0.0]])
+        perfect_tail = Tensor([[1.5, 1.0, 1.0, 1.0]])
+        other_tail = Tensor([[0.0, 0.0, 0.0, 0.0]])
+        scorer = TransEScorer()
+        assert scorer.score(head, relation, perfect_tail).item() == pytest.approx(0.0)
+        assert scorer.score(head, relation, other_tail).item() < 0.0
+
+    def test_transe_invalid_norm(self):
+        with pytest.raises(ValueError):
+            TransEScorer(norm=3)
+
+    def test_rotate_requires_even_dimension(self, rng):
+        with pytest.raises(ValueError):
+            RotatEScorer().score(_embeddings(rng, 1, 5), _embeddings(rng, 1, 5), _embeddings(rng, 1, 5))
+
+    def test_rotate_preserves_norm_equivalence(self, rng):
+        """A zero-phase relation makes RotatE score equal the negative distance between h and t."""
+        head = _embeddings(rng, 3, 8)
+        tail = _embeddings(rng, 3, 8)
+        zero_phase = Tensor(np.zeros((3, 8)))
+        scores = RotatEScorer().score(head, zero_phase, tail).data
+        half = 4
+        diff_re = head.data[:, :half] - tail.data[:, :half]
+        diff_im = head.data[:, half:] - tail.data[:, half:]
+        expected = -np.sqrt(diff_re**2 + diff_im**2 + 1e-12).sum(axis=1)
+        np.testing.assert_allclose(scores, expected, atol=1e-8)
+
+
+class TestExpressiveness:
+    def test_table1_shapes(self):
+        """DistMult covers only symmetry; ComplEx / SimplE / Analogy are fully expressive."""
+        reports = dict(expressiveness_table(CLASSIC_STRUCTURES))
+        assert reports["distmult"].handles_symmetric
+        assert not reports["distmult"].handles_anti_symmetric
+        assert not reports["distmult"].fully_expressive
+        for name in ("complex", "simple", "analogy"):
+            assert reports[name].fully_expressive, name
+
+    def test_zero_structure_handles_nothing(self):
+        report = analyze_structure(BlockStructure.zeros(4))
+        assert not any(
+            [report.handles_symmetric, report.handles_anti_symmetric,
+             report.handles_general_asymmetric, report.handles_inversion]
+        )
+
+    def test_skew_structure_is_antisymmetric_only(self):
+        structure = BlockStructure([[0, 1], [-1, 0]])
+        report = analyze_structure(structure)
+        assert report.handles_anti_symmetric
+        assert report.handles_symmetric is False
+
+    def test_as_row_contains_all_columns(self):
+        row = analyze_structure(distmult_structure()).as_row()
+        assert set(row) == {"symmetric", "anti_symmetric", "general_asymmetric", "inversion", "fully_expressive"}
+
+
+class TestRendering:
+    def test_render_structure_lists_items(self):
+        text = render_structure(distmult_structure())
+        assert text.startswith("f(h,r,t) =")
+        assert "<h1,r1,t1>" in text and "<h4,r4,t4>" in text
+
+    def test_render_zero_structure(self):
+        assert render_structure(BlockStructure.zeros(2)) == "f(h,r,t) = 0"
+
+    def test_render_matrix_marks_empty_cells(self):
+        text = render_matrix(BlockStructure([[1, 0], [0, -2]]))
+        assert "+r1" in text and "-r2" in text and "." in text
+
+    def test_render_relation_aware_mentions_groups_and_relations(self):
+        text = render_relation_aware(
+            [distmult_structure(), complex_structure()],
+            group_relations={0: ["similar_to"], 1: ["hypernym"]},
+        )
+        assert "group 1" in text and "group 2" in text
+        assert "similar_to" in text and "hypernym" in text
+
+    def test_named_structure_unknown(self):
+        with pytest.raises(KeyError):
+            named_structure("unknown_sf")
+
+    def test_analogy_structure_uses_all_blocks(self):
+        assert analogy_structure().uses_all_relation_blocks()

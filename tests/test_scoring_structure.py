@@ -1,0 +1,130 @@
+"""Tests for the block-structure representation and the operation set."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.scoring import BlockStructure, OperationSet
+from repro.scoring.structure import structures_equal
+
+
+class TestOperationSet:
+    def test_size(self):
+        assert OperationSet(4).size == 9
+        assert OperationSet(3).size == 7
+
+    def test_token_value_roundtrip_explicit(self):
+        ops = OperationSet(4)
+        assert ops.token_to_value(0) == 0
+        assert ops.token_to_value(1) == 1
+        assert ops.token_to_value(4) == 4
+        assert ops.token_to_value(5) == -1
+        assert ops.token_to_value(8) == -4
+        assert ops.value_to_token(-3) == 7
+
+    def test_out_of_range(self):
+        ops = OperationSet(3)
+        with pytest.raises(ValueError):
+            ops.token_to_value(7)
+        with pytest.raises(ValueError):
+            ops.value_to_token(4)
+
+    def test_describe(self):
+        ops = OperationSet(2)
+        assert ops.all_descriptions() == ["0", "+r1", "+r2", "-r1", "-r2"]
+
+    def test_invalid_num_blocks(self):
+        with pytest.raises(ValueError):
+            OperationSet(0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(num_blocks=st.integers(min_value=1, max_value=6), token=st.integers(min_value=0, max_value=12))
+    def test_property_roundtrip(self, num_blocks, token):
+        ops = OperationSet(num_blocks)
+        if token >= ops.size:
+            return
+        assert ops.value_to_token(ops.token_to_value(token)) == token
+
+
+class TestBlockStructure:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockStructure(np.zeros((2, 3), dtype=np.int64))
+        with pytest.raises(ValueError):
+            BlockStructure([[5, 0], [0, 0]])
+
+    def test_diagonal_is_distmult_like(self):
+        structure = BlockStructure.diagonal(4)
+        assert structure.nonzero_count() == 4
+        assert structure.uses_all_relation_blocks()
+        assert structure.nonzero_items() == [(0, 0, 1), (1, 1, 2), (2, 2, 3), (3, 3, 4)]
+
+    def test_token_roundtrip(self):
+        structure = BlockStructure([[1, -2], [0, 2]])
+        tokens = structure.to_tokens()
+        assert BlockStructure.from_tokens(tokens, 2) == structure
+
+    def test_from_tokens_validates_length(self):
+        with pytest.raises(ValueError):
+            BlockStructure.from_tokens([0, 1, 2], 2)
+
+    def test_transposed_and_negated(self):
+        structure = BlockStructure([[1, -2], [0, 2]])
+        assert structure.transposed().entries[1, 0] == -2
+        assert structure.negated().entries[0, 0] == -1
+
+    def test_with_item_and_free_positions(self):
+        structure = BlockStructure.zeros(2)
+        assert len(structure.free_positions()) == 4
+        updated = structure.with_item(0, 1, -2)
+        assert updated.entries[0, 1] == -2
+        assert len(updated.free_positions()) == 3
+        with pytest.raises(IndexError):
+            structure.with_item(5, 0, 1)
+        with pytest.raises(ValueError):
+            structure.with_item(0, 0, 9)
+
+    def test_equality_and_hash(self):
+        first = BlockStructure.diagonal(3)
+        second = BlockStructure.diagonal(3)
+        assert first == second
+        assert hash(first) == hash(second)
+        assert first != BlockStructure.zeros(3)
+        assert structures_equal([first], [second])
+        assert not structures_equal([first], [first, second])
+
+    def test_entries_read_only(self):
+        structure = BlockStructure.diagonal(2)
+        with pytest.raises(ValueError):
+            structure.entries[0, 0] = 0
+
+    def test_used_relation_blocks(self):
+        structure = BlockStructure([[1, 0], [0, -1]])
+        assert structure.used_relation_blocks() == {1}
+        assert not structure.uses_all_relation_blocks()
+
+    def test_random_respects_exploitative_constraint(self, rng):
+        for _ in range(10):
+            structure = BlockStructure.random(4, rng)
+            assert structure.uses_all_relation_blocks()
+
+    def test_random_without_constraint(self, rng):
+        structure = BlockStructure.random(3, rng, nonzero_fraction=0.2, require_all_blocks=False)
+        assert structure.nonzero_count() >= 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        num_blocks=st.integers(min_value=2, max_value=5),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_property_token_roundtrip_random(self, num_blocks, seed):
+        rng = np.random.default_rng(seed)
+        structure = BlockStructure.random(num_blocks, rng, require_all_blocks=False)
+        assert BlockStructure.from_tokens(structure.to_tokens(), num_blocks) == structure
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_property_transpose_is_involution(self, seed):
+        rng = np.random.default_rng(seed)
+        structure = BlockStructure.random(4, rng, require_all_blocks=False)
+        assert structure.transposed().transposed() == structure

@@ -1,0 +1,197 @@
+"""Integration tests for the searchers: ERAS, AutoSF, random, Bayes and the variants.
+
+These run on the tiny fixture graph with minimal budgets; they check that every searcher
+produces a well-formed :class:`SearchResult` and that the paper's qualitative properties
+(relation-aware space larger, one-shot search cheaper per evaluation, variants wired
+correctly) hold.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.models.trainer import TrainerConfig
+from repro.search import (
+    AutoSFConfig,
+    AutoSFSearcher,
+    BayesSearchConfig,
+    BayesSearcher,
+    ControllerConfig,
+    ERASConfig,
+    ERASSearcher,
+    RandomSearchConfig,
+    RandomSearcher,
+    SupernetConfig,
+    variants,
+)
+from repro.search.variants import ERASDifferentiableSearcher, pretrained_assignment, semantic_assignment
+
+
+def _tiny_eras_config(num_groups=2, **overrides):
+    config = ERASConfig(
+        num_blocks=4,
+        num_groups=num_groups,
+        num_samples=2,
+        epochs=2,
+        derive_samples=4,
+        supernet=SupernetConfig(dim=16, batch_size=64, valid_batch_size=32, seed=0),
+        controller=ControllerConfig(hidden_size=16, token_embedding_dim=8, seed=0),
+        seed=0,
+    )
+    return dataclasses.replace(config, **overrides)
+
+
+def _tiny_trainer():
+    return TrainerConfig(epochs=3, batch_size=64, valid_every=3, patience=1, seed=0)
+
+
+def _check_result(result, graph, expected_groups):
+    assert result.best_candidate.num_groups == expected_groups
+    assert result.best_assignment.shape == (graph.num_relations,)
+    assert result.best_assignment.max() < expected_groups
+    assert result.search_seconds > 0
+    assert result.evaluations > 0
+    assert len(result.trace) > 0
+    assert all(point.elapsed_seconds >= 0 for point in result.trace)
+
+
+class TestERASSearcher:
+    def test_search_produces_valid_result(self, tiny_graph):
+        result = ERASSearcher(_tiny_eras_config()).search(tiny_graph)
+        _check_result(result, tiny_graph, expected_groups=2)
+        assert 0.0 <= result.best_valid_mrr <= 1.0
+        assert "top_candidates" in result.extras
+        assert len(result.extras["top_candidates"]) >= 1
+
+    def test_structures_satisfy_exploitative_constraint(self, tiny_graph):
+        result = ERASSearcher(_tiny_eras_config()).search(tiny_graph)
+        for structure in result.best_structures():
+            assert structure.uses_all_relation_blocks()
+
+    def test_single_group_assignment_all_zero(self, tiny_graph):
+        result = ERASSearcher(_tiny_eras_config(num_groups=1)).search(tiny_graph)
+        assert set(result.best_assignment) == {0}
+
+    def test_initial_assignment_fn_respected_when_fixed(self, tiny_graph):
+        fixed = np.arange(tiny_graph.num_relations) % 2
+
+        def assignment_fn(graph):
+            return fixed
+
+        config = _tiny_eras_config(update_assignment=False)
+        result = ERASSearcher(config, initial_assignment_fn=assignment_fn).search(tiny_graph)
+        np.testing.assert_array_equal(result.best_assignment, fixed)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ERASConfig(num_blocks=1)
+        with pytest.raises(ValueError):
+            ERASConfig(num_groups=0)
+        with pytest.raises(ValueError):
+            ERASConfig(reward_metric="accuracy")
+        with pytest.raises(ValueError):
+            ERASConfig(controller_steps=0)
+
+    def test_trace_is_time_monotonic(self, tiny_graph):
+        result = ERASSearcher(_tiny_eras_config()).search(tiny_graph)
+        times = [point.elapsed_seconds for point in result.trace]
+        assert times == sorted(times)
+
+
+class TestAutoSFSearcher:
+    def test_search_produces_valid_result(self, tiny_graph):
+        config = AutoSFConfig(max_budget=5, num_parents=2, num_sampled_children=4, top_k=2,
+                              embedding_dim=16, trainer=_tiny_trainer(), seed=0)
+        result = AutoSFSearcher(config).search(tiny_graph)
+        _check_result(result, tiny_graph, expected_groups=1)
+        assert result.best_structures()[0].nonzero_count() >= 4
+
+    def test_autosf_needs_more_wall_clock_per_evaluation_than_eras(self, tiny_graph):
+        """The cost asymmetry of Table IX: stand-alone evaluation vs one-shot evaluation."""
+        autosf = AutoSFSearcher(
+            AutoSFConfig(max_budget=5, num_parents=2, num_sampled_children=4, top_k=2,
+                         embedding_dim=16, trainer=_tiny_trainer(), seed=0)
+        ).search(tiny_graph)
+        eras = ERASSearcher(_tiny_eras_config()).search(tiny_graph)
+        autosf_cost = autosf.search_seconds / autosf.evaluations
+        eras_cost = eras.search_seconds / eras.evaluations
+        assert autosf_cost > eras_cost
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AutoSFConfig(max_budget=2)
+        with pytest.raises(ValueError):
+            AutoSFConfig(num_parents=0)
+
+
+class TestRandomAndBayes:
+    def test_random_search_result(self, tiny_graph):
+        config = RandomSearchConfig(num_candidates=3, embedding_dim=16, trainer=_tiny_trainer(), seed=0)
+        result = RandomSearcher(config).search(tiny_graph)
+        _check_result(result, tiny_graph, expected_groups=1)
+        assert result.evaluations <= 3
+
+    def test_random_trace_best_is_monotone(self, tiny_graph):
+        config = RandomSearchConfig(num_candidates=4, embedding_dim=16, trainer=_tiny_trainer(), seed=0)
+        result = RandomSearcher(config).search(tiny_graph)
+        best_values = [point.valid_mrr for point in result.trace]
+        assert best_values == sorted(best_values)
+
+    def test_bayes_search_result(self, tiny_graph):
+        config = BayesSearchConfig(num_candidates=4, initial_random=2, embedding_dim=16,
+                                   trainer=_tiny_trainer(), seed=0)
+        result = BayesSearcher(config).search(tiny_graph)
+        _check_result(result, tiny_graph, expected_groups=1)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            RandomSearchConfig(num_candidates=0)
+        with pytest.raises(ValueError):
+            BayesSearchConfig(good_fraction=1.5)
+
+
+class TestVariants:
+    def test_factory_names(self):
+        assert variants.eras_n1().name == "ERAS_N=1"
+        assert variants.eras_los().name == "ERAS_los"
+        assert variants.eras_sig().name == "ERAS_sig"
+        assert variants.eras_pde().name == "ERAS_pde"
+        assert variants.eras_smt().name == "ERAS_smt"
+        assert variants.eras_dif().name == "ERAS_dif"
+
+    def test_eras_n1_uses_single_group(self):
+        assert variants.eras_n1(_tiny_eras_config()).config.num_groups == 1
+
+    def test_eras_los_uses_loss_reward(self, tiny_graph):
+        searcher = variants.eras_los(_tiny_eras_config())
+        assert searcher.config.reward_metric == "neg_loss"
+        result = searcher.search(tiny_graph)
+        _check_result(result, tiny_graph, expected_groups=2)
+
+    def test_eras_sig_single_level(self, tiny_graph):
+        searcher = variants.eras_sig(_tiny_eras_config())
+        assert searcher.config.controller_on_train
+        result = searcher.search(tiny_graph)
+        _check_result(result, tiny_graph, expected_groups=2)
+
+    def test_semantic_assignment_groups_by_pattern(self, tiny_graph):
+        assignment = semantic_assignment(tiny_graph, num_groups=4)
+        assert assignment.shape == (tiny_graph.num_relations,)
+        assert assignment.max() < 4
+        assert len(set(assignment)) > 1
+
+    def test_pretrained_assignment_shape(self, tiny_graph):
+        assignment = pretrained_assignment(tiny_graph, num_groups=2, dim=8, epochs=2, seed=0)
+        assert assignment.shape == (tiny_graph.num_relations,)
+        assert assignment.max() < 2
+
+    def test_eras_smt_fixed_grouping(self, tiny_graph):
+        searcher = variants.eras_smt(_tiny_eras_config(num_groups=3))
+        result = searcher.search(tiny_graph)
+        np.testing.assert_array_equal(result.best_assignment, np.clip(semantic_assignment(tiny_graph, 3), 0, 2))
+
+    def test_eras_dif_search(self, tiny_graph):
+        searcher = ERASDifferentiableSearcher(_tiny_eras_config(num_groups=2, epochs=1))
+        result = searcher.search(tiny_graph)
+        _check_result(result, tiny_graph, expected_groups=2)

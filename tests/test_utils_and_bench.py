@@ -1,0 +1,149 @@
+"""Tests for utilities (rng, config, timer, serialization) and the bench reporting layer."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench import SeriesReport, TableReport, format_table
+from repro.bench.workloads import BENCH_DATASETS, bench_graph, quick_eras_config, quick_trainer_config
+from repro.utils import Timer, new_rng, spawn_rng
+from repro.utils.config import as_dict, validate_in_range, validate_non_negative, validate_positive
+from repro.utils.logging import configure_logging, get_logger
+from repro.utils.rng import RngMixin
+from repro.utils.serialization import load_json, save_json, to_jsonable
+
+
+class TestRng:
+    def test_new_rng_accepts_seed_and_generator(self):
+        first = new_rng(42)
+        second = new_rng(42)
+        assert first.integers(0, 100) == second.integers(0, 100)
+        existing = new_rng(0)
+        assert new_rng(existing) is existing
+
+    def test_spawn_rng_children_are_independent(self):
+        children = spawn_rng(new_rng(0), 3)
+        assert len(children) == 3
+        values = [child.integers(0, 1_000_000) for child in children]
+        assert len(set(values)) == 3
+
+    def test_spawn_rng_negative_count(self):
+        with pytest.raises(ValueError):
+            spawn_rng(new_rng(0), -1)
+
+    def test_rng_mixin_lazy_and_reseedable(self):
+        class Component(RngMixin):
+            pass
+
+        component = Component(seed=5)
+        first = component.rng.integers(0, 100)
+        component.reseed(5)
+        assert component.rng.integers(0, 100) == first
+
+
+class TestConfigHelpers:
+    def test_validators(self):
+        validate_positive("x", 1.0)
+        validate_non_negative("x", 0.0)
+        validate_in_range("x", 0.5, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            validate_positive("x", 0.0)
+        with pytest.raises(ValueError):
+            validate_non_negative("x", -1.0)
+        with pytest.raises(ValueError):
+            validate_in_range("x", 2.0, 0.0, 1.0)
+
+    def test_as_dict_nested(self):
+        config = quick_trainer_config()
+        converted = as_dict(config)
+        assert converted["epochs"] == config.epochs
+        nested = as_dict(quick_eras_config())
+        assert nested["supernet"]["dim"] == quick_eras_config().supernet.dim
+
+
+class TestTimer:
+    def test_accumulates_sessions(self):
+        timer = Timer()
+        with timer:
+            time.sleep(0.01)
+        first = timer.elapsed
+        with timer:
+            time.sleep(0.01)
+        assert timer.elapsed > first
+        timer.reset()
+        assert timer.elapsed == 0.0
+
+    def test_double_start_raises(self):
+        timer = Timer().start()
+        with pytest.raises(RuntimeError):
+            timer.start()
+        timer.stop()
+        with pytest.raises(RuntimeError):
+            timer.stop()
+
+    def test_running_flag(self):
+        timer = Timer()
+        assert not timer.running
+        timer.start()
+        assert timer.running
+        timer.stop()
+
+
+class TestSerialization:
+    def test_to_jsonable_handles_numpy(self):
+        converted = to_jsonable({"a": np.int64(3), "b": np.array([1.0, 2.0]), "c": (np.float64(0.5),)})
+        assert converted == {"a": 3, "b": [1.0, 2.0], "c": [0.5]}
+
+    def test_save_and_load_roundtrip(self, tmp_path):
+        payload = {"metrics": {"mrr": 0.42}, "ranks": np.arange(3)}
+        path = save_json(payload, tmp_path / "result.json")
+        assert load_json(path) == {"metrics": {"mrr": 0.42}, "ranks": [0, 1, 2]}
+
+
+class TestLogging:
+    def test_logger_namespacing(self):
+        assert get_logger("search").name == "repro.search"
+        assert get_logger("repro.kg").name == "repro.kg"
+
+    def test_configure_logging_idempotent(self):
+        configure_logging()
+        configure_logging()
+        assert len(get_logger("repro").handlers) <= 1
+
+
+class TestReporting:
+    def test_format_table_alignment_and_missing_cells(self):
+        rows = [{"model": "DistMult", "MRR": 0.82}, {"model": "ComplEx"}]
+        text = format_table(rows, title="Table VI")
+        assert "Table VI" in text and "DistMult" in text and "MRR" in text
+
+    def test_empty_table(self):
+        assert "(empty)" in format_table([])
+
+    def test_table_report_columns(self):
+        report = TableReport("demo")
+        report.add_row(model="a", mrr=0.1)
+        report.add_row(model="b", mrr=0.2)
+        assert report.column("mrr") == [0.1, 0.2]
+        assert "demo" in report.render()
+
+    def test_series_report(self):
+        report = SeriesReport("figure", x_label="time", y_label="mrr")
+        report.add_point("ERAS", 1.0, 0.3)
+        report.add_point("ERAS", 2.0, 0.4)
+        report.add_series("AutoSF", [(1.0, 0.1)])
+        assert report.final_value("ERAS") == pytest.approx(0.4)
+        assert "AutoSF" in report.render()
+
+
+class TestWorkloads:
+    def test_bench_dataset_names_cover_paper(self):
+        assert set(BENCH_DATASETS) == {
+            "wn18_like", "wn18rr_like", "fb15k_like", "fb15k237_like", "yago3_like"
+        }
+
+    def test_bench_graph_scales(self):
+        small = bench_graph("wn18rr_like", scale=0.5, seed=2)
+        full = bench_graph("wn18rr_like", scale=1.0, seed=2)
+        assert small.num_entities < full.num_entities

@@ -1,0 +1,119 @@
+"""Serving workload: batched link-prediction throughput vs single-query looping.
+
+This is the first benchmark oriented at query traffic rather than a paper table.  It
+derives a relation-aware model with a short ERAS search, re-trains it briefly, ships it
+through the artifact registry, and measures the inference engine's throughput three ways:
+
+- one query per :meth:`~repro.serve.engine.LinkPredictionEngine.predict` call (the naive
+  serving loop),
+- micro-batched through :class:`~repro.serve.service.PredictionService`,
+- micro-batched with the hottest relation precomputed.
+
+The batched path must win by at least 5x -- the vectorised all-entity matrix op amortises
+the per-call Python and autodiff overhead -- and the registry round-trip must preserve
+top-k answers exactly.  Future serving PRs optimise against these numbers.
+"""
+
+import numpy as np
+
+from repro.bench import TableReport, bench_graph, quick_eras_config, retrain_searched
+from repro.search import ERASSearcher
+from repro.serve import (
+    LinkPredictionEngine,
+    LinkQuery,
+    ModelArtifactRegistry,
+    PredictionService,
+    ServiceConfig,
+)
+from repro.utils.rng import new_rng
+
+from benchmarks.conftest import BENCH_SEED, run_once
+
+NUM_QUERIES = 512
+MICRO_BATCH = 128
+TOP_K = 10
+MIN_BATCH_SPEEDUP = 5.0
+
+
+def _serving_model(tmp_path_factory):
+    """A small ERAS-derived model, persisted and reloaded through the registry."""
+    graph = bench_graph("wn18rr_like", scale=0.35, seed=BENCH_SEED)
+    config = quick_eras_config(num_groups=2, epochs=6, dim=32, seed=BENCH_SEED)
+    search = ERASSearcher(config).search(graph)
+    model, _ = retrain_searched(graph, search, dim=32, epochs=10, rerank_epochs=4, seed=BENCH_SEED)
+
+    registry = ModelArtifactRegistry(tmp_path_factory.mktemp("registry"))
+    registry.save("wn18rr_like-eras", model, metadata={"searcher": search.searcher})
+    served = LinkPredictionEngine.from_artifact(
+        registry, "wn18rr_like-eras", graph=graph, cache_size=0
+    )
+    direct = LinkPredictionEngine.from_graph(model, graph, cache_size=0)
+    return graph, served, direct
+
+
+def _query_stream(graph, rng) -> list:
+    """A mixed head/tail completion stream skewed towards a few hot relations."""
+    relations = rng.choice(graph.num_relations, size=NUM_QUERIES)
+    hot = rng.choice(graph.num_relations, size=max(1, graph.num_relations // 4), replace=False)
+    relations[: NUM_QUERIES // 2] = rng.choice(hot, size=NUM_QUERIES // 2)
+    queries = []
+    for i, relation in enumerate(relations):
+        entity = int(rng.integers(graph.num_entities))
+        if i % 2 == 0:
+            queries.append(LinkQuery(relation=int(relation), head=entity, k=TOP_K))
+        else:
+            queries.append(LinkQuery(relation=int(relation), tail=entity, k=TOP_K))
+    return queries
+
+
+def _run_workload(tmp_path_factory):
+    graph, served, direct = _serving_model(tmp_path_factory)
+    rng = new_rng(BENCH_SEED)
+    queries = _query_stream(graph, rng)
+
+    # Round-trip fidelity: the reloaded artifact answers exactly like the live model.
+    for query in queries[:32]:
+        a = served.predict([query])[0]
+        b = direct.predict([query])[0]
+        np.testing.assert_array_equal(a.entities, b.entities)
+    served.clear_caches()
+    served.stats.lru_hits = served.stats.scored = served.stats.queries = served.stats.batches = 0
+
+    # Naive loop: one engine call (one all-entity op) per query.
+    loop_service = PredictionService(served, ServiceConfig(max_batch_size=1, default_k=TOP_K))
+    for query in queries:
+        loop_service.query(relation=query.relation, head=query.head, tail=query.tail, k=query.k)
+    loop_qps = loop_service.stats.throughput_qps
+
+    # Micro-batched: the same stream through a batching service on a fresh engine state.
+    served.clear_caches()
+    batch_service = PredictionService(served, ServiceConfig(max_batch_size=MICRO_BATCH, default_k=TOP_K))
+    batch_service.query_many(queries)
+    batch_qps = batch_service.stats.throughput_qps
+
+    # Micro-batched with the hottest relations precomputed (LRU off isolates the effect).
+    served.clear_caches()
+    hot_relations = np.bincount([q.relation for q in queries], minlength=graph.num_relations)
+    for relation in np.argsort(-hot_relations)[:2]:
+        served.precompute_relation(int(relation), direction="tail")
+        served.precompute_relation(int(relation), direction="head")
+    hot_service = PredictionService(served, ServiceConfig(max_batch_size=MICRO_BATCH, default_k=TOP_K))
+    hot_service.query_many(queries)
+    hot_qps = hot_service.stats.throughput_qps
+
+    report = TableReport("Serving latency -- single vs micro-batched link prediction")
+    for label, service in (("single", loop_service), ("batched", batch_service), ("batched+hot", hot_service)):
+        row = dict(mode=label)
+        row.update(service.stats.as_row())
+        report.add_row(**row)
+    return report, loop_qps, batch_qps, hot_qps
+
+
+def test_serving_latency(benchmark, tmp_path_factory):
+    report, loop_qps, batch_qps, hot_qps = run_once(benchmark, lambda: _run_workload(tmp_path_factory))
+    report.show()
+    assert loop_qps > 0 and batch_qps > 0 and hot_qps > 0
+    # The tentpole perf claim: micro-batching amortises per-query overhead at least 5x.
+    assert batch_qps >= MIN_BATCH_SPEEDUP * loop_qps, (loop_qps, batch_qps)
+    # Precomputed hot relations must not be slower than plain batching by any real margin.
+    assert hot_qps >= 0.5 * batch_qps, (batch_qps, hot_qps)

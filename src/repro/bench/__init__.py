@@ -2,7 +2,7 @@
 standard experiment workloads (dataset + budget presets) used to regenerate every table
 and figure of the paper."""
 
-from repro.bench.reporting import TableReport, SeriesReport, format_table
+from repro.bench.reporting import TableReport, SeriesReport, format_table, summarize_latencies
 from repro.bench.workloads import (
     BENCH_DATASETS,
     bench_graph,
@@ -20,6 +20,7 @@ __all__ = [
     "TableReport",
     "SeriesReport",
     "format_table",
+    "summarize_latencies",
     "BENCH_DATASETS",
     "bench_graph",
     "quick_trainer_config",

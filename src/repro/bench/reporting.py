@@ -10,6 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
+import numpy as np
+
 
 def format_table(rows: Sequence[Dict[str, object]], title: str = "") -> str:
     """Render a list of dict rows as an aligned text table."""
@@ -88,3 +90,22 @@ class SeriesReport:
         """The y value of the last point of a series."""
         points = self.series[series_name]
         return points[-1][1]
+
+
+def summarize_latencies(latencies_ms: Sequence[float]) -> Dict[str, float]:
+    """Latency distribution summary (milliseconds) used by the serving reports.
+
+    Returns count, mean and the p50/p95/p99/max percentiles, all rounded to three
+    decimal places; an empty input yields all-zero values.
+    """
+    if not latencies_ms:
+        return {"count": 0, "mean_ms": 0.0, "p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0, "max_ms": 0.0}
+    values = np.asarray(latencies_ms, dtype=np.float64)
+    return {
+        "count": int(values.size),
+        "mean_ms": round(float(values.mean()), 3),
+        "p50_ms": round(float(np.percentile(values, 50)), 3),
+        "p95_ms": round(float(np.percentile(values, 95)), 3),
+        "p99_ms": round(float(np.percentile(values, 99)), 3),
+        "max_ms": round(float(values.max()), 3),
+    }

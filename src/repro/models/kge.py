@@ -190,6 +190,32 @@ class KGEModel(Module):
     def forward(self, triples: np.ndarray) -> Tensor:
         return self.score_triples(triples)
 
+    # ------------------------------------------------------------------ persistence
+    def save(self, directory, entity_vocab=None, relation_vocab=None, metadata=None):
+        """Persist the model (weights, scorers, assignment, vocabularies) to ``directory``.
+
+        Thin wrapper over :func:`repro.serve.artifacts.save_model_artifact`; use
+        :class:`repro.serve.artifacts.ModelArtifactRegistry` for versioned storage.
+        Returns the directory path.
+        """
+        from repro.serve.artifacts import save_model_artifact  # local import: serve sits above models
+
+        return save_model_artifact(
+            self,
+            directory,
+            entity_vocab=entity_vocab,
+            relation_vocab=relation_vocab,
+            metadata=metadata,
+        )
+
+    @classmethod
+    def load(cls, directory) -> "KGEModel":
+        """Reconstruct a model saved with :meth:`save` (drops the manifest)."""
+        from repro.serve.artifacts import load_model_artifact
+
+        model, _ = load_model_artifact(directory)
+        return model
+
 
 def _scatter_rows(pieces: List[tuple[np.ndarray, Tensor]], length: int, width: Optional[int] = None) -> Tensor:
     """Reassemble per-group score pieces into batch order.

@@ -110,6 +110,8 @@ class Trainer:
                 valid_history.append(metrics.mrr)
                 if metrics.mrr > best_mrr:
                     best_mrr, best_epoch = metrics.mrr, epoch
+                    # state_dict() returns copied arrays, so this snapshot is already
+                    # independent of the live parameters (enforced by a regression test).
                     best_state = model.state_dict()
                     epochs_without_improvement = 0
                 else:

@@ -107,6 +107,7 @@ class ERASSearcher:
         trace: List[TracePoint] = []
         evaluations = 0
         iteration = 0
+        rewards: List[float] = []  # last controller rewards; stays empty on batch-less graphs
         total_iterations = config.epochs * max(1, len(supernet.training_batches(seed=0)))
         memory_start = total_iterations // 2
         reward_memory: dict = {}
@@ -157,7 +158,7 @@ class ERASSearcher:
                 TracePoint(
                     elapsed_seconds=time.perf_counter() - started,
                     evaluations=evaluations,
-                    valid_mrr=float(max(rewards)) if config.reward_metric == "mrr" else 0.0,
+                    valid_mrr=float(max(rewards)) if rewards and config.reward_metric == "mrr" else 0.0,
                     note=f"epoch {epoch}",
                 )
             )

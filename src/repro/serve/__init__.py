@@ -1,0 +1,43 @@
+"""Serving subsystem: persist trained models and answer link-prediction queries.
+
+The reproduction pipeline ends at a trained :class:`~repro.models.kge.KGEModel`; this
+package turns that artifact into a queryable service:
+
+- :mod:`repro.serve.artifacts` -- a versioned on-disk registry that saves/loads model
+  weights, scoring structures, relation-group assignments and vocabularies as an
+  ``.npz`` archive plus a JSON manifest.
+- :mod:`repro.serve.engine` -- :class:`LinkPredictionEngine`, batched head/tail
+  completion with fully vectorised all-entity scoring, filtered top-k against known
+  triples, an LRU result cache and optional precomputed per-relation score caches.
+- :mod:`repro.serve.service` -- :class:`PredictionService`, a request/response facade
+  with micro-batching and latency/throughput statistics reported through
+  :mod:`repro.bench.reporting`.
+"""
+
+from repro.serve.artifacts import (
+    ArtifactError,
+    ArtifactRef,
+    ModelArtifactRegistry,
+    load_model_artifact,
+    save_model_artifact,
+)
+from repro.serve.engine import LinkPredictionEngine, LinkQuery, TopKResult
+from repro.serve.service import (
+    PredictionService,
+    ServiceConfig,
+    ServiceStats,
+)
+
+__all__ = [
+    "ArtifactError",
+    "ArtifactRef",
+    "ModelArtifactRegistry",
+    "save_model_artifact",
+    "load_model_artifact",
+    "LinkPredictionEngine",
+    "LinkQuery",
+    "TopKResult",
+    "PredictionService",
+    "ServiceConfig",
+    "ServiceStats",
+]

@@ -1,0 +1,366 @@
+"""Versioned on-disk model artifact registry.
+
+An *artifact* is one directory holding everything needed to reconstruct a trained
+:class:`~repro.models.kge.KGEModel` and serve queries against it:
+
+- ``weights.npz`` -- every parameter of the model's state dict plus the
+  relation-to-group assignment, stored without pickling.
+- ``manifest.json`` -- model shape, one entry per scoring function (block structures
+  are stored as their signed entry matrices), optional entity/relation vocabularies,
+  a checksum of the weights archive and free-form user metadata.
+
+:class:`ModelArtifactRegistry` arranges artifacts as ``root/<name>/v<version>/`` with
+monotonically increasing versions, so a serving process can always resolve "the latest
+model called X" while older versions stay available for rollback.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.kg.vocab import Vocabulary
+from repro.models.kge import KGEModel
+from repro.scoring.base import ScoringFunction
+from repro.scoring.bilinear import BlockScoringFunction
+from repro.scoring.structure import BlockStructure
+from repro.scoring.translational import RotatEScorer, TransEScorer
+from repro.utils.serialization import (
+    PathLike,
+    file_checksum,
+    load_json,
+    load_npz,
+    save_json,
+    save_npz,
+)
+
+ARTIFACT_FORMAT_VERSION = 1
+MANIFEST_FILENAME = "manifest.json"
+WEIGHTS_FILENAME = "weights.npz"
+_ASSIGNMENT_KEY = "__assignment__"
+
+
+class ArtifactError(RuntimeError):
+    """A model artifact is missing, malformed or fails integrity checks."""
+
+
+# ---------------------------------------------------------------------------- scorers
+def _scorer_to_manifest(scorer: ScoringFunction) -> Dict[str, object]:
+    if isinstance(scorer, BlockScoringFunction):
+        return {
+            "type": "block",
+            "name": scorer.name,
+            "entries": scorer.structure.entries.tolist(),
+        }
+    if isinstance(scorer, TransEScorer):
+        return {"type": "transe", "norm": scorer.norm}
+    if isinstance(scorer, RotatEScorer):
+        return {"type": "rotate"}
+    raise ArtifactError(
+        f"cannot serialise scoring function of type {type(scorer).__name__}; "
+        "supported: BlockScoringFunction, TransEScorer, RotatEScorer"
+    )
+
+
+def _scorer_from_manifest(entry: Dict[str, object]) -> ScoringFunction:
+    kind = entry.get("type")
+    if kind == "block":
+        structure = BlockStructure(np.asarray(entry["entries"], dtype=np.int64))
+        return BlockScoringFunction(structure, name=entry.get("name"))
+    if kind == "transe":
+        return TransEScorer(norm=int(entry.get("norm", 1)))
+    if kind == "rotate":
+        return RotatEScorer()
+    raise ArtifactError(f"unknown scoring function type {kind!r} in manifest")
+
+
+# ---------------------------------------------------------------------------- save / load
+def save_model_artifact(
+    model: KGEModel,
+    directory: PathLike,
+    entity_vocab: Optional[Vocabulary] = None,
+    relation_vocab: Optional[Vocabulary] = None,
+    metadata: Optional[Dict[str, object]] = None,
+) -> Path:
+    """Write ``model`` (weights, scorers, assignment, vocabularies) into ``directory``.
+
+    Returns the directory path.  Existing files in the directory are overwritten, which
+    makes re-saving into a scratch directory idempotent; the registry always allocates a
+    fresh version directory instead.
+    """
+    directory = Path(directory)
+    if entity_vocab is not None and len(entity_vocab) != model.num_entities:
+        raise ArtifactError(
+            f"entity vocabulary has {len(entity_vocab)} symbols but the model has "
+            f"{model.num_entities} entities"
+        )
+    if relation_vocab is not None and len(relation_vocab) != model.num_relations:
+        raise ArtifactError(
+            f"relation vocabulary has {len(relation_vocab)} symbols but the model has "
+            f"{model.num_relations} relations"
+        )
+    arrays: Dict[str, np.ndarray] = dict(model.state_dict())
+    if _ASSIGNMENT_KEY in arrays:
+        raise ArtifactError(f"parameter name {_ASSIGNMENT_KEY!r} collides with the assignment key")
+    arrays[_ASSIGNMENT_KEY] = model.assignment
+    weights_path = save_npz(arrays, directory / WEIGHTS_FILENAME)
+    manifest = {
+        "format_version": ARTIFACT_FORMAT_VERSION,
+        "model": {
+            "num_entities": model.num_entities,
+            "num_relations": model.num_relations,
+            "dim": model.dim,
+            "num_groups": model.num_groups,
+        },
+        "scorers": [_scorer_to_manifest(scorer) for scorer in model.scorers],
+        "parameters": sorted(name for name in arrays if name != _ASSIGNMENT_KEY),
+        "weights_checksum": file_checksum(weights_path),
+        "entity_vocab": entity_vocab.symbols() if entity_vocab is not None else None,
+        "relation_vocab": relation_vocab.symbols() if relation_vocab is not None else None,
+        "metadata": dict(metadata or {}),
+    }
+    save_json(manifest, directory / MANIFEST_FILENAME)
+    return directory
+
+
+def load_model_artifact(
+    directory: PathLike, verify_checksum: bool = True
+) -> Tuple[KGEModel, Dict[str, object]]:
+    """Reconstruct a model from an artifact directory; returns ``(model, manifest)``.
+
+    Raises :class:`ArtifactError` when the manifest is missing or malformed, when the
+    weights archive does not match the manifest's checksum, or when the stored arrays
+    are inconsistent with the declared model shape.
+    """
+    directory = Path(directory)
+    manifest_path = directory / MANIFEST_FILENAME
+    weights_path = directory / WEIGHTS_FILENAME
+    if not manifest_path.is_file():
+        raise ArtifactError(f"no manifest at {manifest_path}")
+    if not weights_path.is_file():
+        raise ArtifactError(f"no weights archive at {weights_path}")
+    try:
+        manifest = load_json(manifest_path)
+    except ValueError as error:
+        raise ArtifactError(f"manifest at {manifest_path} is not valid JSON: {error}") from error
+    if not isinstance(manifest, dict):
+        raise ArtifactError(f"manifest at {manifest_path} must be a JSON object")
+    declared_version = manifest.get("format_version")
+    if declared_version != ARTIFACT_FORMAT_VERSION:
+        raise ArtifactError(
+            f"unsupported artifact format version {declared_version!r} "
+            f"(this library reads version {ARTIFACT_FORMAT_VERSION})"
+        )
+    for key in ("model", "scorers", "weights_checksum"):
+        if key not in manifest:
+            raise ArtifactError(f"manifest at {manifest_path} is missing the {key!r} field")
+    if verify_checksum:
+        actual = file_checksum(weights_path)
+        if actual != manifest["weights_checksum"]:
+            raise ArtifactError(
+                f"weights archive {weights_path} fails its integrity check "
+                f"(expected {manifest['weights_checksum'][:12]}..., got {actual[:12]}...)"
+            )
+
+    shape = manifest["model"]
+    try:
+        num_entities = int(shape["num_entities"])
+        num_relations = int(shape["num_relations"])
+        dim = int(shape["dim"])
+    except (KeyError, TypeError, ValueError) as error:
+        raise ArtifactError(f"manifest model shape is malformed: {error}") from error
+    scorers = [_scorer_from_manifest(entry) for entry in manifest["scorers"]]
+
+    arrays = load_npz(weights_path)
+    if _ASSIGNMENT_KEY not in arrays:
+        raise ArtifactError(f"weights archive {weights_path} is missing the assignment array")
+    assignment = arrays.pop(_ASSIGNMENT_KEY).astype(np.int64)
+
+    model = KGEModel(
+        num_entities=num_entities,
+        num_relations=num_relations,
+        dim=dim,
+        scorers=scorers,
+        assignment=assignment,
+        seed=0,
+    )
+    try:
+        model.load_state_dict(arrays)
+    except (KeyError, ValueError) as error:
+        raise ArtifactError(f"weights archive is inconsistent with the manifest: {error}") from error
+    return model, manifest
+
+
+def manifest_vocabularies(
+    manifest: Dict[str, object],
+) -> Tuple[Optional[Vocabulary], Optional[Vocabulary]]:
+    """Rebuild the ``(entity_vocab, relation_vocab)`` stored in a manifest, if any.
+
+    Symbols are re-inserted in saved id order, so ``vocab.id_of(symbol)`` round-trips
+    exactly even when the vocabulary was built incrementally before saving.
+    """
+    entity_symbols = manifest.get("entity_vocab")
+    relation_symbols = manifest.get("relation_vocab")
+    entity_vocab = Vocabulary(entity_symbols) if entity_symbols is not None else None
+    relation_vocab = Vocabulary(relation_symbols) if relation_symbols is not None else None
+    return entity_vocab, relation_vocab
+
+
+# ---------------------------------------------------------------------------- registry
+@dataclass(frozen=True)
+class ArtifactRef:
+    """Address of one stored model version inside a registry."""
+
+    name: str
+    version: int
+    path: Path
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.path / MANIFEST_FILENAME
+
+    @property
+    def weights_path(self) -> Path:
+        return self.path / WEIGHTS_FILENAME
+
+
+class ModelArtifactRegistry:
+    """Versioned store of model artifacts under one root directory.
+
+    Layout::
+
+        root/
+          <model name>/
+            v1/  manifest.json  weights.npz
+            v2/  ...
+
+    Saving never overwrites: each :meth:`save` allocates the next version number.
+    """
+
+    def __init__(self, root: PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------ write path
+    def save(
+        self,
+        name: str,
+        model: KGEModel,
+        entity_vocab: Optional[Vocabulary] = None,
+        relation_vocab: Optional[Vocabulary] = None,
+        metadata: Optional[Dict[str, object]] = None,
+    ) -> ArtifactRef:
+        """Store ``model`` as the next version of ``name`` and return its reference.
+
+        The artifact is written into a scratch directory and renamed into place, so a
+        crash mid-save never leaves a half-written directory as the resolvable latest
+        version (:meth:`versions` additionally ignores manifest-less directories).
+        """
+        self._validate_name(name)
+        version = self._next_version(name)
+        ref = ArtifactRef(name=name, version=version, path=self.root / name / f"v{version}")
+        scratch = self.root / name / f".tmp-v{version}-{os.getpid()}"
+        save_model_artifact(
+            model,
+            scratch,
+            entity_vocab=entity_vocab,
+            relation_vocab=relation_vocab,
+            metadata=metadata,
+        )
+        scratch.rename(ref.path)
+        return ref
+
+    # ------------------------------------------------------------------ read path
+    def load(
+        self, name: str, version: Optional[int] = None, verify_checksum: bool = True
+    ) -> Tuple[KGEModel, Dict[str, object]]:
+        """Load ``(model, manifest)`` for ``name`` (latest version unless given)."""
+        ref = self.resolve(name, version)
+        return load_model_artifact(ref.path, verify_checksum=verify_checksum)
+
+    def resolve(self, name: str, version: Optional[int] = None) -> ArtifactRef:
+        """Resolve a (name, version) pair to an on-disk reference without loading it."""
+        self._validate_name(name)
+        versions = self.versions(name)
+        if not versions:
+            raise ArtifactError(f"no artifact named {name!r} in registry at {self.root}")
+        if version is None:
+            version = versions[-1]
+        elif version not in versions:
+            raise ArtifactError(
+                f"artifact {name!r} has no version {version}; available: {versions}"
+            )
+        return ArtifactRef(name=name, version=version, path=self.root / name / f"v{version}")
+
+    def manifest(self, name: str, version: Optional[int] = None) -> Dict[str, object]:
+        """Load only the manifest of a stored model (cheap metadata inspection)."""
+        ref = self.resolve(name, version)
+        if not ref.manifest_path.is_file():
+            raise ArtifactError(f"no manifest at {ref.manifest_path}")
+        return load_json(ref.manifest_path)
+
+    # ------------------------------------------------------------------ catalogue
+    def models(self) -> List[str]:
+        """Names of every stored model, sorted."""
+        if not self.root.is_dir():
+            return []
+        return sorted(p.name for p in self.root.iterdir() if p.is_dir() and self.versions(p.name))
+
+    def versions(self, name: str) -> List[int]:
+        """Loadable version numbers of ``name``, ascending (empty when unknown).
+
+        Directories without a manifest (debris of an interrupted save) are ignored, so
+        the latest resolvable version is always a complete artifact.
+        """
+        return sorted(
+            version
+            for version, child in self._version_dirs(name)
+            if (child / MANIFEST_FILENAME).is_file()
+        )
+
+    def _version_dirs(self, name: str) -> List[Tuple[int, Path]]:
+        """All ``v<N>`` directories of ``name``, complete or not."""
+        model_dir = self.root / name
+        if not model_dir.is_dir():
+            return []
+        found = []
+        for child in model_dir.iterdir():
+            if child.is_dir() and child.name.startswith("v") and child.name[1:].isdigit():
+                found.append((int(child.name[1:]), child))
+        return found
+
+    def _next_version(self, name: str) -> int:
+        """First version number above every existing directory, broken or not."""
+        taken = [version for version, _ in self._version_dirs(name)]
+        return max(taken, default=0) + 1
+
+    def latest_version(self, name: str) -> int:
+        """Highest stored version of ``name`` (0 when none exist yet)."""
+        versions = self.versions(name)
+        return versions[-1] if versions else 0
+
+    # ------------------------------------------------------------------ maintenance
+    def delete(self, name: str, version: int) -> None:
+        """Remove one stored version (for pruning rolled-back models)."""
+        ref = self.resolve(name, version)
+        for child in sorted(ref.path.rglob("*"), reverse=True):
+            if child.is_file():
+                child.unlink()
+            else:
+                child.rmdir()
+        ref.path.rmdir()
+
+    @staticmethod
+    def _validate_name(name: str) -> None:
+        # Names become single path components under the root; anything resembling a
+        # path traversal (separators, bare dots) or hidden/scratch prefix is rejected.
+        if not re.fullmatch(r"[A-Za-z0-9][A-Za-z0-9._-]*", name):
+            raise ArtifactError(f"invalid artifact name {name!r}")
+
+    def __repr__(self) -> str:
+        return f"ModelArtifactRegistry(root={str(self.root)!r}, models={self.models()})"

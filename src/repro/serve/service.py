@@ -1,0 +1,216 @@
+"""Request/response facade over the inference engine with micro-batching and stats.
+
+:class:`PredictionService` is the layer a network frontend would call into.  Queries are
+*submitted* into a pending buffer and scored together once the buffer reaches the
+configured micro-batch size (or on an explicit :meth:`PredictionService.flush`); one
+micro-batch becomes one vectorised matrix op inside the engine.  Every flush records the
+batch's wall-clock time, from which the service derives per-query latency and overall
+throughput, exported as :mod:`repro.bench.reporting` tables so benchmarks and dashboards
+share one formatting path.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence
+
+from repro.bench.reporting import TableReport, summarize_latencies
+from repro.serve.engine import LinkPredictionEngine, LinkQuery, TopKResult
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables of the serving facade."""
+
+    max_batch_size: int = 64
+    default_k: int = 10
+    # Unredeemed results are evicted oldest-first beyond this bound, so callers that
+    # submit but never call result() cannot grow the service's memory forever.
+    max_unclaimed_results: int = 65536
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size <= 0:
+            raise ValueError("max_batch_size must be positive")
+        if self.default_k <= 0:
+            raise ValueError("default_k must be positive")
+        if self.max_unclaimed_results < self.max_batch_size:
+            raise ValueError(
+                "max_unclaimed_results must be at least max_batch_size, otherwise a "
+                "single flush could evict its own results"
+            )
+
+
+# How many of the most recent per-query latencies the stats keep for the percentile
+# summary.  The aggregate counters (queries, batches, seconds) are exact over the
+# service's whole lifetime; only the distribution is windowed so that a long-lived
+# service does not grow its memory with traffic.
+LATENCY_WINDOW = 16384
+
+
+@dataclass
+class ServiceStats:
+    """Latency / throughput accounting across the service's lifetime."""
+
+    total_queries: int = 0
+    total_batches: int = 0
+    total_seconds: float = 0.0
+    latencies_ms: Deque[float] = field(default_factory=lambda: deque(maxlen=LATENCY_WINDOW))
+
+    def record_batch(self, batch_size: int, seconds: float) -> None:
+        self.total_queries += batch_size
+        self.total_batches += 1
+        self.total_seconds += seconds
+        # Every query in a micro-batch waits for the whole batch, so each one's
+        # observed latency is the batch wall time.
+        self.latencies_ms.extend([seconds * 1000.0] * batch_size)
+
+    @property
+    def throughput_qps(self) -> float:
+        """Queries per second over all recorded batches."""
+        if self.total_seconds <= 0.0:
+            return 0.0
+        return self.total_queries / self.total_seconds
+
+    @property
+    def mean_batch_size(self) -> float:
+        if self.total_batches == 0:
+            return 0.0
+        return self.total_queries / self.total_batches
+
+    def as_row(self) -> Dict[str, object]:
+        row: Dict[str, object] = {
+            "queries": self.total_queries,
+            "batches": self.total_batches,
+            "mean_batch": round(self.mean_batch_size, 1),
+            "qps": round(self.throughput_qps, 1),
+        }
+        row.update(summarize_latencies(self.latencies_ms))
+        return row
+
+
+class PredictionService:
+    """Micro-batching request/response layer over :class:`LinkPredictionEngine`.
+
+    Usage::
+
+        service = PredictionService(engine)
+        tickets = [service.submit(q) for q in queries]   # buffered
+        service.flush()                                  # one matrix op
+        results = [service.result(t) for t in tickets]
+
+    or, for synchronous callers, :meth:`query` / :meth:`query_many`.
+    """
+
+    def __init__(self, engine: LinkPredictionEngine, config: Optional[ServiceConfig] = None) -> None:
+        self.engine = engine
+        self.config = config or ServiceConfig()
+        self.stats = ServiceStats()
+        self._pending: List[tuple[int, LinkQuery]] = []
+        self._results: Dict[int, TopKResult] = {}
+        self._next_ticket = 0
+
+    # ------------------------------------------------------------------ asynchronous-style API
+    def submit(self, query: LinkQuery) -> int:
+        """Buffer a query; returns a ticket redeemable after the next flush.
+
+        Malformed queries (ids out of range) are rejected here, before they can join a
+        micro-batch; the buffer flushes itself as soon as it holds ``max_batch_size``
+        queries.
+        """
+        self.engine.validate_query(query)
+        ticket = self._next_ticket
+        self._next_ticket += 1
+        self._pending.append((ticket, query))
+        if len(self._pending) >= self.config.max_batch_size:
+            self.flush()
+        return ticket
+
+    def flush(self) -> int:
+        """Score every pending query as one micro-batch; returns how many were scored."""
+        if not self._pending:
+            return 0
+        pending, self._pending = self._pending, []
+        started = time.perf_counter()
+        try:
+            results = self.engine.predict([query for _, query in pending])
+        except Exception:
+            # Put the batch back so well-formed tickets are not silently lost.
+            self._pending = pending + self._pending
+            raise
+        elapsed = time.perf_counter() - started
+        self.stats.record_batch(len(pending), elapsed)
+        for (ticket, _), result in zip(pending, results):
+            self._results[ticket] = result
+        while len(self._results) > self.config.max_unclaimed_results:
+            self._results.pop(next(iter(self._results)))
+        return len(pending)
+
+    def result(self, ticket: int) -> TopKResult:
+        """Redeem a ticket (raises ``KeyError`` if the query has not been flushed yet)."""
+        try:
+            return self._results.pop(ticket)
+        except KeyError:
+            raise KeyError(
+                f"ticket {ticket} has no result; call flush() first or check the ticket id"
+            ) from None
+
+    @property
+    def pending_count(self) -> int:
+        """How many submitted queries are waiting for the next flush."""
+        return len(self._pending)
+
+    # ------------------------------------------------------------------ synchronous API
+    def query(
+        self,
+        relation: int,
+        head: Optional[int] = None,
+        tail: Optional[int] = None,
+        k: Optional[int] = None,
+    ) -> TopKResult:
+        """Answer one query immediately (flushes it together with any buffered ones)."""
+        ticket = self.submit(
+            LinkQuery(
+                relation=relation,
+                head=head,
+                tail=tail,
+                k=k if k is not None else self.config.default_k,
+            )
+        )
+        self.flush()
+        return self.result(ticket)
+
+    def query_many(self, queries: Sequence[LinkQuery]) -> List[TopKResult]:
+        """Answer a list of queries, scored in micro-batches of ``max_batch_size``.
+
+        Results are redeemed chunk by chunk, so a call larger than
+        ``max_unclaimed_results`` never has its own in-flight results evicted.
+        """
+        results: List[TopKResult] = []
+        queries = list(queries)
+        for start in range(0, len(queries), self.config.max_batch_size):
+            chunk = queries[start : start + self.config.max_batch_size]
+            tickets = [self.submit(query) for query in chunk]
+            self.flush()
+            results.extend(self.result(ticket) for ticket in tickets)
+        return results
+
+    # ------------------------------------------------------------------ reporting
+    def stats_table(self, title: str = "serving statistics") -> TableReport:
+        """Latency/throughput summary as a benchmark-style table."""
+        report = TableReport(name=title)
+        report.add_row(**self.stats.as_row())
+        return report
+
+    def cache_table(self, title: str = "engine caches") -> TableReport:
+        """Cache occupancy and hit counters of the underlying engine."""
+        report = TableReport(name=title)
+        report.add_row(**self.engine.cache_info())
+        return report
+
+    def __repr__(self) -> str:
+        return (
+            f"PredictionService(pending={self.pending_count}, "
+            f"served={self.stats.total_queries}, qps={self.stats.throughput_qps:.1f})"
+        )

@@ -1,15 +1,19 @@
-"""JSON serialisation helpers for search results and experiment records.
+"""JSON / NPZ serialisation helpers for search results and model artifacts.
 
 Search outputs (block structures, group assignments, metric traces) are plain Python and
 NumPy objects.  These helpers convert them to and from JSON-compatible structures so that
-examples and benchmarks can persist results without pickling.
+examples and benchmarks can persist results without pickling.  The NPZ helpers back the
+model artifact registry (:mod:`repro.serve.artifacts`): arrays are stored in
+uncompressed ``.npz`` archives with ``allow_pickle=False`` on both ends, so artifacts
+stay portable and safe to load from untrusted paths.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
-from typing import Any, Union
+from typing import Any, Dict, Union
 
 import numpy as np
 
@@ -46,3 +50,35 @@ def load_json(path: PathLike) -> Any:
     """Load a JSON document written by :func:`save_json`."""
     with Path(path).open("r", encoding="utf-8") as fh:
         return json.load(fh)
+
+
+def save_npz(arrays: Dict[str, np.ndarray], path: PathLike) -> Path:
+    """Save a name-to-array mapping as an ``.npz`` archive (creating parent directories).
+
+    Keys may contain dots (e.g. qualified parameter names like ``entities.weight``);
+    values are converted with ``np.asarray`` so lists and scalars are accepted.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    converted = {name: np.asarray(value) for name, value in arrays.items()}
+    for name, value in converted.items():
+        if value.dtype == object:
+            raise TypeError(f"array {name!r} has dtype object; only numeric arrays can be saved")
+    with path.open("wb") as fh:
+        np.savez(fh, **converted)
+    return path
+
+
+def load_npz(path: PathLike) -> Dict[str, np.ndarray]:
+    """Load an ``.npz`` archive written by :func:`save_npz` into a plain dict."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        return {name: archive[name] for name in archive.files}
+
+
+def file_checksum(path: PathLike, algorithm: str = "sha256") -> str:
+    """Hex digest of a file's contents (used to detect corrupted artifacts)."""
+    digest = hashlib.new(algorithm)
+    with Path(path).open("rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()

@@ -147,3 +147,39 @@ class TestTrainer:
                                lr_decay=0.9, valid_every=2, seed=0)
         result = Trainer(config).fit(model, tiny_graph)
         assert result.epochs_run == 3
+
+    def test_best_state_is_an_independent_snapshot(self, tiny_graph):
+        """Training after the best epoch must not mutate the stored best weights."""
+        model = KGEModel(tiny_graph.num_entities, tiny_graph.num_relations, dim=16,
+                         scorers=named_structure("distmult"), seed=0)
+        config = TrainerConfig(epochs=8, batch_size=64, learning_rate=0.5, valid_every=2, patience=5, seed=0)
+        result = Trainer(config).fit(model, tiny_graph)
+        assert result.best_state is not None
+        live = dict(model.named_parameters())
+        for name, stored in result.best_state.items():
+            assert not np.shares_memory(stored, live[name].data)
+        # Mutating the live model must leave the snapshot untouched.
+        snapshot = {name: value.copy() for name, value in result.best_state.items()}
+        for parameter in model.parameters():
+            parameter.data += 123.0
+        for name, value in result.best_state.items():
+            np.testing.assert_array_equal(value, snapshot[name])
+
+    def test_restored_model_reproduces_best_valid_mrr(self, tiny_graph):
+        from repro.eval import RankingEvaluator
+
+        model = KGEModel(tiny_graph.num_entities, tiny_graph.num_relations, dim=16,
+                         scorers=named_structure("distmult"), seed=0)
+        config = TrainerConfig(epochs=12, batch_size=64, learning_rate=0.5, valid_every=3, patience=4, seed=0)
+        result = Trainer(config).fit(model, tiny_graph)
+        # fit restores the best snapshot into the model; with the full validation split
+        # the evaluation is deterministic, so the MRR must match exactly.
+        evaluator = RankingEvaluator(tiny_graph, splits=("valid",))
+        restored_mrr = evaluator.evaluate(model, split="valid").mrr
+        assert restored_mrr == pytest.approx(result.best_valid_mrr, abs=1e-12)
+
+        # Loading the snapshot into a fresh model reproduces the same metric.
+        fresh = KGEModel(tiny_graph.num_entities, tiny_graph.num_relations, dim=16,
+                         scorers=named_structure("distmult"), seed=99)
+        fresh.load_state_dict(result.best_state)
+        assert evaluator.evaluate(fresh, split="valid").mrr == pytest.approx(result.best_valid_mrr, abs=1e-12)

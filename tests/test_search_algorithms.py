@@ -93,6 +93,39 @@ class TestERASSearcher:
         with pytest.raises(ValueError):
             ERASConfig(controller_steps=0)
 
+    def test_search_with_batchless_training_split(self):
+        """Regression: ``rewards`` was unbound when no training batch was ever yielded.
+
+        A graph whose training split is empty produces zero supernet batches per epoch;
+        the per-epoch trace point must then fall back to a 0.0 reward instead of raising
+        ``NameError``.
+        """
+        from repro.kg import KnowledgeGraph, TripleSet
+
+        rng = np.random.default_rng(0)
+        def random_triples(n):
+            return TripleSet(np.column_stack([
+                rng.integers(0, 12, size=n),
+                rng.integers(0, 3, size=n),
+                rng.integers(0, 12, size=n),
+            ]))
+
+        graph = KnowledgeGraph(
+            name="batchless",
+            num_entities=12,
+            num_relations=3,
+            train=TripleSet(np.empty((0, 3), dtype=np.int64)),
+            valid=random_triples(10),
+            test=random_triples(5),
+        )
+        config = _tiny_eras_config(num_groups=1, epochs=1, derive_samples=2, anchor_candidates=False)
+        result = ERASSearcher(config).search(graph)
+        _check_result(result, graph, expected_groups=1)
+        # The per-epoch trace points exist and carry the 0.0 fallback reward.
+        epoch_points = [point for point in result.trace if point.note.startswith("epoch")]
+        assert len(epoch_points) == 1
+        assert epoch_points[0].valid_mrr == 0.0
+
     def test_trace_is_time_monotonic(self, tiny_graph):
         result = ERASSearcher(_tiny_eras_config()).search(tiny_graph)
         times = [point.elapsed_seconds for point in result.trace]

@@ -1,0 +1,244 @@
+"""Tests for the model artifact registry: round-trips, vocab remapping, corruption."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.kg import Vocabulary
+from repro.models import KGEModel
+from repro.scoring import TransEScorer, named_structure
+from repro.serve import (
+    ArtifactError,
+    ModelArtifactRegistry,
+    load_model_artifact,
+    save_model_artifact,
+)
+from repro.serve.artifacts import manifest_vocabularies
+from repro.utils.serialization import load_npz, save_npz
+
+
+def _model(graph, scorers=None, assignment=None, seed=0, dim=16):
+    return KGEModel(
+        num_entities=graph.num_entities,
+        num_relations=graph.num_relations,
+        dim=dim,
+        scorers=scorers or named_structure("distmult"),
+        assignment=assignment,
+        seed=seed,
+    )
+
+
+class TestNpzHelpers:
+    def test_round_trip(self, tmp_path):
+        arrays = {"a.b": np.arange(6, dtype=np.float64).reshape(2, 3), "c": np.array([1, 2])}
+        path = save_npz(arrays, tmp_path / "sub" / "arrays.npz")
+        loaded = load_npz(path)
+        assert set(loaded) == {"a.b", "c"}
+        np.testing.assert_array_equal(loaded["a.b"], arrays["a.b"])
+        np.testing.assert_array_equal(loaded["c"], arrays["c"])
+
+    def test_object_arrays_rejected(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_npz({"bad": np.array([object()])}, tmp_path / "arrays.npz")
+
+
+class TestArtifactRoundTrip:
+    def test_identical_scores_after_reload(self, tiny_graph, trained_tiny_model, tmp_path):
+        batch = tiny_graph.test.array[:16]
+        expected = trained_tiny_model.score_triples(batch).data
+        save_model_artifact(trained_tiny_model, tmp_path / "artifact")
+        reloaded, manifest = load_model_artifact(tmp_path / "artifact")
+        np.testing.assert_array_equal(reloaded.score_triples(batch).data, expected)
+        assert manifest["model"]["num_entities"] == tiny_graph.num_entities
+        assert manifest["scorers"][0]["type"] == "block"
+
+    def test_relation_aware_model_round_trip(self, tiny_graph, rng, tmp_path):
+        structures = [named_structure("distmult"), named_structure("complex")]
+        assignment = rng.integers(0, 2, size=tiny_graph.num_relations)
+        model = _model(tiny_graph, scorers=structures, assignment=assignment)
+        batch = tiny_graph.train.array[:20]
+        expected = model.score_triples(batch).data
+
+        reloaded, _ = load_model_artifact(save_model_artifact(model, tmp_path / "ra"))
+        np.testing.assert_array_equal(reloaded.assignment, model.assignment)
+        assert reloaded.num_groups == 2
+        np.testing.assert_array_equal(reloaded.score_triples(batch).data, expected)
+
+    def test_translational_scorer_round_trip(self, tiny_graph, tmp_path):
+        model = _model(tiny_graph, scorers=TransEScorer(norm=2))
+        batch = tiny_graph.train.array[:10]
+        expected = model.score_triples(batch).data
+        reloaded, manifest = load_model_artifact(save_model_artifact(model, tmp_path / "te"))
+        assert manifest["scorers"][0] == {"type": "transe", "norm": 2}
+        np.testing.assert_array_equal(reloaded.score_triples(batch).data, expected)
+
+    def test_model_save_load_entry_points(self, tiny_graph, trained_tiny_model, tmp_path):
+        batch = tiny_graph.valid.array[:8]
+        trained_tiny_model.save(tmp_path / "direct")
+        reloaded = KGEModel.load(tmp_path / "direct")
+        np.testing.assert_array_equal(
+            reloaded.score_triples(batch).data, trained_tiny_model.score_triples(batch).data
+        )
+
+    def test_vocab_remapping_round_trip(self, tiny_graph, tmp_path):
+        # Insertion order defines ids; a reloaded vocabulary must map every symbol to
+        # its original id even though only the symbol list is stored.
+        entity_vocab = Vocabulary(f"entity/{i * 7 % tiny_graph.num_entities}" for i in range(tiny_graph.num_entities))
+        relation_vocab = Vocabulary(f"rel:{chr(ord('z') - i)}" for i in range(tiny_graph.num_relations))
+        model = _model(tiny_graph)
+        save_model_artifact(
+            model, tmp_path / "vocab", entity_vocab=entity_vocab, relation_vocab=relation_vocab,
+            metadata={"dataset": tiny_graph.name},
+        )
+        _, manifest = load_model_artifact(tmp_path / "vocab")
+        loaded_entities, loaded_relations = manifest_vocabularies(manifest)
+        for symbol in entity_vocab:
+            assert loaded_entities.id_of(symbol) == entity_vocab.id_of(symbol)
+        for symbol in relation_vocab:
+            assert loaded_relations.id_of(symbol) == relation_vocab.id_of(symbol)
+        assert manifest["metadata"]["dataset"] == tiny_graph.name
+
+    def test_mismatched_vocab_sizes_rejected_at_save_time(self, tiny_graph, tmp_path):
+        short_vocab = Vocabulary.from_ids(tiny_graph.num_entities - 1, "entity")
+        with pytest.raises(ArtifactError, match="entity vocabulary"):
+            save_model_artifact(_model(tiny_graph), tmp_path / "bad", entity_vocab=short_vocab)
+        long_relations = Vocabulary.from_ids(tiny_graph.num_relations + 2, "rel")
+        with pytest.raises(ArtifactError, match="relation vocabulary"):
+            save_model_artifact(_model(tiny_graph), tmp_path / "bad", relation_vocab=long_relations)
+
+    def test_vocabs_default_to_none(self, tiny_graph, tmp_path):
+        save_model_artifact(_model(tiny_graph), tmp_path / "plain")
+        _, manifest = load_model_artifact(tmp_path / "plain")
+        assert manifest_vocabularies(manifest) == (None, None)
+
+
+class TestCorruptionHandling:
+    @pytest.fixture()
+    def artifact_dir(self, tiny_graph, tmp_path):
+        return save_model_artifact(_model(tiny_graph), tmp_path / "artifact")
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(ArtifactError, match="no manifest"):
+            load_model_artifact(tmp_path / "nowhere")
+
+    def test_missing_weights(self, artifact_dir):
+        (artifact_dir / "weights.npz").unlink()
+        with pytest.raises(ArtifactError, match="no weights"):
+            load_model_artifact(artifact_dir)
+
+    def test_invalid_json_manifest(self, artifact_dir):
+        (artifact_dir / "manifest.json").write_text("{not json", encoding="utf-8")
+        with pytest.raises(ArtifactError, match="not valid JSON"):
+            load_model_artifact(artifact_dir)
+
+    def test_non_object_manifest(self, artifact_dir):
+        (artifact_dir / "manifest.json").write_text("[1, 2]", encoding="utf-8")
+        with pytest.raises(ArtifactError, match="JSON object"):
+            load_model_artifact(artifact_dir)
+
+    def test_wrong_format_version(self, artifact_dir):
+        manifest = json.loads((artifact_dir / "manifest.json").read_text(encoding="utf-8"))
+        manifest["format_version"] = 999
+        (artifact_dir / "manifest.json").write_text(json.dumps(manifest), encoding="utf-8")
+        with pytest.raises(ArtifactError, match="format version"):
+            load_model_artifact(artifact_dir)
+
+    def test_missing_required_field(self, artifact_dir):
+        manifest = json.loads((artifact_dir / "manifest.json").read_text(encoding="utf-8"))
+        del manifest["scorers"]
+        (artifact_dir / "manifest.json").write_text(json.dumps(manifest), encoding="utf-8")
+        with pytest.raises(ArtifactError, match="missing the 'scorers'"):
+            load_model_artifact(artifact_dir)
+
+    def test_tampered_weights_fail_checksum(self, artifact_dir):
+        payload = (artifact_dir / "weights.npz").read_bytes()
+        (artifact_dir / "weights.npz").write_bytes(payload[:-1] + bytes([payload[-1] ^ 0xFF]))
+        with pytest.raises(ArtifactError, match="integrity"):
+            load_model_artifact(artifact_dir)
+
+    def test_checksum_verification_can_be_skipped(self, tiny_graph, artifact_dir):
+        manifest = json.loads((artifact_dir / "manifest.json").read_text(encoding="utf-8"))
+        manifest["weights_checksum"] = "0" * 64
+        (artifact_dir / "manifest.json").write_text(json.dumps(manifest), encoding="utf-8")
+        model, _ = load_model_artifact(artifact_dir, verify_checksum=False)
+        assert model.num_entities == tiny_graph.num_entities
+
+    def test_inconsistent_shape_rejected(self, artifact_dir):
+        manifest = json.loads((artifact_dir / "manifest.json").read_text(encoding="utf-8"))
+        manifest["model"]["dim"] = 8  # real weights were saved with dim=16
+        (artifact_dir / "manifest.json").write_text(json.dumps(manifest), encoding="utf-8")
+        with pytest.raises(ArtifactError, match="inconsistent"):
+            load_model_artifact(artifact_dir, verify_checksum=False)
+
+    def test_unknown_scorer_type(self, artifact_dir):
+        manifest = json.loads((artifact_dir / "manifest.json").read_text(encoding="utf-8"))
+        manifest["scorers"] = [{"type": "quantum"}]
+        (artifact_dir / "manifest.json").write_text(json.dumps(manifest), encoding="utf-8")
+        with pytest.raises(ArtifactError, match="unknown scoring function"):
+            load_model_artifact(artifact_dir, verify_checksum=False)
+
+
+class TestRegistry:
+    def test_versioning_and_latest(self, tiny_graph, tmp_path):
+        registry = ModelArtifactRegistry(tmp_path / "registry")
+        first = _model(tiny_graph, seed=1)
+        second = _model(tiny_graph, seed=2)
+        ref1 = registry.save("wn18rr", first)
+        ref2 = registry.save("wn18rr", second)
+        assert (ref1.version, ref2.version) == (1, 2)
+        assert registry.versions("wn18rr") == [1, 2]
+        assert registry.models() == ["wn18rr"]
+
+        batch = tiny_graph.train.array[:12]
+        latest, _ = registry.load("wn18rr")
+        np.testing.assert_array_equal(latest.score_triples(batch).data, second.score_triples(batch).data)
+        pinned, _ = registry.load("wn18rr", version=1)
+        np.testing.assert_array_equal(pinned.score_triples(batch).data, first.score_triples(batch).data)
+
+    def test_manifest_inspection_and_metadata(self, tiny_graph, tmp_path):
+        registry = ModelArtifactRegistry(tmp_path / "registry")
+        registry.save("m", _model(tiny_graph), metadata={"mrr": 0.42})
+        manifest = registry.manifest("m")
+        assert manifest["metadata"]["mrr"] == 0.42
+        assert manifest["model"]["dim"] == 16
+
+    def test_unknown_name_and_version(self, tiny_graph, tmp_path):
+        registry = ModelArtifactRegistry(tmp_path / "registry")
+        with pytest.raises(ArtifactError, match="no artifact named"):
+            registry.load("ghost")
+        registry.save("m", _model(tiny_graph))
+        with pytest.raises(ArtifactError, match="no version 7"):
+            registry.load("m", version=7)
+
+    def test_invalid_names_rejected(self, tmp_path):
+        registry = ModelArtifactRegistry(tmp_path / "registry")
+        for name in ("", "a/b", "..", "a\\b", ".", ".hidden"):
+            with pytest.raises(ArtifactError, match="invalid artifact name"):
+                registry.resolve(name)
+
+    def test_interrupted_save_debris_never_resolves_as_latest(self, tiny_graph, tmp_path):
+        """A version directory without a manifest (crash mid-save) must be skipped."""
+        registry = ModelArtifactRegistry(tmp_path / "registry")
+        registry.save("m", _model(tiny_graph, seed=1))
+        debris = tmp_path / "registry" / "m" / "v2"
+        debris.mkdir()
+        (debris / "weights.npz").write_bytes(b"half-written")
+        assert registry.versions("m") == [1]
+        assert registry.resolve("m").version == 1
+        model, _ = registry.load("m")
+        assert model.num_entities == tiny_graph.num_entities
+        # The next save must not collide with the debris directory.
+        ref = registry.save("m", _model(tiny_graph, seed=2))
+        assert ref.version == 3
+        assert registry.versions("m") == [1, 3]
+
+    def test_delete_version(self, tiny_graph, tmp_path):
+        registry = ModelArtifactRegistry(tmp_path / "registry")
+        registry.save("m", _model(tiny_graph, seed=1))
+        registry.save("m", _model(tiny_graph, seed=2))
+        registry.delete("m", 1)
+        assert registry.versions("m") == [2]
+        # Deleting every version removes the model from the catalogue.
+        registry.delete("m", 2)
+        assert registry.models() == []

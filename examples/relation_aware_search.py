@@ -2,26 +2,41 @@
 
 Run with::
 
-    python examples/relation_aware_search.py [dataset]
+    PYTHONPATH=src python examples/relation_aware_search.py [dataset]
 
-The example searches relation-aware scoring functions on a synthetic benchmark with the
-one-shot supernet (Algorithm 2 of the paper), re-trains the derived candidate from
-scratch, and compares it against the task-aware ERAS_N=1 variant and a DistMult baseline.
+The example drives the same :class:`~repro.runtime.runner.SearchRunner` facade as the
+CLI -- it is the library-call twin of::
+
+    PYTHONPATH=src python -m repro search --dataset wn18rr_like --epochs 15 --train
+
+It searches relation-aware scoring functions on a synthetic benchmark with the one-shot
+supernet (Algorithm 2 of the paper), re-trains the derived candidate from scratch, and
+compares it against the task-aware ERAS_N=1 variant and a DistMult baseline.
 """
 
 import sys
 
-from repro.bench import format_table, quick_eras_config, retrain_searched, train_structure
-from repro.datasets import load_benchmark
+from repro.bench import format_table, train_structure
 from repro.eval import RankingEvaluator
 from repro.kg import RelationPatternAnalyzer
+from repro.runtime import RunConfig, SearchRunner
 from repro.scoring import named_structure, render_relation_aware
-from repro.search import ERASSearcher
-from repro.search.variants import eras_n1
 
 
 def main(dataset: str = "wn18rr_like") -> None:
-    graph = load_benchmark(dataset, seed=0)
+    def run_config(searcher: str, num_groups: int) -> RunConfig:
+        return RunConfig(
+            dataset=dataset,
+            searcher=searcher,
+            num_groups=num_groups,
+            search_epochs=15,
+            dim=48,
+            train_epochs=30,
+            seed=0,
+        )
+
+    runner = SearchRunner(run_config("eras", num_groups=3))
+    graph = runner.graph
     evaluator = RankingEvaluator(graph)
     print(graph)
     print("detected relation patterns:", RelationPatternAnalyzer().summary(graph))
@@ -33,12 +48,12 @@ def main(dataset: str = "wn18rr_like") -> None:
     rows.append({"model": "DistMult", **evaluator.evaluate(baseline, split="test").as_row()})
 
     # Task-aware search (single relation group, AutoSF-style space).
-    task_aware_result = eras_n1(quick_eras_config(num_groups=1, epochs=15)).search(graph)
-    task_aware_model, _ = retrain_searched(graph, task_aware_result, dim=48, epochs=30, seed=0)
-    rows.append({"model": "ERAS_N=1", **evaluator.evaluate(task_aware_model, split="test").as_row()})
+    task_aware = SearchRunner(run_config("eras_n1", num_groups=1)).run()
+    rows.append({"model": "ERAS_N=1", **task_aware.metrics.as_row()})
 
     # Relation-aware search: three relation groups, each with its own scoring function.
-    eras_result = ERASSearcher(quick_eras_config(num_groups=3, epochs=15)).search(graph)
+    report = runner.run()
+    eras_result = report.search_result
     print(f"\nERAS search finished in {eras_result.search_seconds:.1f}s "
           f"after {eras_result.evaluations} one-shot evaluations")
     print("\nsearched relation-aware scoring functions:")
@@ -47,9 +62,7 @@ def main(dataset: str = "wn18rr_like") -> None:
         for group, relations in eras_result.relations_per_group().items()
     }
     print(render_relation_aware(eras_result.best_structures(), group_relations))
-
-    eras_model, _ = retrain_searched(graph, eras_result, dim=48, epochs=30, seed=0)
-    rows.append({"model": "ERAS", **evaluator.evaluate(eras_model, split="test").as_row()})
+    rows.append({"model": "ERAS", **report.metrics.as_row()})
 
     print()
     print(format_table(rows, title=f"link prediction on {dataset}"))

@@ -19,6 +19,10 @@ The package is organised as a stack of subsystems:
   and figure of the paper.
 - :mod:`repro.serve` -- the serving subsystem: a versioned model artifact registry and a
   batched link-prediction inference engine with micro-batching and result caches.
+- :mod:`repro.runtime` -- the runtime layer on top of everything: the parallel
+  :class:`~repro.runtime.evaluation.EvaluationPool` with its structure-keyed cache, JSON
+  checkpoint/resume of searches, the :class:`~repro.runtime.runner.SearchRunner` pipeline
+  facade and the ``python -m repro`` CLI (see ``docs/CLI.md``).
 """
 
 from repro.version import __version__

@@ -1,0 +1,12 @@
+"""Entry point of ``python -m repro``.
+
+Dispatches to :mod:`repro.runtime.cli`, which documents the ``search`` / ``train`` /
+``serve`` / ``bench`` subcommands; see ``docs/CLI.md`` for copy-pasteable invocations.
+"""
+
+import sys
+
+from repro.runtime.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,7 @@ described in Section V-B2 of the paper.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
@@ -46,9 +47,14 @@ class TripletClassifier:
     def build_labelled_split(self, split: str, seed_offset: int = 0) -> Tuple[TripleSet, np.ndarray]:
         """Positives from ``split`` plus an equal number of filtered negatives, with labels."""
         positives: TripleSet = getattr(self.graph, split)
+        # Derive the sampling seed with a *stable* digest: Python's builtin ``hash``
+        # is salted per process for strings, which made the sampled negatives -- and
+        # therefore every classification accuracy -- vary between otherwise identical
+        # runs (a per-process flake in the Table X benchmark).
+        digest = hashlib.sha256(f"{self._seed}|{split}|{seed_offset}".encode("utf-8")).digest()
         negatives = generate_classification_negatives(
             positives, self.graph.num_entities, self._filter_index,
-            seed=(hash((str(self._seed), split, seed_offset)) & 0x7FFFFFFF),
+            seed=int.from_bytes(digest[:4], "little") & 0x7FFFFFFF,
         )
         combined = positives.concat(negatives)
         labels = np.concatenate([np.ones(len(positives)), np.zeros(len(negatives))])

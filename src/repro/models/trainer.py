@@ -28,8 +28,32 @@ class TrainerConfig:
 
     The fields mirror the hyper-parameter set the paper tunes with HyperOpt: learning
     rate, L2 penalty (here the weight of the N3 regulariser), decay rate, batch size and
-    the number of epochs.  ``valid_every`` controls how often validation MRR is computed
-    for early stopping.
+    the number of epochs.
+
+    Fields
+    ------
+    epochs:
+        Maximum training epochs (default 40, > 0).
+    batch_size:
+        Training mini-batch size (default 256, > 0).
+    learning_rate:
+        Optimiser learning rate (default 0.5, > 0).
+    optimizer:
+        One of ``"adagrad"`` (the paper's choice for embeddings), ``"adam"``, ``"sgd"``.
+    regularization_weight:
+        Weight of the N3 regulariser (default 1e-4, >= 0; 0 disables it).
+    lr_decay:
+        Multiplicative per-epoch learning-rate decay (default 1.0, in (0, 1]).
+    valid_every:
+        Compute validation MRR for early stopping every this many epochs
+        (default 5, > 0).
+    patience:
+        Stop after this many validations without improvement (default 4).
+    valid_sample_size:
+        Optional validation subsample size for cheap early-stopping checks
+        (default None: the full split).
+    seed:
+        Seed of batching and validation sampling (default 0).
     """
 
     epochs: int = 40

@@ -7,7 +7,7 @@ matching the "learning rate, L2 penalty, decay rate" hyper-parameters the paper 
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Dict, Iterable, List
 
 import numpy as np
 
@@ -48,6 +48,33 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    # ------------------------------------------------------------------ persistence
+    def state_dict(self) -> Dict[str, object]:
+        """Copy of the optimiser's mutable state (subclasses add their buffers).
+
+        Buffers are listed in parameter order, so a state dict can only be restored
+        into an optimiser built over the same parameter list (checked on load).  Used
+        by the runtime checkpointing (:mod:`repro.runtime.checkpoint`) to make a
+        resumed search bit-identical to an uninterrupted one.
+        """
+        return {"lr": self.lr}
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore state saved by :meth:`state_dict` into this optimiser."""
+        self.lr = float(state["lr"])
+
+    def _load_buffers(self, target: List[np.ndarray], saved: List[object], label: str) -> None:
+        if len(saved) != len(target):
+            raise ValueError(
+                f"{label} state has {len(saved)} buffers but the optimiser holds "
+                f"{len(target)} parameters"
+            )
+        for buffer, value in zip(target, saved):
+            value = np.asarray(value, dtype=buffer.dtype)
+            if value.shape != buffer.shape:
+                raise ValueError(f"{label} buffer shape mismatch: {value.shape} vs {buffer.shape}")
+            buffer[...] = value
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum."""
@@ -76,6 +103,15 @@ class SGD(Optimizer):
                 update = grad
             parameter.data = parameter.data - self.lr * update
 
+    def state_dict(self) -> Dict[str, object]:
+        state = super().state_dict()
+        state["velocity"] = [buffer.copy() for buffer in self._velocity]
+        return state
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        super().load_state_dict(state)
+        self._load_buffers(self._velocity, state["velocity"], "SGD velocity")
+
 
 class Adagrad(Optimizer):
     """Adagrad (Duchi et al., 2011); the paper optimises KG embeddings with it."""
@@ -96,6 +132,15 @@ class Adagrad(Optimizer):
             grad = self._gradient(parameter)
             accumulator += grad**2
             parameter.data = parameter.data - self.lr * grad / (np.sqrt(accumulator) + self.eps)
+
+    def state_dict(self) -> Dict[str, object]:
+        state = super().state_dict()
+        state["accumulator"] = [buffer.copy() for buffer in self._accumulator]
+        return state
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        super().load_state_dict(state)
+        self._load_buffers(self._accumulator, state["accumulator"], "Adagrad accumulator")
 
 
 class Adam(Optimizer):
@@ -133,3 +178,16 @@ class Adam(Optimizer):
             corrected_first = first / bias1
             corrected_second = second / bias2
             parameter.data = parameter.data - self.lr * corrected_first / (np.sqrt(corrected_second) + self.eps)
+
+    def state_dict(self) -> Dict[str, object]:
+        state = super().state_dict()
+        state["step_count"] = self._step_count
+        state["first_moment"] = [buffer.copy() for buffer in self._first_moment]
+        state["second_moment"] = [buffer.copy() for buffer in self._second_moment]
+        return state
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        super().load_state_dict(state)
+        self._step_count = int(state["step_count"])
+        self._load_buffers(self._first_moment, state["first_moment"], "Adam first moment")
+        self._load_buffers(self._second_moment, state["second_moment"], "Adam second moment")

@@ -1,0 +1,50 @@
+"""Runtime layer: parallel candidate evaluation, run orchestration and the CLI.
+
+This package is the chassis around the reproduction's library code:
+
+- :mod:`repro.runtime.evaluation` -- the :class:`EvaluationPool` that fans candidate
+  evaluations out over ``multiprocessing`` workers (deterministic in-process fallback
+  for ``n_workers=1``) behind a structure-keyed :class:`EvalCache`, used by every
+  searcher in :mod:`repro.search`.
+- :mod:`repro.runtime.checkpoint` -- JSON checkpoint/resume of ERAS search state
+  between epochs, plus search-result round-tripping.
+- :mod:`repro.runtime.runner` -- :class:`RunConfig` / :class:`SearchRunner`, the
+  facade owning dataset loading, search, final re-training, evaluation and publishing
+  into the serving registry.
+- :mod:`repro.runtime.profiling` -- timing workloads shared by the benchmark harness
+  and ``python -m repro bench``.
+- :mod:`repro.runtime.cli` -- the argparse layer behind ``python -m repro``.
+
+It sits *above* every other package (search, models, datasets, serve, bench); nothing
+below imports it at module level.
+"""
+
+from repro.runtime.evaluation import (
+    EvalCache,
+    EvaluationPool,
+    score_candidate_one_shot,
+    train_candidate_standalone,
+)
+from repro.runtime.checkpoint import (
+    CheckpointError,
+    load_search_checkpoint,
+    load_search_result,
+    save_search_checkpoint,
+    save_search_result,
+)
+from repro.runtime.runner import RunConfig, RunReport, SearchRunner
+
+__all__ = [
+    "EvalCache",
+    "EvaluationPool",
+    "score_candidate_one_shot",
+    "train_candidate_standalone",
+    "CheckpointError",
+    "save_search_checkpoint",
+    "load_search_checkpoint",
+    "save_search_result",
+    "load_search_result",
+    "RunConfig",
+    "RunReport",
+    "SearchRunner",
+]

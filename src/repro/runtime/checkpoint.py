@@ -1,0 +1,239 @@
+"""JSON serialisation of search state and search results.
+
+Two concerns live here:
+
+1. **Epoch-level checkpointing of ERAS** -- :func:`save_search_checkpoint` writes an
+   :class:`~repro.search.eras.ERASSearchState` (shared embeddings, Adagrad accumulators,
+   controller weights, Adam moments, REINFORCE baseline, every random stream, the
+   reward memory and all counters) to a single JSON file, and
+   :func:`load_search_checkpoint` restores it so that a resumed search is
+   **bit-identical** to an uninterrupted one (enforced by ``tests/test_runtime.py``).
+   Checkpoints embed the search configuration; loading under a different configuration
+   raises :class:`CheckpointError` instead of silently continuing a different search.
+
+2. **Search-result round-tripping** -- :func:`search_result_to_jsonable` /
+   :func:`search_result_from_jsonable` convert a
+   :class:`~repro.search.result.SearchResult` to and from plain JSON structures, which
+   backs ``python -m repro search --output`` and ``python -m repro train --from-result``.
+
+Everything is plain JSON (no pickling), so checkpoints stay portable and inspectable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.kg.graph import KnowledgeGraph
+from repro.scoring.structure import BlockStructure
+from repro.search.eras import ERASSearcher, ERASSearchState
+from repro.search.result import Candidate, SearchResult, TracePoint
+from repro.utils.serialization import PathLike, load_json, save_json, to_jsonable
+
+CHECKPOINT_FORMAT_VERSION = 1
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint file is missing, malformed or belongs to a different search."""
+
+
+# ---------------------------------------------------------------------------- candidates
+def candidate_to_jsonable(candidate: Candidate) -> List[List[List[int]]]:
+    """A candidate as nested lists: one signed entry matrix per relation group."""
+    return [structure.entries.tolist() for structure in candidate.structures]
+
+
+def candidate_from_jsonable(data: List[List[List[int]]]) -> Candidate:
+    """Rebuild a :class:`~repro.search.result.Candidate` from :func:`candidate_to_jsonable`."""
+    return Candidate(tuple(BlockStructure(np.asarray(entries, dtype=np.int64)) for entries in data))
+
+
+# ---------------------------------------------------------------------------- graph identity
+def _graph_identity(graph: KnowledgeGraph) -> Dict[str, object]:
+    """Content identity of a graph: the name alone is ambiguous (the same benchmark at
+    a different scale or data seed keeps its name), so the checkpoint stores shape plus
+    a stable digest of all three splits -- the search consumes train *and* valid, and
+    the final evaluation test -- and refuses to resume against anything else."""
+    digest = hashlib.sha256()
+    sizes = {}
+    for split_name in ("train", "valid", "test"):
+        array = np.ascontiguousarray(getattr(graph, split_name).array, dtype=np.int64)
+        digest.update(array.tobytes())
+        sizes[f"num_{split_name}_triples"] = int(len(array))
+    return {
+        "name": graph.name,
+        "num_entities": graph.num_entities,
+        "num_relations": graph.num_relations,
+        **sizes,
+        "splits_digest": digest.hexdigest(),
+    }
+
+
+# ---------------------------------------------------------------------------- rng streams
+def _rng_state(rng: np.random.Generator) -> Dict[str, object]:
+    return rng.bit_generator.state
+
+
+def _restore_rng(rng: np.random.Generator, state: Dict[str, object]) -> None:
+    rng.bit_generator.state = state
+
+
+# ---------------------------------------------------------------------------- checkpoints
+def save_search_checkpoint(path: PathLike, searcher: ERASSearcher, state: ERASSearchState) -> Path:
+    """Write the full search state to ``path`` (atomically: write-then-rename)."""
+    payload = {
+        "format_version": CHECKPOINT_FORMAT_VERSION,
+        "config": to_jsonable(dataclasses.asdict(searcher.config)),
+        "dataset": state.graph.name,
+        "graph": _graph_identity(state.graph),
+        "epochs_completed": state.epochs_completed,
+        "iteration": state.iteration,
+        "evaluations": state.evaluations,
+        "elapsed_seconds": state.elapsed_seconds,
+        "memory_start": state.memory_start,
+        "assignment": state.assignment.tolist(),
+        "rng": _rng_state(state.rng),
+        "supernet": {
+            "model": state.supernet.model.state_dict(),
+            "optimizer": state.supernet.optimizer.state_dict(),
+            "rng": _rng_state(state.supernet._rng),
+        },
+        "controller": {"model": state.controller.state_dict()},
+        "updater": {
+            "baseline": state.updater.baseline,
+            "optimizer": state.updater.optimizer.state_dict(),
+        },
+        "clustering_rng": _rng_state(state.clustering._rng),
+        "trace": [dataclasses.asdict(point) for point in state.trace],
+        # Insertion order matters: derive-phase ties are broken by it.
+        "reward_memory": [
+            {"reward": reward, "candidate": candidate_to_jsonable(candidate)}
+            for reward, candidate in state.reward_memory.values()
+        ],
+        "last_rewards": [float(reward) for reward in state.last_rewards],
+    }
+    path = Path(path)
+    scratch = path.with_name(path.name + ".tmp")
+    save_json(payload, scratch)
+    scratch.replace(path)
+    return path
+
+
+def load_search_checkpoint(path: PathLike, searcher: ERASSearcher, graph: KnowledgeGraph) -> ERASSearchState:
+    """Rebuild an :class:`~repro.search.eras.ERASSearchState` saved by
+    :func:`save_search_checkpoint`.
+
+    ``searcher`` and ``graph`` must match the checkpointed search; a different
+    configuration or dataset raises :class:`CheckpointError`.
+    """
+    path = Path(path)
+    if not path.is_file():
+        raise CheckpointError(f"no checkpoint at {path}")
+    try:
+        payload = load_json(path)
+    except ValueError as error:
+        raise CheckpointError(f"checkpoint at {path} is not valid JSON: {error}") from error
+    declared = payload.get("format_version")
+    if declared != CHECKPOINT_FORMAT_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint format version {declared!r} "
+            f"(this library reads version {CHECKPOINT_FORMAT_VERSION})"
+        )
+    expected_config = to_jsonable(dataclasses.asdict(searcher.config))
+    if payload.get("config") != expected_config:
+        raise CheckpointError(
+            f"checkpoint at {path} was written under a different search configuration; "
+            "resume with the original settings or delete the checkpoint"
+        )
+    if payload.get("graph") != _graph_identity(graph):
+        raise CheckpointError(
+            f"checkpoint at {path} belongs to a different graph "
+            f"({payload.get('dataset')!r}; name, scale or data seed differ) and cannot "
+            f"resume against {graph.name!r}"
+        )
+
+    # Build fresh components, then overwrite every piece of mutable state.
+    state = searcher.init_state(graph)
+    supernet_payload = payload["supernet"]
+    state.supernet.model.load_state_dict(
+        {name: np.asarray(value, dtype=np.float64) for name, value in supernet_payload["model"].items()}
+    )
+    state.supernet.optimizer.load_state_dict(supernet_payload["optimizer"])
+    _restore_rng(state.supernet._rng, supernet_payload["rng"])
+    state.controller.load_state_dict(
+        {name: np.asarray(value, dtype=np.float64) for name, value in payload["controller"]["model"].items()}
+    )
+    baseline = payload["updater"]["baseline"]
+    state.updater.baseline = None if baseline is None else float(baseline)
+    state.updater.optimizer.load_state_dict(payload["updater"]["optimizer"])
+    _restore_rng(state.clustering._rng, payload["clustering_rng"])
+    _restore_rng(state.rng, payload["rng"])
+
+    state.assignment = np.asarray(payload["assignment"], dtype=np.int64)
+    state.supernet.set_assignment(state.assignment)
+    state.epochs_completed = int(payload["epochs_completed"])
+    state.iteration = int(payload["iteration"])
+    state.evaluations = int(payload["evaluations"])
+    state.elapsed_seconds = float(payload["elapsed_seconds"])
+    state.memory_start = int(payload["memory_start"])
+    state.trace = [TracePoint(**point) for point in payload["trace"]]
+    state.reward_memory = {}
+    for entry in payload["reward_memory"]:
+        candidate = candidate_from_jsonable(entry["candidate"])
+        state.reward_memory[candidate.signature()] = (float(entry["reward"]), candidate)
+    state.last_rewards = [float(reward) for reward in payload["last_rewards"]]
+    return state
+
+
+# ---------------------------------------------------------------------------- results
+def search_result_to_jsonable(result: SearchResult) -> Dict[str, object]:
+    """A :class:`~repro.search.result.SearchResult` as plain JSON structures."""
+    extras = dict(result.extras)
+    top_candidates = extras.pop("top_candidates", None)
+    payload = {
+        "searcher": result.searcher,
+        "dataset": result.dataset,
+        "best_candidate": candidate_to_jsonable(result.best_candidate),
+        "best_assignment": result.best_assignment.tolist(),
+        "best_valid_mrr": result.best_valid_mrr,
+        "search_seconds": result.search_seconds,
+        "evaluations": result.evaluations,
+        "trace": [dataclasses.asdict(point) for point in result.trace],
+        "extras": to_jsonable(extras),
+    }
+    if top_candidates is not None:
+        payload["extras"]["top_candidates"] = [candidate_to_jsonable(c) for c in top_candidates]
+    return payload
+
+
+def search_result_from_jsonable(data: Dict[str, object]) -> SearchResult:
+    """Rebuild a :class:`~repro.search.result.SearchResult` saved by
+    :func:`search_result_to_jsonable`."""
+    extras = dict(data.get("extras", {}))
+    if "top_candidates" in extras:
+        extras["top_candidates"] = [candidate_from_jsonable(c) for c in extras["top_candidates"]]
+    return SearchResult(
+        searcher=str(data["searcher"]),
+        dataset=str(data["dataset"]),
+        best_candidate=candidate_from_jsonable(data["best_candidate"]),
+        best_assignment=np.asarray(data["best_assignment"], dtype=np.int64),
+        best_valid_mrr=float(data["best_valid_mrr"]),
+        search_seconds=float(data["search_seconds"]),
+        evaluations=int(data["evaluations"]),
+        trace=[TracePoint(**point) for point in data.get("trace", [])],
+        extras=extras,
+    )
+
+
+def save_search_result(result: SearchResult, path: PathLike) -> Path:
+    """Serialise a search result to ``path`` as JSON."""
+    return save_json(search_result_to_jsonable(result), path)
+
+
+def load_search_result(path: PathLike) -> SearchResult:
+    """Load a search result saved by :func:`save_search_result`."""
+    return search_result_from_jsonable(load_json(path))

@@ -1,0 +1,462 @@
+"""The argparse layer behind ``python -m repro``.
+
+Four subcommands drive the :class:`~repro.runtime.runner.SearchRunner` facade and the
+serving subsystem:
+
+- ``search`` -- run a scoring-function search (ERAS or a baseline), optionally
+  re-train / evaluate / publish the winner and checkpoint between epochs.
+- ``train``  -- train a classic structure or a saved search result from scratch and
+  evaluate it.
+- ``serve``  -- answer link-prediction queries against a model stored in the artifact
+  registry.
+- ``bench``  -- run the runtime timing workloads (derive-phase scaling, serving
+  latency).
+
+Every invocation documented in ``docs/CLI.md`` is checked against these parsers by
+``tests/test_docs.py``, so the documentation cannot drift from the implementation.
+:func:`build_parser` and :func:`subcommand_parsers` are the public introspection
+points that the test uses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from typing import Dict, List, Optional
+
+from repro.datasets.registry import BENCHMARK_NAMES
+
+from repro.runtime.runner import SEARCHER_NAMES, RunConfig, SearchRunner
+
+CLASSIC_NAMES = ("distmult", "complex", "simple", "analogy")
+
+
+# ---------------------------------------------------------------------------- parser
+def build_parser() -> argparse.ArgumentParser:
+    """The full ``python -m repro`` parser with all four subcommands attached."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="ERAS reproduction runtime: search, train, serve and benchmark "
+        "relation-aware scoring functions for knowledge-graph embedding.",
+    )
+    subparsers = parser.add_subparsers(dest="command", metavar="command")
+    _add_search_parser(subparsers)
+    _add_train_parser(subparsers)
+    _add_serve_parser(subparsers)
+    _add_bench_parser(subparsers)
+    return parser
+
+
+def subcommand_parsers(parser: Optional[argparse.ArgumentParser] = None) -> Dict[str, argparse.ArgumentParser]:
+    """Map of subcommand name to its parser (used by the doc-consistency tests)."""
+    parser = parser or build_parser()
+    action = next(a for a in parser._actions if isinstance(a, argparse._SubParsersAction))
+    return dict(action.choices)
+
+
+def _add_dataset_arguments(parser: argparse.ArgumentParser, default: Optional[str] = "wn18rr_like") -> None:
+    parser.add_argument(
+        "--dataset", choices=BENCHMARK_NAMES, default=default,
+        help=f"synthetic benchmark to load (default: {default})",
+    )
+    parser.add_argument("--scale", type=float, default=1.0, help="dataset scale factor (default: 1.0)")
+    parser.add_argument("--data-seed", type=int, default=0, help="dataset generator seed (default: 0)")
+
+
+def _add_search_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "search",
+        help="run a scoring-function search and optionally re-train / publish the winner",
+        description="Search relation-aware scoring functions with ERAS or one of the "
+        "baselines; candidate evaluations are cached and fanned out over --workers "
+        "processes (any worker count returns a bit-identical winner).",
+    )
+    _add_dataset_arguments(parser)
+    parser.add_argument(
+        "--searcher", choices=SEARCHER_NAMES, default="eras",
+        help="search algorithm (default: eras)",
+    )
+    parser.add_argument("--groups", type=int, default=3, help="N, relation groups for ERAS (default: 3)")
+    parser.add_argument("--blocks", type=int, default=4, help="M, structure block count (default: 4)")
+    parser.add_argument("--epochs", type=int, default=15, help="ERAS search epochs (default: 15)")
+    parser.add_argument(
+        "--candidates", type=int, default=8,
+        help="candidate budget of the random/bayes searchers (default: 8)",
+    )
+    parser.add_argument(
+        "--derive-samples", type=int, default=16,
+        help="K, candidates sampled in the ERAS derive phase (default: 16)",
+    )
+    parser.add_argument("--dim", type=int, default=48, help="embedding dimension (default: 48)")
+    parser.add_argument("--seed", type=int, default=0, help="search seed (default: 0)")
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="evaluation-pool processes; 1 = serial, 0 = all cores (default: 1)",
+    )
+    parser.add_argument(
+        "--checkpoint", metavar="PATH", default=None,
+        help="JSON checkpoint file; ERAS searches resume from it when it exists",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=1,
+        help="write the checkpoint every this many epochs (default: 1)",
+    )
+    parser.add_argument("--output", metavar="PATH", default=None, help="write the search result as JSON")
+    parser.add_argument(
+        "--train", action="store_true",
+        help="re-train the winning candidate from scratch and evaluate it",
+    )
+    parser.add_argument("--train-epochs", type=int, default=30, help="final training epochs (default: 30)")
+    parser.add_argument(
+        "--no-rerank", action="store_true",
+        help="skip re-ranking the top candidates before the final training",
+    )
+    parser.add_argument(
+        "--eval-split", choices=("valid", "test"), default="test",
+        help="split of the final evaluation (default: test)",
+    )
+    parser.add_argument("--registry", metavar="PATH", default=None, help="model artifact registry root")
+    parser.add_argument(
+        "--publish", metavar="NAME", default=None,
+        help="publish the re-trained model under this registry name (implies --train)",
+    )
+    parser.set_defaults(handler=cmd_search)
+
+
+def _add_train_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "train",
+        help="train a scoring function from scratch and evaluate it",
+        description="Train either a classic literature structure (--structure) or the "
+        "winner of a saved search (--from-result) and report filtered ranking metrics.",
+    )
+    _add_dataset_arguments(parser)
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--structure", choices=CLASSIC_NAMES,
+        help="classic scoring function to train",
+    )
+    source.add_argument(
+        "--from-result", metavar="PATH",
+        help="JSON search result written by `python -m repro search --output`",
+    )
+    parser.add_argument("--dim", type=int, default=48, help="embedding dimension (default: 48)")
+    parser.add_argument("--epochs", type=int, default=30, help="training epochs (default: 30)")
+    parser.add_argument("--seed", type=int, default=0, help="training seed (default: 0)")
+    parser.add_argument(
+        "--eval-split", choices=("valid", "test"), default="test",
+        help="split of the evaluation (default: test)",
+    )
+    parser.add_argument("--registry", metavar="PATH", default=None, help="model artifact registry root")
+    parser.add_argument(
+        "--publish", metavar="NAME", default=None,
+        help="publish the trained model under this registry name (requires --registry)",
+    )
+    parser.set_defaults(handler=cmd_train)
+
+
+def _add_serve_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "serve",
+        help="answer link-prediction queries against a registered model",
+        description="Load a model from the artifact registry and answer head/tail "
+        "completion queries through the batched prediction service.",
+    )
+    parser.add_argument("--registry", metavar="PATH", required=True, help="model artifact registry root")
+    parser.add_argument("--model", metavar="NAME", required=True, help="artifact name in the registry")
+    parser.add_argument("--version", type=int, default=None, help="artifact version (default: latest)")
+    _add_dataset_arguments(parser, default=None)
+    parser.add_argument(
+        "--query", action="append", default=[], metavar="H,R,T",
+        help="completion query 'head,relation,?' (predict tail) or '?,relation,tail' "
+        "(predict head); ids or vocabulary symbols; repeatable",
+    )
+    parser.add_argument(
+        "--demo", type=int, default=0, metavar="N",
+        help="additionally answer N random seeded demo queries",
+    )
+    parser.add_argument("--top-k", type=int, default=5, help="completions per query (default: 5)")
+    parser.add_argument("--seed", type=int, default=0, help="seed of the demo queries (default: 0)")
+    parser.set_defaults(handler=cmd_serve)
+
+
+def _add_bench_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "bench",
+        help="run a runtime timing workload",
+        description="Benchmark the runtime layer: 'derive' times serial vs parallel vs "
+        "cached derive-phase scoring, 'serving' measures the prediction service's "
+        "latency and throughput.",
+    )
+    parser.add_argument(
+        "--workload", choices=("derive", "serving"), default="derive",
+        help="which workload to run (default: derive)",
+    )
+    _add_dataset_arguments(parser, default="fb15k_like")
+    parser.add_argument("--candidates", type=int, default=64, help="derive-phase candidates (default: 64)")
+    parser.add_argument("--workers", type=int, default=2, help="evaluation-pool processes (default: 2)")
+    parser.add_argument("--dim", type=int, default=64, help="embedding dimension (default: 64)")
+    parser.add_argument("--queries", type=int, default=256, help="serving workload queries (default: 256)")
+    parser.add_argument("--top-k", type=int, default=10, help="completions per serving query (default: 10)")
+    parser.add_argument("--seed", type=int, default=0, help="workload seed (default: 0)")
+    parser.add_argument("--output", metavar="PATH", default=None, help="write the result row as JSON")
+    parser.set_defaults(handler=cmd_bench)
+
+
+# ---------------------------------------------------------------------------- commands
+def cmd_search(args: argparse.Namespace) -> int:
+    """``python -m repro search``: search, optionally train/evaluate/publish."""
+    from repro.runtime.checkpoint import save_search_result
+    from repro.scoring.render import render_relation_aware
+
+    if args.publish and not args.registry:
+        print("--publish requires --registry", file=sys.stderr)
+        return 2
+    config = RunConfig(
+        dataset=args.dataset,
+        scale=args.scale,
+        data_seed=args.data_seed,
+        searcher=args.searcher,
+        num_groups=args.groups,
+        num_blocks=args.blocks,
+        search_epochs=args.epochs,
+        num_candidates=args.candidates,
+        derive_samples=args.derive_samples,
+        dim=args.dim,
+        seed=args.seed,
+        workers=args.workers,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        train_final=bool(args.train or args.publish),
+        train_epochs=args.train_epochs,
+        rerank=not args.no_rerank,
+        eval_split=args.eval_split,
+        registry_root=args.registry,
+        model_name=args.publish,
+    )
+    from repro.runtime.checkpoint import CheckpointError
+
+    runner = SearchRunner(config)
+    try:
+        report = runner.run()
+    except CheckpointError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    result = report.search_result
+
+    print(f"winning candidate (signature): {result.best_candidate.signature()}")
+    if runner.graph.relation_vocab is not None:
+        group_relations = {
+            group: [runner.graph.relation_vocab.symbol_of(r) for r in relations]
+            for group, relations in result.relations_per_group().items()
+        }
+        print(render_relation_aware(result.best_structures(), group_relations))
+    if args.output:
+        # Record the data provenance so `train --from-result` can refuse a mismatched
+        # --dataset/--scale/--data-seed instead of training against the wrong graph.
+        result.extras["run"] = {"dataset": args.dataset, "scale": args.scale, "data_seed": args.data_seed}
+        save_search_result(result, args.output)
+        print(f"search result written to {args.output}")
+    print(json.dumps(report.summary(), indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    """``python -m repro train``: stand-alone training of a structure or search winner."""
+    from repro.bench.workloads import train_structure
+    from repro.runtime.checkpoint import load_search_result
+    from repro.scoring.classics import named_structure
+
+    if args.publish and not args.registry:
+        print("--publish requires --registry", file=sys.stderr)
+        return 2
+    default_name = args.structure or "searched"
+    config = RunConfig(
+        dataset=args.dataset,
+        scale=args.scale,
+        data_seed=args.data_seed,
+        dim=args.dim,
+        seed=args.seed,
+        train_epochs=args.epochs,
+        eval_split=args.eval_split,
+        registry_root=args.registry,
+        model_name=args.publish or f"{default_name}-{args.dataset}",
+    )
+    runner = SearchRunner(config)
+    result = None
+    if args.from_result:
+        result = load_search_result(args.from_result)
+        if result.dataset != args.dataset:
+            print(
+                f"search result {args.from_result} was produced on dataset "
+                f"{result.dataset!r}; pass --dataset {result.dataset}",
+                file=sys.stderr,
+            )
+            return 2
+        provenance = result.extras.get("run")
+        requested = {"dataset": args.dataset, "scale": args.scale, "data_seed": args.data_seed}
+        if provenance is not None and provenance != requested:
+            print(
+                f"search result {args.from_result} was produced on {provenance}; "
+                f"requested {requested} -- pass the matching --dataset/--scale/--data-seed",
+                file=sys.stderr,
+            )
+            return 2
+        if len(result.best_assignment) != runner.graph.num_relations:
+            print(
+                f"search result {args.from_result} has an assignment for "
+                f"{len(result.best_assignment)} relations but the loaded graph has "
+                f"{runner.graph.num_relations}; the dataset scale or seed differs",
+                file=sys.stderr,
+            )
+            return 2
+        model, training = runner.train(result)
+    else:
+        model, training = train_structure(
+            runner.graph, named_structure(args.structure), dim=args.dim, epochs=args.epochs, seed=args.seed
+        )
+    metrics = runner.evaluate(model)
+    row = {"model": args.structure or result.searcher, **metrics.as_row()}
+    print(json.dumps({"training_epochs": training.epochs_run, **row}, indent=2, sort_keys=True))
+    if args.publish:
+        ref = runner.publish(model, result, metrics, source=args.structure)
+        print(f"published {ref.name}/v{ref.version} to {args.registry}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``python -m repro serve``: batched link-prediction against a stored model."""
+    from repro.datasets import load_benchmark
+    from repro.serve.artifacts import ModelArtifactRegistry
+    from repro.serve.engine import LinkPredictionEngine, LinkQuery
+    from repro.serve.service import PredictionService
+    from repro.utils.rng import new_rng
+
+    if not args.query and not args.demo:
+        print("nothing to do: pass --query and/or --demo N", file=sys.stderr)
+        return 2
+    registry = ModelArtifactRegistry(args.registry)
+    graph = (
+        load_benchmark(args.dataset, scale=args.scale, seed=args.data_seed)
+        if args.dataset
+        else None
+    )
+    engine = LinkPredictionEngine.from_artifact(registry, name=args.model, version=args.version, graph=graph)
+    service = PredictionService(engine)
+
+    queries: List[LinkQuery] = [_parse_query(text, engine, args.top_k) for text in args.query]
+    queries += _random_queries(
+        new_rng(args.seed), args.demo, engine.model.num_relations, engine.model.num_entities, args.top_k
+    )
+
+    for query, result in zip(queries, service.query_many(queries)):
+        anchor = engine.label(query.anchor)
+        print(f"\n({anchor}, r{query.relation}, ?)" if query.direction == "tail" else f"\n(?, r{query.relation}, {anchor})")
+        for entity, score in result.pairs():
+            print(f"  {engine.label(entity):<24} {score:+.4f}")
+    print()
+    print(service.stats_table().render())
+    print(service.cache_table().render())
+    return 0
+
+
+def _random_queries(rng, count: int, num_relations: int, num_entities: int, k: int) -> List["LinkQuery"]:
+    """Seeded demo traffic: alternating tail/head completions over random ids."""
+    from repro.serve.engine import LinkQuery
+
+    queries: List[LinkQuery] = []
+    for index in range(count):
+        relation = int(rng.integers(num_relations))
+        entity = int(rng.integers(num_entities))
+        if index % 2 == 0:
+            queries.append(LinkQuery(relation=relation, head=entity, k=k))
+        else:
+            queries.append(LinkQuery(relation=relation, tail=entity, k=k))
+    return queries
+
+
+def _parse_query(text: str, engine, k: int):
+    """Parse ``head,relation,tail`` where exactly one of head/tail is ``?``."""
+    from repro.serve.engine import LinkQuery
+
+    parts = [part.strip() for part in text.split(",")]
+    if len(parts) != 3:
+        raise SystemExit(f"malformed --query {text!r}: expected 'head,relation,tail' with one '?'")
+
+    def resolve(token: str, vocab) -> Optional[int]:
+        if token == "?":
+            return None
+        if re.fullmatch(r"-?\d+", token):
+            return int(token)
+        if vocab is None:
+            raise SystemExit(f"cannot resolve symbol {token!r}: the artifact stores no vocabulary")
+        try:
+            return vocab.id_of(token)
+        except KeyError:
+            raise SystemExit(f"cannot resolve symbol {token!r}: not in the artifact's vocabulary") from None
+
+    head = resolve(parts[0], engine.entity_vocab)
+    relation = resolve(parts[1], engine.relation_vocab)
+    tail = resolve(parts[2], engine.entity_vocab)
+    if relation is None:
+        raise SystemExit(f"malformed --query {text!r}: the relation cannot be '?'")
+    try:
+        query = LinkQuery(relation=relation, head=head, tail=tail, k=k)
+        engine.validate_query(query)
+    except ValueError as error:
+        raise SystemExit(f"malformed --query {text!r}: {error}") from error
+    return query
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """``python -m repro bench``: derive-phase or serving timing workloads."""
+    from repro.bench.reporting import TableReport
+    from repro.bench.workloads import train_structure
+    from repro.datasets import load_benchmark
+    from repro.runtime.profiling import time_derive_phase
+    from repro.scoring.classics import named_structure
+    from repro.serve.engine import LinkPredictionEngine, LinkQuery
+    from repro.serve.service import PredictionService
+    from repro.utils.rng import new_rng
+    from repro.utils.serialization import save_json
+
+    graph = load_benchmark(args.dataset, scale=args.scale, seed=args.data_seed)
+    if args.workload == "derive":
+        row = time_derive_phase(
+            graph,
+            num_candidates=args.candidates,
+            workers=args.workers,
+            dim=args.dim,
+            seed=args.seed,
+        )
+        report = TableReport("derive-phase timing: serial vs parallel vs cached")
+        report.add_row(**row)
+        print(report.render())
+    else:
+        model, _ = train_structure(graph, named_structure("distmult"), dim=min(args.dim, 32), epochs=8, seed=args.seed)
+        engine = LinkPredictionEngine.from_graph(model, graph)
+        service = PredictionService(engine)
+        queries = _random_queries(
+            new_rng(args.seed), args.queries, graph.num_relations, graph.num_entities, args.top_k
+        )
+        service.query_many(queries)
+        print(service.stats_table().render())
+        print(service.cache_table().render())
+        row = service.stats.as_row()
+    if args.output:
+        save_json(row, args.output)
+        print(f"result row written to {args.output}")
+    return 0
+
+
+# ---------------------------------------------------------------------------- entry
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``python -m repro``; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "handler", None) is None:
+        parser.print_help()
+        return 1
+    return int(args.handler(args) or 0)

@@ -1,0 +1,359 @@
+"""Parallel candidate evaluation: the :class:`EvaluationPool` and its workers.
+
+Every searcher in :mod:`repro.search` spends almost all of its wall clock scoring
+candidates -- one-shot validation MRR with the shared supernet embeddings (ERAS's
+derive phase) or full stand-alone training runs (AutoSF, random and Bayes search).
+Those evaluations are *pure functions* of their inputs, which makes them safe to
+
+1. **cache** -- a structure-keyed :class:`EvalCache` guarantees a candidate sampled
+   twice (the controller resamples converged structures constantly; the anchor pass
+   revisits classic combinations) is never scored twice, and
+2. **parallelise** -- an :class:`EvaluationPool` fans the cache misses out over
+   ``multiprocessing`` workers, with a deterministic in-process fallback when
+   ``n_workers=1``.
+
+Because both paths run the *same* module-level worker function on the *same* payload,
+``n_workers=1`` and ``n_workers=N`` produce bit-identical scores, so the winning
+candidate of a search does not depend on the degree of parallelism (enforced by
+``tests/test_runtime.py``).
+
+Worker functions must be module-level (picklable by reference) and take
+``(shared, payload)``: ``shared`` is sent to each worker once per :meth:`~EvaluationPool.map`
+call via the pool initializer, per-candidate ``payload`` objects travel through the task
+queue and should stay small (structure entry matrices, seeds).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.kg.graph import KnowledgeGraph
+from repro.models.kge import KGEModel
+from repro.models.trainer import Trainer, TrainerConfig
+from repro.scoring.structure import BlockStructure
+from repro.search.result import Candidate
+from repro.search.supernet import SharedEmbeddingSupernet, one_shot_mrr
+
+_MISS = object()
+
+
+class EvalCache:
+    """Structure-keyed memo of candidate scores with hit/miss accounting.
+
+    Keys are arbitrary hashable tuples; by convention the first element is a tag naming
+    the evaluation kind (``"one-shot"``, ``"stand-alone"``) and the last is the
+    candidate's :meth:`~repro.search.result.Candidate.signature`, so scores obtained
+    under different model states, datasets or budgets never collide.
+    """
+
+    def __init__(self, max_size: Optional[int] = None) -> None:
+        if max_size is not None and max_size < 1:
+            raise ValueError("max_size must be positive (or None for unbounded)")
+        self.max_size = max_size
+        self._store: Dict[Hashable, float] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Hashable) -> Optional[float]:
+        """Cached score for ``key`` or ``None``; updates the hit/miss counters."""
+        value = self._store.get(key, _MISS)
+        if value is _MISS:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: float) -> None:
+        """Store a score, evicting the oldest entry when ``max_size`` is exceeded."""
+        if self.max_size is not None and key not in self._store and len(self._store) >= self.max_size:
+            self._store.pop(next(iter(self._store)))
+        self._store[key] = value
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._store
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of :meth:`get` calls that were hits (0.0 when never queried)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> Dict[str, object]:
+        """Counters as a row for logs and benchmark tables."""
+        return {
+            "entries": len(self._store),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+    def __repr__(self) -> str:
+        return f"EvalCache(entries={len(self._store)}, hits={self.hits}, misses={self.misses})"
+
+
+# ---------------------------------------------------------------------------- pool
+# Worker-process globals installed by the pool initializer; with the default ``fork``
+# start method they are inherited by reference, with ``spawn`` they are pickled, which
+# is why worker functions must be module-level.
+_WORKER_FN: Optional[Callable] = None
+_WORKER_SHARED: object = None
+
+
+def _initialize_worker(fn: Callable, shared: object) -> None:
+    global _WORKER_FN, _WORKER_SHARED
+    _WORKER_FN = fn
+    _WORKER_SHARED = shared
+
+
+def _run_job(payload: object) -> float:
+    return _WORKER_FN(_WORKER_SHARED, payload)
+
+
+def default_workers() -> int:
+    """Worker count used when a caller asks for "all cores" (``workers=0``)."""
+    return max(1, os.cpu_count() or 1)
+
+
+class EvaluationPool:
+    """Fans candidate evaluations out over processes, deduplicated through a cache.
+
+    ``n_workers=1`` (the default) evaluates in-process in submission order;
+    ``n_workers>1`` spins up a ``multiprocessing`` pool per :meth:`map` call (the
+    shared payload changes between calls, e.g. the supernet embeddings move every
+    epoch).  Results always come back in submission order, and both paths execute the
+    identical worker function, so parallelism never changes a search outcome.
+
+    The pool-per-call design trades a fixed fork cost (~tens of milliseconds per call
+    on POSIX) for simplicity and a fresh shared payload each time; it is negligible
+    against the multi-second trainings of the stand-alone searchers and the one map
+    call per derive phase.  A persistent pool would only pay off for sub-millisecond
+    evaluations, which are cheaper to run in-process anyway.
+    """
+
+    def __init__(
+        self,
+        n_workers: int = 1,
+        cache: Optional[EvalCache] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if n_workers == 0:
+            n_workers = default_workers()
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be positive (or 0 for all cores), got {n_workers}")
+        self.n_workers = n_workers
+        self.cache = cache
+        # ``fork`` makes the shared payload free to transfer on POSIX; fall back to the
+        # platform default (``spawn``) where fork is unavailable.
+        if start_method is None:
+            start_method = "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+        self._start_method = start_method
+
+    # ------------------------------------------------------------------ public API
+    def map(
+        self,
+        fn: Callable[[object, object], float],
+        payloads: Sequence[object],
+        shared: object = None,
+        keys: Optional[Sequence[Hashable]] = None,
+        cache: Optional[EvalCache] = None,
+    ) -> List[float]:
+        """Evaluate ``fn(shared, payload)`` for every payload; results in input order.
+
+        ``keys`` (parallel to ``payloads``) enables caching: hits are served from
+        ``cache`` (defaulting to the pool's own cache), duplicate keys within one call
+        are evaluated once, and fresh scores are written back.  Without keys every
+        payload is evaluated.
+        """
+        if keys is not None and len(keys) != len(payloads):
+            raise ValueError(f"got {len(keys)} keys for {len(payloads)} payloads")
+        cache = cache if cache is not None else self.cache
+
+        results: List[Optional[float]] = [None] * len(payloads)
+        job_for_key: Dict[Hashable, int] = {}
+        jobs: List[Tuple[int, object]] = []  # (payload index, payload) of unique misses
+        followers: List[Tuple[int, int]] = []  # (result index, job index) of duplicates
+        for index, payload in enumerate(payloads):
+            key = keys[index] if keys is not None else None
+            if key is not None:
+                # Duplicates within one call ride along with the first occurrence's
+                # job *before* the cache lookup, so each unique key counts exactly
+                # one miss -- callers report cache.misses as their evaluation count.
+                if key in job_for_key:
+                    followers.append((index, job_for_key[key]))
+                    continue
+                if cache is not None:
+                    hit = cache.get(key)
+                    if hit is not None:
+                        results[index] = hit
+                        continue
+                job_for_key[key] = len(jobs)
+            jobs.append((index, payload))
+
+        values = self._evaluate([payload for _, payload in jobs], fn, shared)
+        for (index, _), value in zip(jobs, values):
+            results[index] = value
+        for index, job_index in followers:
+            results[index] = values[job_index]
+        if cache is not None and keys is not None:
+            for key, job_index in job_for_key.items():
+                cache.put(key, values[job_index])
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------ internals
+    def _evaluate(self, payloads: List[object], fn: Callable, shared: object) -> List[float]:
+        if not payloads:
+            return []
+        if self.n_workers == 1 or len(payloads) == 1:
+            return [fn(shared, payload) for payload in payloads]
+        context = (
+            multiprocessing.get_context(self._start_method)
+            if self._start_method
+            else multiprocessing.get_context()
+        )
+        processes = min(self.n_workers, len(payloads))
+        with context.Pool(
+            processes=processes, initializer=_initialize_worker, initargs=(fn, shared)
+        ) as pool:
+            return pool.map(_run_job, payloads)
+
+    def __repr__(self) -> str:
+        return f"EvaluationPool(n_workers={self.n_workers}, cache={self.cache!r})"
+
+
+# ---------------------------------------------------------------------------- workers
+def graph_fingerprint(graph: KnowledgeGraph) -> Tuple:
+    """Process-local identity of a graph's contents, for stand-alone cache keys.
+
+    ``graph.name`` alone is ambiguous -- the same benchmark loaded at two scales or
+    data seeds keeps its name -- so keys carry the shape plus a content hash of the
+    training split.  ``hash`` over bytes is salted per process, which is fine: an
+    :class:`EvalCache` lives and dies inside one process.
+    """
+    train = np.ascontiguousarray(graph.train.array)
+    return (graph.name, graph.num_entities, graph.num_relations, len(train), hash(train.tobytes()))
+
+
+def candidate_payload(candidate: Candidate) -> Dict[str, object]:
+    """Per-candidate job payload: just the signed entry matrices (small to pickle)."""
+    return {"structures": [structure.entries for structure in candidate.structures]}
+
+
+def _structures_from_payload(payload: Dict[str, object]) -> List[BlockStructure]:
+    return [BlockStructure(np.asarray(entries, dtype=np.int64)) for entries in payload["structures"]]
+
+
+def one_shot_shared_payload(supernet: SharedEmbeddingSupernet) -> Dict[str, object]:
+    """Everything a worker needs to rebuild the supernet's model: shared once per map."""
+    return {
+        "num_entities": supernet.graph.num_entities,
+        "num_relations": supernet.graph.num_relations,
+        "dim": supernet.config.dim,
+        "state": supernet.model.state_dict(),
+        "assignment": supernet.assignment.copy(),
+        "valid": np.asarray(supernet.graph.valid.array),
+    }
+
+
+# Reconstructed model of the most recent one-shot shared payload.  The payload object
+# is identical for every job of one ``map`` call (and, in workers, for a worker's whole
+# lifetime), so rebuilding the embedding tables once and swapping scorers per candidate
+# mirrors the supernet's own cheap ``set_scorers`` path.  Keyed by identity; holding the
+# payload itself keeps the key alive, so an ``is`` match can never be a recycled object.
+_ONE_SHOT_MODEL: Tuple[Optional[Dict[str, object]], Optional[KGEModel]] = (None, None)
+
+
+def _one_shot_model(shared: Dict[str, object]) -> KGEModel:
+    global _ONE_SHOT_MODEL
+    if _ONE_SHOT_MODEL[0] is shared:
+        return _ONE_SHOT_MODEL[1]
+    model = KGEModel(
+        num_entities=int(shared["num_entities"]),
+        num_relations=int(shared["num_relations"]),
+        dim=int(shared["dim"]),
+        scorers=[BlockStructure.diagonal(4)],
+        assignment=np.zeros(int(shared["num_relations"]), dtype=np.int64),
+        seed=0,
+    )
+    model.load_state_dict(shared["state"])
+    _ONE_SHOT_MODEL = (shared, model)
+    return model
+
+
+def release_one_shot_model() -> None:
+    """Drop the memoised one-shot model and its shared payload.
+
+    Call when a derive phase is done: with ``n_workers=1`` the memo lives in the
+    calling process and would otherwise pin a full embedding table plus the validation
+    split until the next search overwrites it.
+    """
+    global _ONE_SHOT_MODEL
+    _ONE_SHOT_MODEL = (None, None)
+
+
+def score_candidate_one_shot(shared: Dict[str, object], payload: Dict[str, object]) -> float:
+    """One-shot validation MRR of a candidate under the shared supernet embeddings.
+
+    Reconstructs the supernet's :class:`~repro.models.kge.KGEModel` from the shared
+    payload (once per payload, see :func:`_one_shot_model`), installs the candidate's
+    structures and scores the full validation split -- the exact computation of
+    :meth:`~repro.search.supernet.SharedEmbeddingSupernet.one_shot_validation_mrr`.
+    """
+    model = _one_shot_model(shared)
+    model.set_scorers(
+        _structures_from_payload(payload), assignment=np.asarray(shared["assignment"], dtype=np.int64)
+    )
+    return one_shot_mrr(model, np.asarray(shared["valid"], dtype=np.int64))
+
+
+def standalone_shared_payload(
+    graph: KnowledgeGraph, trainer: TrainerConfig, dim: int
+) -> Dict[str, object]:
+    """Shared payload of the stand-alone trainers (AutoSF / random / Bayes search)."""
+    return {"graph": graph, "trainer": trainer, "dim": int(dim)}
+
+
+def standalone_cache_key(
+    fingerprint: Tuple, trainer: TrainerConfig, dim: int, seed: int, structure: BlockStructure
+) -> Tuple:
+    """Cache key of one stand-alone training evaluation.
+
+    Defined once so every searcher shares the same scheme: graph content
+    (:func:`graph_fingerprint`), the full training budget (a different
+    :class:`~repro.models.trainer.TrainerConfig` must never be served a cached MRR),
+    embedding dimension, the model-initialisation seed and the structure itself.
+    """
+    return ("stand-alone", fingerprint, int(dim), int(seed), dataclasses.astuple(trainer), structure.signature())
+
+
+def train_candidate_standalone(shared: Dict[str, object], payload: Dict[str, object]) -> float:
+    """Best validation MRR of one candidate trained from scratch (Algorithm 1, step 5).
+
+    The payload's ``seed`` controls the model initialisation, so a searcher that seeds
+    each candidate differently (random search) stays bit-identical across worker counts.
+    """
+    structures = _structures_from_payload(payload)
+    assignment = payload.get("assignment")
+    model = KGEModel(
+        num_entities=shared["graph"].num_entities,
+        num_relations=shared["graph"].num_relations,
+        dim=int(shared["dim"]),
+        scorers=structures,
+        assignment=None if assignment is None else np.asarray(assignment, dtype=np.int64),
+        seed=int(payload["seed"]),
+    )
+    result = Trainer(shared["trainer"]).fit(model, shared["graph"])
+    return float(result.best_valid_mrr)

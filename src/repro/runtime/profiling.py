@@ -1,0 +1,104 @@
+"""Timing workloads of the runtime layer.
+
+:func:`time_derive_phase` measures the cost of the ERAS derive phase -- the
+``derive_samples=K`` full-validation scorings at the end of Algorithm 2 -- under three
+execution strategies:
+
+1. ``serial``   -- the seed's loop: one in-process
+   :meth:`~repro.search.supernet.SharedEmbeddingSupernet.one_shot_validation_mrr`
+   call per candidate;
+2. ``parallel`` -- the same candidates fanned out over an
+   :class:`~repro.runtime.evaluation.EvaluationPool` with ``workers`` processes;
+3. ``cached``   -- a second pooled pass, now served entirely from the
+   :class:`~repro.runtime.evaluation.EvalCache` (the regime of the anchor pass and
+   of converged controllers that resample the same candidates).
+
+Both ``benchmarks/test_figure02_search_efficiency.py`` and
+``python -m repro bench --workload derive`` report these numbers, so the benchmark
+and the CLI can never drift apart.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+import numpy as np
+
+from repro.kg.graph import KnowledgeGraph
+from repro.search.controller import ArchitectureController, ControllerConfig
+from repro.search.space import RelationAwareSearchSpace
+from repro.search.supernet import SharedEmbeddingSupernet, SupernetConfig
+from repro.utils.rng import new_rng
+
+from repro.runtime.evaluation import (
+    EvalCache,
+    EvaluationPool,
+    candidate_payload,
+    one_shot_shared_payload,
+    release_one_shot_model,
+    score_candidate_one_shot,
+)
+
+
+def time_derive_phase(
+    graph: KnowledgeGraph,
+    num_groups: int = 3,
+    num_blocks: int = 4,
+    num_candidates: int = 48,
+    workers: int = 2,
+    dim: int = 48,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Time serial vs pooled vs cached scoring of one derive phase on ``graph``.
+
+    Returns a row with the three wall-clock measurements, the resulting speedups and a
+    ``scores_match`` flag asserting that all strategies produced bit-identical MRRs
+    (the determinism guarantee behind ``--workers N``).
+    """
+    space = RelationAwareSearchSpace(num_blocks=num_blocks, num_groups=num_groups)
+    supernet = SharedEmbeddingSupernet(graph, num_groups=num_groups, config=SupernetConfig(dim=dim, seed=seed))
+    controller = ArchitectureController(space, config=ControllerConfig(seed=seed))
+    rng = new_rng(seed)
+
+    candidates = []
+    seen = set()
+    for sample in controller.sample(num_candidates, rng=rng):
+        signature = sample.candidate.signature()
+        if signature not in seen:
+            seen.add(signature)
+            candidates.append(sample.candidate)
+
+    started = time.perf_counter()
+    serial_scores = [supernet.one_shot_validation_mrr(candidate) for candidate in candidates]
+    serial_seconds = time.perf_counter() - started
+
+    pool = EvaluationPool(n_workers=workers, cache=EvalCache())
+    shared = one_shot_shared_payload(supernet)
+    payloads = [candidate_payload(candidate) for candidate in candidates]
+    keys = [("one-shot", candidate.signature()) for candidate in candidates]
+
+    started = time.perf_counter()
+    parallel_scores = pool.map(score_candidate_one_shot, payloads, shared=shared, keys=keys)
+    parallel_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    cached_scores = pool.map(score_candidate_one_shot, payloads, shared=shared, keys=keys)
+    cached_seconds = time.perf_counter() - started
+    release_one_shot_model()
+
+    return {
+        "dataset": graph.name,
+        "candidates": len(candidates),
+        "workers": workers,
+        "serial_seconds": round(serial_seconds, 4),
+        "parallel_seconds": round(parallel_seconds, 4),
+        "cached_seconds": round(cached_seconds, 4),
+        "parallel_speedup": round(serial_seconds / max(parallel_seconds, 1e-9), 2),
+        "cached_speedup": round(serial_seconds / max(cached_seconds, 1e-9), 2),
+        "cache_hit_rate": pool.cache.hit_rate,
+        "scores_match": bool(
+            np.array_equal(np.asarray(serial_scores), np.asarray(parallel_scores))
+            and np.array_equal(np.asarray(serial_scores), np.asarray(cached_scores))
+        ),
+    }

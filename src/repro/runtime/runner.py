@@ -1,0 +1,350 @@
+"""The :class:`SearchRunner` facade: one object that owns the whole pipeline.
+
+A run is *dataset -> search -> re-train winner -> evaluate -> publish*:
+
+- the dataset comes from :mod:`repro.datasets.registry`,
+- the search is any of the four searchers (ERAS, ERAS_N=1, AutoSF, random, Bayes),
+  evaluated through a shared :class:`~repro.runtime.evaluation.EvaluationPool`,
+- ERAS searches are checkpointed to JSON between epochs and resumed automatically
+  (:mod:`repro.runtime.checkpoint`),
+- the winning candidate is re-trained from scratch (:mod:`repro.models.trainer`),
+  evaluated with the filtered ranking protocol (:mod:`repro.eval.ranking`), and
+- the trained model is published into the versioned
+  :class:`~repro.serve.artifacts.ModelArtifactRegistry` of the serving subsystem.
+
+``python -m repro`` is a thin argparse layer over this class; scripts and tests can
+drive it directly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from repro.datasets import load_benchmark
+from repro.eval.ranking import RankingEvaluator, RankingMetrics
+from repro.kg.graph import KnowledgeGraph
+from repro.models.kge import KGEModel
+from repro.models.trainer import TrainingResult
+from repro.search import SearchResult
+from repro.search.autosf import AutoSFSearcher
+from repro.search.bayes_search import BayesSearcher
+from repro.search.eras import ERASSearcher
+from repro.search.random_search import RandomSearcher
+from repro.search.variants import eras_n1
+from repro.serve.artifacts import ArtifactRef, ModelArtifactRegistry
+from repro.utils.logging import get_logger
+from repro.utils.serialization import to_jsonable
+
+from repro.runtime.checkpoint import load_search_checkpoint, save_search_checkpoint
+from repro.runtime.evaluation import EvalCache, EvaluationPool
+
+logger = get_logger("runtime.runner")
+
+SEARCHER_NAMES: Tuple[str, ...] = ("eras", "eras_n1", "autosf", "random", "bayes")
+
+
+@dataclass
+class RunConfig:
+    """Everything a :class:`SearchRunner` needs, CLI-addressable field by field.
+
+    Fields
+    ------
+    dataset:
+        Synthetic benchmark name from :mod:`repro.datasets.registry`
+        (default ``"wn18rr_like"``).
+    scale:
+        Dataset scale factor passed to the registry (default 1.0, > 0).
+    data_seed:
+        Seed of the synthetic dataset generator (default 0).
+    searcher:
+        One of ``eras | eras_n1 | autosf | random | bayes`` (default ``"eras"``).
+    num_groups:
+        N, relation groups of the ERAS search (default 3, >= 1; ignored by the
+        task-aware searchers).
+    num_blocks:
+        M, structure block count shared by every searcher (default 4, >= 2).
+    search_epochs:
+        ERAS search epochs (default 15, >= 1; ignored by the stand-alone searchers).
+    num_candidates:
+        Candidate budget of the random / Bayes searchers (default 8, >= 1).
+    derive_samples:
+        K, ERAS derive-phase samples (default 16, >= 1).
+    dim:
+        Embedding dimension of the supernet and the final re-trained model
+        (default 48, > 0).
+    seed:
+        Seed of the search and the final training (default 0).
+    workers:
+        Evaluation-pool processes; 1 is serial in-process, 0 means all cores
+        (default 1).  Any value yields a bit-identical winning candidate.
+    checkpoint_path:
+        Optional JSON file for epoch-level ERAS checkpointing; if it exists the
+        search resumes from it (default None; ignored for non-ERAS searchers).
+    checkpoint_every:
+        Write the checkpoint every this many epochs (default 1, >= 1).
+    train_final:
+        Re-train the winning candidate from scratch and evaluate it
+        (default True; False stops after the search).
+    train_epochs:
+        Epochs of the final from-scratch training (default 30, >= 1).
+    rerank:
+        Re-rank the searcher's top candidates with short training runs before the
+        final training (default True; reduces one-shot proxy variance).
+    eval_split:
+        Split of the final ranking evaluation, ``"valid"`` or ``"test"``
+        (default ``"test"``).
+    registry_root:
+        Root directory of the model artifact registry; when set, the trained model
+        is published there (default None).
+    model_name:
+        Artifact name in the registry (default None: ``"<searcher>-<dataset>"``).
+    """
+
+    dataset: str = "wn18rr_like"
+    scale: float = 1.0
+    data_seed: int = 0
+    searcher: str = "eras"
+    num_groups: int = 3
+    num_blocks: int = 4
+    search_epochs: int = 15
+    num_candidates: int = 8
+    derive_samples: int = 16
+    dim: int = 48
+    seed: int = 0
+    workers: int = 1
+    checkpoint_path: Optional[str] = None
+    checkpoint_every: int = 1
+    train_final: bool = True
+    train_epochs: int = 30
+    rerank: bool = True
+    eval_split: str = "test"
+    registry_root: Optional[str] = None
+    model_name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.searcher not in SEARCHER_NAMES:
+            raise ValueError(f"unknown searcher {self.searcher!r}; choose from {SEARCHER_NAMES}")
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0 (0 means all cores)")
+        if min(self.num_groups, self.search_epochs, self.num_candidates, self.derive_samples) < 1:
+            raise ValueError("num_groups, search_epochs, num_candidates and derive_samples must be positive")
+        if self.num_blocks < 2:
+            raise ValueError("num_blocks must be at least 2")
+        if self.dim < 1 or self.train_epochs < 1 or self.checkpoint_every < 1:
+            raise ValueError("dim, train_epochs and checkpoint_every must be positive")
+        if self.eval_split not in ("valid", "test"):
+            raise ValueError("eval_split must be 'valid' or 'test'")
+
+
+@dataclass
+class RunReport:
+    """Outcome of one :meth:`SearchRunner.run` pipeline.
+
+    Fields
+    ------
+    config:
+        The :class:`RunConfig` that produced this report.
+    search_result:
+        The :class:`~repro.search.result.SearchResult` of the search stage.
+    training:
+        The final from-scratch :class:`~repro.models.trainer.TrainingResult`
+        (None when ``train_final`` was off).
+    metrics:
+        Filtered ranking metrics of the re-trained model on ``eval_split``
+        (None when ``train_final`` was off).
+    artifact:
+        Registry reference of the published model (None unless ``registry_root``
+        was set).
+    """
+
+    config: RunConfig
+    search_result: SearchResult
+    training: Optional[TrainingResult] = None
+    metrics: Optional[RankingMetrics] = None
+    artifact: Optional[ArtifactRef] = None
+
+    def summary(self) -> Dict[str, object]:
+        """Compact JSON-friendly description of the run."""
+        summary: Dict[str, object] = dict(self.search_result.summary())
+        summary["workers"] = self.config.workers
+        if self.training is not None:
+            summary["final_train_epochs"] = self.training.epochs_run
+            summary["final_valid_mrr"] = round(self.training.best_valid_mrr, 4)
+        if self.metrics is not None:
+            summary.update(
+                {f"{self.config.eval_split}_{key}": value for key, value in self.metrics.as_row().items()}
+            )
+        if self.artifact is not None:
+            summary["artifact"] = f"{self.artifact.name}/v{self.artifact.version}"
+        return to_jsonable(summary)
+
+
+class SearchRunner:
+    """Owns dataset, pool, searcher, training, evaluation and publishing for one run."""
+
+    def __init__(self, config: RunConfig, pool: Optional[EvaluationPool] = None) -> None:
+        self.config = config
+        self.pool = pool if pool is not None else EvaluationPool(n_workers=config.workers, cache=EvalCache())
+        self._graph: Optional[KnowledgeGraph] = None
+
+    # ------------------------------------------------------------------ components
+    @property
+    def graph(self) -> KnowledgeGraph:
+        """The benchmark graph (loaded once, memoised by the dataset registry)."""
+        if self._graph is None:
+            self._graph = load_benchmark(
+                self.config.dataset, scale=self.config.scale, seed=self.config.data_seed
+            )
+        return self._graph
+
+    def build_searcher(self):
+        """Instantiate the configured searcher, wired to the shared evaluation pool."""
+        from repro.bench.workloads import (
+            quick_autosf_config,
+            quick_bayes_config,
+            quick_eras_config,
+            quick_random_config,
+        )
+
+        config = self.config
+        if config.searcher in ("eras", "eras_n1"):
+            groups = 1 if config.searcher == "eras_n1" else config.num_groups
+            eras_config = dataclasses.replace(
+                quick_eras_config(
+                    num_groups=groups,
+                    num_blocks=config.num_blocks,
+                    epochs=config.search_epochs,
+                    dim=config.dim,
+                    seed=config.seed,
+                ),
+                derive_samples=config.derive_samples,
+            )
+            if config.searcher == "eras_n1":
+                return eras_n1(eras_config, pool=self.pool)
+            return ERASSearcher(eras_config, pool=self.pool)
+        if config.searcher == "autosf":
+            autosf_config = dataclasses.replace(
+                quick_autosf_config(seed=config.seed),
+                num_blocks=config.num_blocks,
+                embedding_dim=config.dim,
+            )
+            return AutoSFSearcher(autosf_config, pool=self.pool)
+        if config.searcher == "random":
+            random_config = dataclasses.replace(
+                quick_random_config(num_candidates=config.num_candidates, seed=config.seed),
+                num_blocks=config.num_blocks,
+                embedding_dim=config.dim,
+            )
+            return RandomSearcher(random_config, pool=self.pool)
+        bayes_config = dataclasses.replace(
+            quick_bayes_config(num_candidates=config.num_candidates, seed=config.seed),
+            num_blocks=config.num_blocks,
+            embedding_dim=config.dim,
+        )
+        return BayesSearcher(bayes_config, pool=self.pool)
+
+    # ------------------------------------------------------------------ stages
+    def search(self) -> SearchResult:
+        """Run (or resume) the configured search and return its result."""
+        searcher = self.build_searcher()
+        checkpoint = self.config.checkpoint_path
+        if checkpoint and isinstance(searcher, ERASSearcher):
+            return self._run_checkpointed(searcher, Path(checkpoint))
+        if checkpoint:
+            logger.warning(
+                "checkpointing is only supported for the ERAS searchers; ignoring %s", checkpoint
+            )
+        return searcher.search(self.graph)
+
+    def _run_checkpointed(self, searcher: ERASSearcher, path: Path) -> SearchResult:
+        if path.exists():
+            state = load_search_checkpoint(path, searcher, self.graph)
+            logger.info("resumed search from %s at epoch %d", path, state.epochs_completed)
+        else:
+            state = searcher.init_state(self.graph)
+        while state.epochs_completed < searcher.config.epochs:
+            searcher.run_epoch(state)
+            if (
+                state.epochs_completed % self.config.checkpoint_every == 0
+                or state.epochs_completed == searcher.config.epochs
+            ):
+                save_search_checkpoint(path, searcher, state)
+        return searcher.finalize(state)
+
+    def train(self, result: SearchResult) -> Tuple[KGEModel, TrainingResult]:
+        """Re-train the winning candidate from scratch (the paper's final protocol)."""
+        from repro.bench.workloads import retrain_searched, train_candidate
+
+        config = self.config
+        if config.rerank:
+            return retrain_searched(
+                self.graph, result, dim=config.dim, epochs=config.train_epochs, seed=config.seed
+            )
+        return train_candidate(
+            self.graph,
+            result.best_candidate,
+            result.best_assignment,
+            dim=config.dim,
+            epochs=config.train_epochs,
+            seed=config.seed,
+        )
+
+    def evaluate(self, model: KGEModel) -> RankingMetrics:
+        """Filtered ranking metrics of ``model`` on the configured split."""
+        return RankingEvaluator(self.graph).evaluate(model, split=self.config.eval_split)
+
+    def publish(
+        self,
+        model: KGEModel,
+        result: Optional[SearchResult] = None,
+        metrics: Optional[RankingMetrics] = None,
+        source: Optional[str] = None,
+    ) -> ArtifactRef:
+        """Store ``model`` as the next version of the configured registry artifact.
+
+        ``source`` labels where the model came from in the manifest metadata; it
+        defaults to the search result's algorithm (or the configured searcher), so a
+        model trained from e.g. a classic structure is not attributed to a search.
+        """
+        config = self.config
+        if not config.registry_root:
+            raise ValueError("RunConfig.registry_root must be set to publish a model")
+        registry = ModelArtifactRegistry(config.registry_root)
+        name = config.model_name or f"{config.searcher}-{config.dataset}"
+        metadata: Dict[str, object] = {
+            "dataset": config.dataset,
+            "scale": config.scale,
+            "searcher": source or (result.searcher if result is not None else config.searcher),
+            "seed": config.seed,
+        }
+        if result is not None:
+            metadata["search"] = result.summary()
+        if metrics is not None:
+            metadata[f"{config.eval_split}_metrics"] = metrics.as_row()
+        ref = registry.save(
+            name,
+            model,
+            entity_vocab=self.graph.entity_vocab,
+            relation_vocab=self.graph.relation_vocab,
+            metadata=to_jsonable(metadata),
+        )
+        logger.info("published %s/v%d to %s", ref.name, ref.version, config.registry_root)
+        return ref
+
+    # ------------------------------------------------------------------ pipeline
+    def run(self) -> RunReport:
+        """Full pipeline: search, optional re-train + evaluate, optional publish."""
+        result = self.search()
+        report = RunReport(config=self.config, search_result=result)
+        if self.config.train_final:
+            model, training = self.train(result)
+            report.training = training
+            report.metrics = self.evaluate(model)
+            if self.config.registry_root:
+                report.artifact = self.publish(model, result, report.metrics)
+        return report

@@ -15,8 +15,7 @@ from typing import List, Optional, Set, Tuple
 import numpy as np
 
 from repro.kg.graph import KnowledgeGraph
-from repro.models.kge import KGEModel
-from repro.models.trainer import Trainer, TrainerConfig
+from repro.models.trainer import TrainerConfig
 from repro.scoring.structure import BlockStructure
 from repro.search.predictor import StructurePerformancePredictor
 from repro.search.result import Candidate, SearchResult, TracePoint
@@ -25,13 +24,35 @@ from repro.utils.rng import new_rng
 
 @dataclass
 class AutoSFConfig:
-    """Hyper-parameters of the greedy search (names follow Algorithm 1)."""
+    """Hyper-parameters of the greedy search (names follow Algorithm 1).
 
-    num_blocks: int = 4           # M
-    max_budget: int = 6           # B, maximum number of non-zero multiplicative items
-    num_parents: int = 4          # N in Algorithm 1: structures carried to the next step
-    num_sampled_children: int = 12  # N' candidates sampled per greedy step
-    top_k: int = 4                # K candidates actually trained per greedy step
+    Fields
+    ------
+    num_blocks:
+        M, the block count of every structure (default 4, >= 2).
+    max_budget:
+        B, the maximum number of non-zero multiplicative items (default 6,
+        >= ``num_blocks`` -- the diagonal starting structures already use M items).
+    num_parents:
+        N of Algorithm 1: best structures carried to the next greedy step (default 4, >= 1).
+    num_sampled_children:
+        N' candidate children sampled per greedy step (default 12, >= 1).
+    top_k:
+        K children shortlisted by the performance predictor and actually trained per
+        greedy step (default 4, >= 1).
+    embedding_dim:
+        Embedding dimension of the stand-alone candidate trainings (default 32).
+    trainer:
+        :class:`~repro.models.trainer.TrainerConfig` of the per-candidate training runs.
+    seed:
+        Seed of the child sampling and candidate model initialisation (default 0).
+    """
+
+    num_blocks: int = 4
+    max_budget: int = 6
+    num_parents: int = 4
+    num_sampled_children: int = 12
+    top_k: int = 4
     embedding_dim: int = 32
     trainer: TrainerConfig = field(default_factory=lambda: TrainerConfig(epochs=15, valid_every=5, patience=2))
     seed: int = 0
@@ -50,8 +71,9 @@ class AutoSFSearcher:
 
     name = "AutoSF"
 
-    def __init__(self, config: Optional[AutoSFConfig] = None) -> None:
+    def __init__(self, config: Optional[AutoSFConfig] = None, pool: Optional["EvaluationPool"] = None) -> None:
         self.config = config or AutoSFConfig()
+        self._pool = pool
 
     # ------------------------------------------------------------------ public API
     def search(self, graph: KnowledgeGraph) -> SearchResult:
@@ -61,6 +83,7 @@ class AutoSFSearcher:
         trace: List[TracePoint] = []
         evaluated: dict[Tuple[int, ...], float] = {}
         started = time.perf_counter()
+        evaluate = self._make_batch_evaluator(graph, evaluated, predictor, trace, started)
 
         # Budget b = M: the only sensible starting structures are diagonal-like ones that
         # use each relation block exactly once (the paper starts from b=4 with M=4).
@@ -68,17 +91,14 @@ class AutoSFSearcher:
         frontier += [
             self._random_permutation_structure(rng) for _ in range(config.num_parents - 1)
         ]
-        for structure in frontier:
-            self._evaluate(structure, graph, evaluated, predictor, trace, started)
+        evaluate(frontier)
 
         for budget in range(config.num_blocks + 1, config.max_budget + 1):
             parents = self._best_structures(evaluated, config.num_parents, config.num_blocks)
             children = self._sample_children(parents, rng)
             if not children:
                 continue
-            shortlisted = predictor.rank(children, config.top_k)
-            for structure in shortlisted:
-                self._evaluate(structure, graph, evaluated, predictor, trace, started)
+            evaluate(predictor.rank(children, config.top_k))
             del budget
 
         best_signature, best_mrr = max(evaluated.items(), key=lambda item: item[1])
@@ -133,35 +153,69 @@ class AutoSFSearcher:
         ordered = sorted(evaluated.items(), key=lambda item: -item[1])[:count]
         return [BlockStructure(np.asarray(sig).reshape(num_blocks, num_blocks)) for sig, _ in ordered]
 
-    def _evaluate(
+    def _make_batch_evaluator(
         self,
-        structure: BlockStructure,
         graph: KnowledgeGraph,
         evaluated: dict,
         predictor: StructurePerformancePredictor,
         trace: List[TracePoint],
         started: float,
-    ) -> float:
-        """Step 5 of Algorithm 1: stand-alone training of one candidate."""
-        signature = structure.signature()
-        if signature in evaluated:
-            return evaluated[signature]
-        model = KGEModel(
-            num_entities=graph.num_entities,
-            num_relations=graph.num_relations,
-            dim=self.config.embedding_dim,
-            scorers=structure,
-            seed=self.config.seed,
+    ):
+        """Step 5 of Algorithm 1: stand-alone training, batched through the pool.
+
+        Every greedy step trains its shortlisted candidates independently, so they fan
+        out over the :class:`~repro.runtime.evaluation.EvaluationPool` workers; the
+        pool's cache and the ``evaluated`` memo keep revisited structures free.  The
+        returned closure records results in shortlist order, which keeps the search
+        trajectory bit-identical to the serial loop for any worker count.
+        """
+        from repro.runtime.evaluation import (
+            EvaluationPool,
+            graph_fingerprint,
+            standalone_cache_key,
+            standalone_shared_payload,
+            train_candidate_standalone,
         )
-        result = Trainer(self.config.trainer).fit(model, graph)
-        evaluated[signature] = result.best_valid_mrr
-        predictor.observe(structure, result.best_valid_mrr)
-        trace.append(
-            TracePoint(
-                elapsed_seconds=time.perf_counter() - started,
-                evaluations=len(evaluated),
-                valid_mrr=max(evaluated.values()),
-                note=f"budget={structure.nonzero_count()}",
-            )
-        )
-        return result.best_valid_mrr
+
+        pool = self._pool if self._pool is not None else EvaluationPool(n_workers=1)
+        shared = standalone_shared_payload(graph, self.config.trainer, self.config.embedding_dim)
+        fingerprint = graph_fingerprint(graph)
+        # One chunk per worker keeps trace timestamps honest (per candidate when
+        # serial, as in the seed's loop) while filling every worker.
+        chunk_size = max(pool.n_workers, 1)
+
+        def evaluate(structures: List[BlockStructure]) -> None:
+            # Dedup within the call too: the seed's serial loop skipped a duplicate
+            # before training it, and a colliding random frontier structure must not
+            # trigger a second full stand-alone training from another chunk.
+            fresh: List[BlockStructure] = []
+            seen_here = set()
+            for s in structures:
+                signature = s.signature()
+                if signature in evaluated or signature in seen_here:
+                    continue
+                seen_here.add(signature)
+                fresh.append(s)
+            for start in range(0, len(fresh), chunk_size):
+                chunk = fresh[start : start + chunk_size]
+                payloads = [{"structures": [s.entries], "seed": self.config.seed} for s in chunk]
+                keys = [
+                    standalone_cache_key(fingerprint, self.config.trainer, self.config.embedding_dim, self.config.seed, s)
+                    for s in chunk
+                ]
+                scores = pool.map(train_candidate_standalone, payloads, shared=shared, keys=keys)
+                for structure, mrr in zip(chunk, scores):
+                    if structure.signature() in evaluated:
+                        continue
+                    evaluated[structure.signature()] = mrr
+                    predictor.observe(structure, mrr)
+                    trace.append(
+                        TracePoint(
+                            elapsed_seconds=time.perf_counter() - started,
+                            evaluations=len(evaluated),
+                            valid_mrr=max(evaluated.values()),
+                            note=f"budget={structure.nonzero_count()}",
+                        )
+                    )
+
+        return evaluate

@@ -17,8 +17,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.kg.graph import KnowledgeGraph
-from repro.models.kge import KGEModel
-from repro.models.trainer import Trainer, TrainerConfig
+from repro.models.trainer import TrainerConfig
 from repro.scoring.structure import BlockStructure
 from repro.search.result import Candidate, SearchResult, TracePoint
 from repro.search.space import RelationAwareSearchSpace
@@ -27,7 +26,31 @@ from repro.utils.rng import new_rng
 
 @dataclass
 class BayesSearchConfig:
-    """Hyper-parameters of the TPE-style baseline."""
+    """Hyper-parameters of the TPE-style baseline.
+
+    Fields
+    ------
+    num_blocks:
+        M, the block count of every structure (default 4, >= 2).
+    num_candidates:
+        Total structures evaluated, warm-up included (default 10, >= 1).
+    initial_random:
+        Uniformly sampled warm-up candidates evaluated before the TPE suggestions
+        start; they are mutually independent and run in parallel through the pool
+        (default 4, >= 1).
+    good_fraction:
+        Fraction of observations forming the "good" density l of the TPE split
+        (default 0.3, in (0, 1)).
+    candidates_per_step:
+        Samples drawn from l per suggestion, scored by the density ratio l/g
+        (default 16, >= 1).
+    embedding_dim:
+        Embedding dimension of the stand-alone candidate trainings (default 32).
+    trainer:
+        :class:`~repro.models.trainer.TrainerConfig` of the per-candidate training runs.
+    seed:
+        Base seed; candidate ``i`` initialises its model with ``seed + i`` (default 0).
+    """
 
     num_blocks: int = 4
     num_candidates: int = 10
@@ -50,35 +73,74 @@ class BayesSearcher:
 
     name = "Bayes"
 
-    def __init__(self, config: Optional[BayesSearchConfig] = None) -> None:
+    def __init__(self, config: Optional[BayesSearchConfig] = None, pool: Optional["EvaluationPool"] = None) -> None:
         self.config = config or BayesSearchConfig()
         self._space = RelationAwareSearchSpace(num_blocks=self.config.num_blocks, num_groups=1)
+        self._pool = pool
 
     # ------------------------------------------------------------------ public API
     def search(self, graph: KnowledgeGraph) -> SearchResult:
+        from repro.runtime.evaluation import (
+            EvaluationPool,
+            graph_fingerprint,
+            standalone_cache_key,
+            standalone_shared_payload,
+            train_candidate_standalone,
+        )
+
         config = self.config
         rng = new_rng(config.seed)
         observations: List[Tuple[np.ndarray, float]] = []
         trace: List[TracePoint] = []
         started = time.perf_counter()
 
-        for index in range(config.num_candidates):
-            if index < config.initial_random or len(observations) < 2:
+        pool = self._pool if self._pool is not None else EvaluationPool(n_workers=1)
+        shared = standalone_shared_payload(graph, config.trainer, config.embedding_dim)
+        fingerprint = graph_fingerprint(graph)
+        # One chunk per worker keeps trace timestamps honest (per candidate when
+        # serial, as in the seed's loop) while filling every worker.
+        chunk_size = max(pool.n_workers, 1)
+
+        def evaluate_batch(token_batch: List[np.ndarray], first_index: int) -> None:
+            for start in range(0, len(token_batch), chunk_size):
+                chunk = token_batch[start : start + chunk_size]
+                structures = [self._space.structures_from_tokens(tokens)[0] for tokens in chunk]
+                payloads = [
+                    {"structures": [s.entries], "seed": config.seed + first_index + start + offset}
+                    for offset, s in enumerate(structures)
+                ]
+                keys = [
+                    standalone_cache_key(
+                        fingerprint, config.trainer, config.embedding_dim,
+                        config.seed + first_index + start + offset, s,
+                    )
+                    for offset, s in enumerate(structures)
+                ]
+                scores = pool.map(train_candidate_standalone, payloads, shared=shared, keys=keys)
+                for offset, (tokens, mrr) in enumerate(zip(chunk, scores)):
+                    observations.append((tokens, mrr))
+                    best = max(score for _, score in observations)
+                    trace.append(
+                        TracePoint(
+                            elapsed_seconds=time.perf_counter() - started,
+                            evaluations=len(observations),
+                            valid_mrr=float(best),
+                            note=f"candidate {first_index + start + offset}",
+                        )
+                    )
+
+        # Warm-up: the initial uniformly random candidates are mutually independent, so
+        # they are sampled up front (same rng order as the serial loop) and trained in
+        # parallel; the TPE suggestions that follow are inherently sequential.
+        warmup = min(config.initial_random, config.num_candidates)
+        evaluate_batch([self._random_tokens(rng) for _ in range(warmup)], first_index=0)
+
+        for index in range(warmup, config.num_candidates):
+            if len(observations) < 2:
                 tokens = self._random_tokens(rng)
             else:
                 tokens = self._suggest(observations, rng)
-            structure = self._space.structures_from_tokens(tokens)[0]
-            mrr = self._evaluate(structure, graph, index)
-            observations.append((tokens, mrr))
-            best = max(score for _, score in observations)
-            trace.append(
-                TracePoint(
-                    elapsed_seconds=time.perf_counter() - started,
-                    evaluations=len(observations),
-                    valid_mrr=float(best),
-                    note=f"candidate {index}",
-                )
-            )
+            evaluate_batch([tokens], first_index=index)
 
         best_tokens, best_mrr = max(observations, key=lambda item: item[1])
         best_structure = self._space.structures_from_tokens(best_tokens)[0]
@@ -97,16 +159,6 @@ class BayesSearcher:
     def _random_tokens(self, rng: np.random.Generator) -> np.ndarray:
         structure = BlockStructure.random(self.config.num_blocks, rng)
         return np.asarray(structure.to_tokens(), dtype=np.int64)
-
-    def _evaluate(self, structure: BlockStructure, graph: KnowledgeGraph, index: int) -> float:
-        model = KGEModel(
-            num_entities=graph.num_entities,
-            num_relations=graph.num_relations,
-            dim=self.config.embedding_dim,
-            scorers=structure,
-            seed=self.config.seed + index,
-        )
-        return Trainer(self.config.trainer).fit(model, graph).best_valid_mrr
 
     def _suggest(self, observations: List[Tuple[np.ndarray, float]], rng: np.random.Generator) -> np.ndarray:
         """Sample candidates from the good-density and pick the best l/g ratio."""

@@ -22,7 +22,29 @@ from repro.utils.rng import SeedLike, new_rng, spawn_rng
 
 @dataclass
 class ControllerConfig:
-    """Controller hyper-parameters."""
+    """Controller hyper-parameters (Section IV-B, Eq. 7).
+
+    Fields
+    ------
+    hidden_size:
+        Hidden state width of the LSTM policy (default 64, > 0).
+    token_embedding_dim:
+        Dimension of the operation-token embeddings fed back into the LSTM
+        (default 32, > 0).
+    learning_rate:
+        Adam learning rate of the REINFORCE update (default 0.01, > 0).
+    baseline_decay:
+        Decay of the exponential moving-average reward baseline b in Eq. 7
+        (default 0.7, in [0, 1)).
+    entropy_weight:
+        Weight of the optional entropy bonus encouraging exploration
+        (default 0.0, >= 0; 0 disables it).
+    zero_operation_bias:
+        Initial logit bias towards the zero operation so early candidates are sparse,
+        mirroring AutoSF's budget prior (default 1.5; the controller unlearns it).
+    seed:
+        Seed of the parameter initialisation and fallback sampling stream (default 0).
+    """
 
     hidden_size: int = 64
     token_embedding_dim: int = 32

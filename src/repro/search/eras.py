@@ -12,13 +12,21 @@ Each search epoch alternates three updates:
 After the search loop, K candidates are sampled from the trained controller, scored on
 the full validation split with the shared embeddings, and the best one is returned (to be
 re-trained from scratch by the caller, as the paper does).
+
+The search is exposed at two granularities: :meth:`ERASSearcher.search` runs Algorithm 2
+end to end, while :meth:`~ERASSearcher.init_state` / :meth:`~ERASSearcher.run_epoch` /
+:meth:`~ERASSearcher.finalize` operate on an explicit :class:`ERASSearchState` so that
+the runtime layer (:mod:`repro.runtime`) can checkpoint the search between epochs and
+resume it bit-identically.  Derive-phase scorings go through an optional
+:class:`~repro.runtime.evaluation.EvaluationPool`, which caches duplicate candidates and
+fans the remainder out over worker processes.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -33,21 +41,68 @@ from repro.utils.rng import new_rng
 
 @dataclass
 class ERASConfig:
-    """Hyper-parameters of the ERAS search (names follow the paper)."""
+    """Hyper-parameters of the ERAS search (names follow the paper).
 
-    num_blocks: int = 4                 # M
-    num_groups: int = 3                 # N
-    num_samples: int = 2                # U, candidates sampled per update
-    controller_steps: int = 1           # REINFORCE updates per embedding mini-batch
-    epochs: int = 8                     # passes over the training data during the search
-    derive_samples: int = 16            # K, candidates sampled when deriving the final SF
-    reward_metric: str = "mrr"          # "mrr" (paper) or "neg_loss" (ERAS_los ablation)
-    update_assignment: bool = True      # False reproduces ERAS_pde-style fixed groupings
-    controller_on_train: bool = False   # True reproduces the single-level ERAS_sig ablation
-    assignment_update_every: int = 4    # run the EM step every this many iterations
-    max_items_per_structure: int = 8    # budget prior on non-zero items (None disables)
-    derive_top_k: int = 4               # how many top candidates to expose for re-ranking
-    anchor_candidates: bool = True      # include literature structures at derive time
+    Fields
+    ------
+    num_blocks:
+        M, the block count of every structure; the search space of Section IV-A
+        (default 4, >= 2; the paper uses M=4 throughout).
+    num_groups:
+        N, the number of relation groups of Eq. 5 (default 3, >= 1; N=1 recovers the
+        task-aware AutoSF space).
+    num_samples:
+        U, candidates sampled from the controller per embedding/controller update of
+        Eq. 7 and Eq. 9 (default 2, >= 1).
+    controller_steps:
+        REINFORCE updates per embedding mini-batch (default 1, >= 1).
+    epochs:
+        Passes over the training data during the search loop of Algorithm 2
+        (default 8, >= 1).
+    derive_samples:
+        K, candidates sampled from the trained controller when deriving the final
+        scoring function, Algorithm 2 steps 8-12 (default 16, >= 1).
+    reward_metric:
+        Controller reward Q: ``"mrr"`` (the paper) or ``"neg_loss"`` (the ERAS_los
+        ablation of Table XI).
+    update_assignment:
+        When False the relation grouping is frozen at its initial value, reproducing
+        the ERAS_pde-style ablations (default True).
+    controller_on_train:
+        When True the controller reward is computed on training mini-batches,
+        reproducing the single-level ERAS_sig ablation (default False).
+    assignment_update_every:
+        Run the EM clustering step (Eq. 5) every this many iterations (default 4, >= 1).
+    max_items_per_structure:
+        Budget prior on non-zero items per structure, mirroring AutoSF's budget B
+        (default 8; None disables the prior).
+    derive_top_k:
+        How many top derive-time candidates to expose in ``extras['top_candidates']``
+        for optional re-ranking by the caller (default 4, >= 1).
+    anchor_candidates:
+        Include the classic literature structures at derive time (default True; see
+        :meth:`ERASSearcher._anchor_candidates`).
+    supernet:
+        :class:`~repro.search.supernet.SupernetConfig` of the shared embeddings.
+    controller:
+        :class:`~repro.search.controller.ControllerConfig` of the LSTM policy.
+    seed:
+        Seed of the search-level random stream (default 0).
+    """
+
+    num_blocks: int = 4
+    num_groups: int = 3
+    num_samples: int = 2
+    controller_steps: int = 1
+    epochs: int = 8
+    derive_samples: int = 16
+    reward_metric: str = "mrr"
+    update_assignment: bool = True
+    controller_on_train: bool = False
+    assignment_update_every: int = 4
+    max_items_per_structure: int = 8
+    derive_top_k: int = 4
+    anchor_candidates: bool = True
     supernet: SupernetConfig = field(default_factory=SupernetConfig)
     controller: ControllerConfig = field(default_factory=ControllerConfig)
     seed: int = 0
@@ -71,6 +126,70 @@ class ERASConfig:
             raise ValueError("reward_metric must be 'mrr' or 'neg_loss'")
 
 
+@dataclass
+class ERASSearchState:
+    """Mutable state of an in-progress ERAS search.
+
+    Everything Algorithm 2 updates between epochs lives here -- the live components
+    (supernet, controller, updater, clustering, the search RNG) plus the bookkeeping
+    counters -- so the search can be paused after any epoch, serialised to JSON
+    (:mod:`repro.runtime.checkpoint`) and resumed bit-identically.
+
+    Fields
+    ------
+    graph:
+        The dataset being searched.
+    space:
+        The relation-aware search space (fixed for the whole search).
+    supernet:
+        Shared-embedding supernet holding the one-shot model (Eq. 9).
+    controller:
+        The LSTM policy over token sequences (Eq. 7).
+    updater:
+        REINFORCE updater wrapping the controller's Adam optimiser and baseline.
+    clustering:
+        The EM/k-means relation clustering of Eq. 5.
+    rng:
+        The search-level random stream; consumed by sampling and the derive phase.
+    assignment:
+        Current relation-to-group assignment vector, shape ``(num_relations,)``.
+    epochs_completed:
+        Number of finished search epochs (0 on a fresh state).
+    iteration:
+        Global mini-batch counter across epochs.
+    evaluations:
+        One-shot reward evaluations performed so far.
+    elapsed_seconds:
+        Cumulative search wall clock, excluding time spent suspended on disk.
+    memory_start:
+        Iteration from which constraint-satisfying candidates are remembered for the
+        derive phase (second half of the search).
+    trace:
+        Search-progress points (Figure 2) recorded once per epoch.
+    reward_memory:
+        Best remembered reward per candidate signature (insertion-ordered).
+    last_rewards:
+        Rewards of the most recent controller step (empty on batch-less graphs).
+    """
+
+    graph: KnowledgeGraph
+    space: RelationAwareSearchSpace
+    supernet: SharedEmbeddingSupernet
+    controller: ArchitectureController
+    updater: ReinforceUpdater
+    clustering: EMRelationClustering
+    rng: np.random.Generator
+    assignment: np.ndarray
+    epochs_completed: int = 0
+    iteration: int = 0
+    evaluations: int = 0
+    elapsed_seconds: float = 0.0
+    memory_start: int = 0
+    trace: List[TracePoint] = field(default_factory=list)
+    reward_memory: Dict[tuple, Tuple[float, Candidate]] = field(default_factory=dict)
+    last_rewards: List[float] = field(default_factory=list)
+
+
 class ERASSearcher:
     """Searches relation-aware scoring functions with the one-shot supernet."""
 
@@ -80,15 +199,26 @@ class ERASSearcher:
         self,
         config: Optional[ERASConfig] = None,
         initial_assignment_fn: Optional[Callable[[KnowledgeGraph], np.ndarray]] = None,
+        pool: Optional["EvaluationPool"] = None,
     ) -> None:
         """``initial_assignment_fn`` optionally provides a fixed / semantic initial grouping
-        (used by the ERAS_pde and ERAS_smt ablation variants)."""
+        (used by the ERAS_pde and ERAS_smt ablation variants).  ``pool`` optionally
+        parallelises and caches the derive-phase scorings; ``None`` scores serially
+        in-process with the identical code path."""
         self.config = config or ERASConfig()
         self._initial_assignment_fn = initial_assignment_fn
+        self._pool = pool
 
     # ------------------------------------------------------------------ public API
     def search(self, graph: KnowledgeGraph) -> SearchResult:
         """Run Algorithm 2 on ``graph`` and return the best candidate found."""
+        state = self.init_state(graph)
+        while state.epochs_completed < self.config.epochs:
+            self.run_epoch(state)
+        return self.finalize(state)
+
+    def init_state(self, graph: KnowledgeGraph) -> ERASSearchState:
+        """Build the supernet, controller and clustering for a fresh search on ``graph``."""
         config = self.config
         rng = new_rng(config.seed)
         space = RelationAwareSearchSpace(
@@ -103,83 +233,113 @@ class ERASSearcher:
 
         assignment = self._initial_assignment(graph, clustering, supernet)
         supernet.set_assignment(assignment)
-
-        trace: List[TracePoint] = []
-        evaluations = 0
-        iteration = 0
-        rewards: List[float] = []  # last controller rewards; stays empty on batch-less graphs
         total_iterations = config.epochs * max(1, len(supernet.training_batches(seed=0)))
-        memory_start = total_iterations // 2
-        reward_memory: dict = {}
+        return ERASSearchState(
+            graph=graph,
+            space=space,
+            supernet=supernet,
+            controller=controller,
+            updater=updater,
+            clustering=clustering,
+            rng=rng,
+            assignment=assignment,
+            memory_start=total_iterations // 2,
+        )
+
+    def run_epoch(self, state: ERASSearchState) -> None:
+        """One epoch of Algorithm 2: per training mini-batch, alternately update the
+        three parameter families (embeddings, assignment, controller)."""
+        config = self.config
+        rng = state.rng
+        supernet, controller = state.supernet, state.controller
         started = time.perf_counter()
 
-        for epoch in range(1, config.epochs + 1):
-            # One iteration of Algorithm 2 per training mini-batch: the three parameter
-            # families (embeddings, assignment, controller) are alternately updated.
-            for batch in supernet.training_batches(seed=int(rng.integers(1 << 31))):
-                iteration += 1
+        for batch in supernet.training_batches(seed=int(rng.integers(1 << 31))):
+            state.iteration += 1
 
-                # Steps 2-3: sample candidates and update the shared embeddings (Eq. 9).
-                samples = controller.sample(config.num_samples, rng=rng)
-                supernet.training_step([s.candidate for s in samples], batch)
+            # Steps 2-3: sample candidates and update the shared embeddings (Eq. 9).
+            samples = controller.sample(config.num_samples, rng=rng)
+            supernet.training_step([s.candidate for s in samples], batch)
 
-                # Step 4: update the relation assignment with EM clustering (Eq. 5).
-                if (
-                    config.update_assignment
-                    and config.num_groups > 1
-                    and iteration % config.assignment_update_every == 0
-                ):
-                    assignment = clustering.assign(supernet.relation_embeddings(), initial_assignment=assignment)
-                    supernet.set_assignment(assignment)
-
-                # Steps 5-6: policy-gradient updates of the controller on validation
-                # mini-batches (Eq. 7); candidates violating the exploitative constraint
-                # receive reward 0.
-                for controller_step in range(config.controller_steps):
-                    if controller_step > 0:
-                        samples = controller.sample(config.num_samples, rng=rng)
-                    reward_batch = self._reward_batch(supernet, rng)
-                    rewards = [self._reward(supernet, space, sample, reward_batch) for sample in samples]
-                    evaluations += len(samples)
-                    updater.update(samples, rewards)
-
-                    # Remember the strongest constraint-satisfying candidates from the
-                    # second half of the search: the derive step re-scores them on the
-                    # full validation split next to freshly sampled candidates.
-                    if iteration >= memory_start:
-                        for sample, reward in zip(samples, rewards):
-                            if reward > 0.0:
-                                signature = sample.candidate.signature()
-                                best_so_far = reward_memory.get(signature, (-np.inf, None))[0]
-                                if reward > best_so_far:
-                                    reward_memory[signature] = (reward, sample.candidate)
-
-            trace.append(
-                TracePoint(
-                    elapsed_seconds=time.perf_counter() - started,
-                    evaluations=evaluations,
-                    valid_mrr=float(max(rewards)) if rewards and config.reward_metric == "mrr" else 0.0,
-                    note=f"epoch {epoch}",
+            # Step 4: update the relation assignment with EM clustering (Eq. 5).
+            if (
+                config.update_assignment
+                and config.num_groups > 1
+                and state.iteration % config.assignment_update_every == 0
+            ):
+                state.assignment = state.clustering.assign(
+                    supernet.relation_embeddings(), initial_assignment=state.assignment
                 )
-            )
+                supernet.set_assignment(state.assignment)
 
-        # Steps 8-12: derive the final scoring functions from the trained controller.
-        remembered = [candidate for _, candidate in sorted(reward_memory.values(), key=lambda item: -item[0])[:8]]
-        ranked, derive_evals = self._derive(supernet, space, controller, rng, remembered)
+            # Steps 5-6: policy-gradient updates of the controller on validation
+            # mini-batches (Eq. 7); candidates violating the exploitative constraint
+            # receive reward 0.
+            for controller_step in range(config.controller_steps):
+                if controller_step > 0:
+                    samples = controller.sample(config.num_samples, rng=rng)
+                reward_batch = self._reward_batch(supernet, rng)
+                rewards = [self._reward(supernet, state.space, sample, reward_batch) for sample in samples]
+                state.last_rewards = rewards
+                state.evaluations += len(samples)
+                state.updater.update(samples, rewards)
+
+                # Remember the strongest constraint-satisfying candidates from the
+                # second half of the search: the derive step re-scores them on the
+                # full validation split next to freshly sampled candidates.
+                if state.iteration >= state.memory_start:
+                    for sample, reward in zip(samples, rewards):
+                        if reward > 0.0:
+                            signature = sample.candidate.signature()
+                            best_so_far = state.reward_memory.get(signature, (-np.inf, None))[0]
+                            if reward > best_so_far:
+                                state.reward_memory[signature] = (reward, sample.candidate)
+
+        state.epochs_completed += 1
+        state.elapsed_seconds += time.perf_counter() - started
+        state.trace.append(
+            TracePoint(
+                elapsed_seconds=state.elapsed_seconds,
+                evaluations=state.evaluations,
+                valid_mrr=(
+                    float(max(state.last_rewards))
+                    if state.last_rewards and config.reward_metric == "mrr"
+                    else 0.0
+                ),
+                note=f"epoch {state.epochs_completed}",
+            )
+        )
+
+    def finalize(self, state: ERASSearchState) -> SearchResult:
+        """Steps 8-12 of Algorithm 2: derive the final scoring functions and package
+        the :class:`~repro.search.result.SearchResult`."""
+        started = time.perf_counter()
+        remembered = [
+            candidate
+            for _, candidate in sorted(state.reward_memory.values(), key=lambda item: -item[0])[:8]
+        ]
+        ranked, derive_evals = self._derive(state.supernet, state.space, state.controller, state.rng, remembered)
         best_candidate, best_mrr = ranked[0]
-        evaluations += derive_evals
-        elapsed = time.perf_counter() - started
-        trace.append(TracePoint(elapsed_seconds=elapsed, evaluations=evaluations, valid_mrr=best_mrr, note="derived"))
+        state.evaluations += derive_evals
+        state.elapsed_seconds += time.perf_counter() - started
+        state.trace.append(
+            TracePoint(
+                elapsed_seconds=state.elapsed_seconds,
+                evaluations=state.evaluations,
+                valid_mrr=best_mrr,
+                note="derived",
+            )
+        )
 
         return SearchResult(
             searcher=self.name,
-            dataset=graph.name,
+            dataset=state.graph.name,
             best_candidate=best_candidate,
-            best_assignment=assignment.copy(),
+            best_assignment=state.assignment.copy(),
             best_valid_mrr=best_mrr,
-            search_seconds=elapsed,
-            evaluations=evaluations,
-            trace=trace,
+            search_seconds=state.elapsed_seconds,
+            evaluations=state.evaluations,
+            trace=state.trace,
             extras={
                 "num_blocks": self.config.num_blocks,
                 "num_groups": self.config.num_groups,
@@ -236,33 +396,65 @@ class ERASSearcher:
         rng: np.random.Generator,
         remembered: Optional[Sequence[Candidate]] = None,
     ) -> tuple[List[tuple[Candidate, float]], int]:
-        """Score derive-time candidates with the shared embeddings; best first."""
-        samples = controller.sample(self.config.derive_samples, rng=rng)
-        candidates = [sample.candidate for sample in samples] + list(remembered or [])
-        if self.config.anchor_candidates:
-            candidates += self._anchor_candidates(supernet, space)
-        scored: List[tuple[Candidate, float]] = []
-        seen = set()
-        for candidate in candidates:
-            signature = candidate.signature()
-            if signature in seen or not space.satisfies_exploitative_constraint(candidate.structures):
-                continue
-            seen.add(signature)
-            scored.append((candidate, supernet.one_shot_validation_mrr(candidate)))
-        if not scored:
-            # Every sample violated the constraint; fall back to the greedy decode or a
-            # random constraint-satisfying candidate.
-            greedy = controller.sample_one(rng=rng, greedy=True).candidate
-            if space.satisfies_exploitative_constraint(greedy.structures):
-                fallback = greedy
-            else:
-                fallback = Candidate(tuple(space.random_candidate(rng)))
-            scored.append((fallback, supernet.one_shot_validation_mrr(fallback)))
+        """Score derive-time candidates with the shared embeddings; best first.
+
+        All scorings go through an :class:`~repro.runtime.evaluation.EvaluationPool`
+        (the searcher's, or a serial in-process one) behind a fresh
+        :class:`~repro.runtime.evaluation.EvalCache` scoped to the current embedding
+        state, so duplicate candidates -- resampled by the converged controller or
+        revisited by the anchor pass -- are scored exactly once.
+        """
+        # Imported lazily: repro.runtime sits above repro.search in the layering.
+        from repro.runtime.evaluation import (
+            EvalCache,
+            EvaluationPool,
+            candidate_payload,
+            one_shot_shared_payload,
+            release_one_shot_model,
+            score_candidate_one_shot,
+        )
+
+        pool = self._pool if self._pool is not None else EvaluationPool(n_workers=1)
+        cache = EvalCache()
+        shared = one_shot_shared_payload(supernet)
+
+        def score_many(candidates: Sequence[Candidate]) -> List[float]:
+            payloads = [candidate_payload(candidate) for candidate in candidates]
+            keys = [("one-shot", candidate.signature()) for candidate in candidates]
+            return pool.map(score_candidate_one_shot, payloads, shared=shared, keys=keys, cache=cache)
+
+        try:
+            samples = controller.sample(self.config.derive_samples, rng=rng)
+            candidates = [sample.candidate for sample in samples] + list(remembered or [])
+            if self.config.anchor_candidates:
+                candidates += self._anchor_candidates(space, score_many)
+            unique: List[Candidate] = []
+            seen = set()
+            for candidate in candidates:
+                signature = candidate.signature()
+                if signature in seen or not space.satisfies_exploitative_constraint(candidate.structures):
+                    continue
+                seen.add(signature)
+                unique.append(candidate)
+            scored = list(zip(unique, score_many(unique)))
+            if not scored:
+                # Every sample violated the constraint; fall back to the greedy decode or a
+                # random constraint-satisfying candidate.
+                greedy = controller.sample_one(rng=rng, greedy=True).candidate
+                if space.satisfies_exploitative_constraint(greedy.structures):
+                    fallback = greedy
+                else:
+                    fallback = Candidate(tuple(space.random_candidate(rng)))
+                scored.append((fallback, score_many([fallback])[0]))
+        finally:
+            release_one_shot_model()
         scored.sort(key=lambda item: -item[1])
-        return scored, len(candidates)
+        return scored, cache.misses
 
     def _anchor_candidates(
-        self, supernet: SharedEmbeddingSupernet, space: RelationAwareSearchSpace
+        self,
+        space: RelationAwareSearchSpace,
+        score_many: Callable[[Sequence[Candidate]], List[float]],
     ) -> List[Candidate]:
         """Literature structures used to anchor the derive-time selection.
 
@@ -272,7 +464,9 @@ class ERASSearcher:
         search budget, so the derive step additionally scores (a) every classic used
         uniformly across groups and (b) a greedy per-group mix of classics, all under the
         same one-shot proxy as the controller's own candidates.  See DESIGN.md,
-        "Substitutions".
+        "Substitutions".  Scorings run through ``score_many`` (the pooled, cached
+        derive-phase evaluator), so the repeated combinations of the greedy pass are
+        cache hits rather than re-scorings.
         """
         if self.config.num_blocks != 4:
             return []
@@ -283,15 +477,18 @@ class ERASSearcher:
         if self.config.num_groups == 1:
             return anchors
         # Greedy per-group coordinate pass starting from the best uniform anchor.
-        best_uniform = max(anchors, key=lambda c: supernet.one_shot_validation_mrr(c))
+        uniform_scores = score_many(anchors)
+        best_uniform = anchors[int(np.argmax(uniform_scores))]
         current = list(best_uniform.structures)
         for group in range(self.config.num_groups):
-            best_structure = current[group]
-            best_score = supernet.one_shot_validation_mrr(Candidate(tuple(current)))
+            trials = [Candidate(tuple(current))]
             for classic in classics:
                 trial = list(current)
                 trial[group] = classic
-                score = supernet.one_shot_validation_mrr(Candidate(tuple(trial)))
+                trials.append(Candidate(tuple(trial)))
+            trial_scores = score_many(trials)
+            best_structure, best_score = current[group], trial_scores[0]
+            for classic, score in zip(classics, trial_scores[1:]):
                 if score > best_score:
                     best_structure, best_score = classic, score
             current[group] = best_structure

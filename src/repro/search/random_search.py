@@ -14,8 +14,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.kg.graph import KnowledgeGraph
-from repro.models.kge import KGEModel
-from repro.models.trainer import Trainer, TrainerConfig
+from repro.models.trainer import TrainerConfig
 from repro.scoring.structure import BlockStructure
 from repro.search.result import Candidate, SearchResult, TracePoint
 from repro.utils.rng import new_rng
@@ -23,7 +22,24 @@ from repro.utils.rng import new_rng
 
 @dataclass
 class RandomSearchConfig:
-    """Hyper-parameters of the random search baseline."""
+    """Hyper-parameters of the random search baseline.
+
+    Fields
+    ------
+    num_blocks:
+        M, the block count of every sampled structure (default 4, >= 2).
+    num_candidates:
+        How many structures to sample and train stand-alone (default 10, >= 1).
+    embedding_dim:
+        Embedding dimension of the stand-alone candidate trainings (default 32).
+    nonzero_fraction:
+        Expected fraction of non-zero entries in a sampled structure (default 0.45,
+        in (0, 1]).
+    trainer:
+        :class:`~repro.models.trainer.TrainerConfig` of the per-candidate training runs.
+    seed:
+        Base seed; candidate ``i`` initialises its model with ``seed + i`` (default 0).
+    """
 
     num_blocks: int = 4
     num_candidates: int = 10
@@ -44,10 +60,19 @@ class RandomSearcher:
 
     name = "Random"
 
-    def __init__(self, config: Optional[RandomSearchConfig] = None) -> None:
+    def __init__(self, config: Optional[RandomSearchConfig] = None, pool: Optional["EvaluationPool"] = None) -> None:
         self.config = config or RandomSearchConfig()
+        self._pool = pool
 
     def search(self, graph: KnowledgeGraph) -> SearchResult:
+        from repro.runtime.evaluation import (
+            EvaluationPool,
+            graph_fingerprint,
+            standalone_cache_key,
+            standalone_shared_payload,
+            train_candidate_standalone,
+        )
+
         config = self.config
         rng = new_rng(config.seed)
         trace: List[TracePoint] = []
@@ -56,29 +81,47 @@ class RandomSearcher:
         started = time.perf_counter()
         seen = set()
 
+        # All candidates are independent, so sample them up front (consuming the rng in
+        # the same order as the serial loop did) and train them through the pool.
+        selected: List[tuple[int, BlockStructure]] = []
         for index in range(config.num_candidates):
             structure = BlockStructure.random(config.num_blocks, rng, nonzero_fraction=config.nonzero_fraction)
             if structure.signature() in seen:
                 continue
             seen.add(structure.signature())
-            model = KGEModel(
-                num_entities=graph.num_entities,
-                num_relations=graph.num_relations,
-                dim=config.embedding_dim,
-                scorers=structure,
-                seed=config.seed + index,
+            selected.append((index, structure))
+
+        pool = self._pool if self._pool is not None else EvaluationPool(n_workers=1)
+        shared = standalone_shared_payload(graph, config.trainer, config.embedding_dim)
+        fingerprint = graph_fingerprint(graph)
+        payloads = [{"structures": [s.entries], "seed": config.seed + index} for index, s in selected]
+        keys = [
+            standalone_cache_key(fingerprint, config.trainer, config.embedding_dim, config.seed + index, s)
+            for index, s in selected
+        ]
+
+        # Evaluate in chunks of one per worker: trace points keep honest per-chunk
+        # wall-clock timestamps (per-candidate when serial, as in the seed's loop)
+        # while every worker still stays busy.
+        chunk_size = max(pool.n_workers, 1)
+        position = 0
+        for start in range(0, len(selected), chunk_size):
+            stop = start + chunk_size
+            scores = pool.map(
+                train_candidate_standalone, payloads[start:stop], shared=shared, keys=keys[start:stop]
             )
-            result = Trainer(config.trainer).fit(model, graph)
-            if result.best_valid_mrr > best_mrr:
-                best_structure, best_mrr = structure, result.best_valid_mrr
-            trace.append(
-                TracePoint(
-                    elapsed_seconds=time.perf_counter() - started,
-                    evaluations=len(seen),
-                    valid_mrr=float(best_mrr),
-                    note=f"candidate {index}",
+            for (index, structure), mrr in zip(selected[start:stop], scores):
+                position += 1
+                if mrr > best_mrr:
+                    best_structure, best_mrr = structure, mrr
+                trace.append(
+                    TracePoint(
+                        elapsed_seconds=time.perf_counter() - started,
+                        evaluations=position,
+                        valid_mrr=float(best_mrr),
+                        note=f"candidate {index}",
+                    )
                 )
-            )
 
         assert best_structure is not None
         return SearchResult(

@@ -12,7 +12,14 @@ from repro.scoring.structure import BlockStructure
 
 @dataclass(frozen=True)
 class Candidate:
-    """A point of the (relation-aware) search space: one structure per relation group."""
+    """A point of the (relation-aware) search space: one structure per relation group.
+
+    Fields
+    ------
+    structures:
+        One :class:`~repro.scoring.structure.BlockStructure` per relation group, in
+        group order; length N >= 1 (N = 1 is the task-aware special case).
+    """
 
     structures: Tuple[BlockStructure, ...]
 
@@ -34,7 +41,21 @@ class Candidate:
 
 @dataclass(frozen=True)
 class TracePoint:
-    """One observation of search progress (the points of Figure 2)."""
+    """One observation of search progress (the points of Figure 2).
+
+    Fields
+    ------
+    elapsed_seconds:
+        Search wall clock at the observation, in seconds since the search started.
+    evaluations:
+        Candidate evaluations performed so far (one-shot rewards or stand-alone
+        trainings, depending on the searcher).
+    valid_mrr:
+        Best validation MRR proxy known at the observation (0.0 where the searcher's
+        reward is not an MRR).
+    note:
+        Free-form label of the observation, e.g. ``"epoch 3"`` or ``"derived"``.
+    """
 
     elapsed_seconds: float
     evaluations: int
@@ -44,7 +65,31 @@ class TracePoint:
 
 @dataclass
 class SearchResult:
-    """Outcome of a scoring-function search."""
+    """Outcome of a scoring-function search.
+
+    Fields
+    ------
+    searcher:
+        Name of the algorithm that produced the result (``"ERAS"``, ``"AutoSF"``, ...).
+    dataset:
+        Name of the searched :class:`~repro.kg.graph.KnowledgeGraph`.
+    best_candidate:
+        The winning :class:`Candidate` (to be re-trained from scratch, as the paper does).
+    best_assignment:
+        Relation-to-group assignment vector of the winner, shape ``(num_relations,)``
+        with values in ``[0, num_groups)``.
+    best_valid_mrr:
+        Validation MRR of the winner under the searcher's evaluation proxy (one-shot
+        for ERAS, stand-alone training for the baselines).
+    search_seconds:
+        Total search wall clock in seconds.
+    evaluations:
+        Total candidate evaluations performed.
+    trace:
+        Chronological :class:`TracePoint` observations (the curves of Figure 2).
+    extras:
+        Searcher-specific payload, e.g. ERAS's ``top_candidates`` for re-ranking.
+    """
 
     searcher: str
     dataset: str

@@ -27,7 +27,26 @@ from repro.utils.rng import SeedLike, new_rng
 
 @dataclass
 class SupernetConfig:
-    """Hyper-parameters of the shared-embedding supernet."""
+    """Hyper-parameters of the shared-embedding supernet (Section IV-C).
+
+    Fields
+    ------
+    dim:
+        Embedding dimension d of the shared entity/relation tables (default 64,
+        must be positive and divisible by the block count M of the candidates).
+    embedding_lr:
+        Adagrad learning rate of the shared-embedding update, Eq. 9 (default 0.5, > 0).
+    regularization_weight:
+        Weight of the N3 regulariser added to the embedding loss (default 1e-4,
+        >= 0; 0 disables regularisation).
+    batch_size:
+        Training mini-batch size for the embedding updates (default 256, > 0).
+    valid_batch_size:
+        Size of the validation mini-batches used for controller rewards, Eq. 7
+        (default 128, > 0).
+    seed:
+        Seed of the embedding initialisation and validation sampling (default 0).
+    """
 
     dim: int = 64
     embedding_lr: float = 0.5
@@ -140,16 +159,7 @@ class SharedEmbeddingSupernet:
             return -float(loss.data)
         if metric != "mrr":
             raise ValueError(f"unknown reward metric {metric!r}")
-        with no_grad():
-            tail_scores = self.model.score_all_tails(validation_batch).data
-            head_scores = self.model.score_all_heads(validation_batch).data
-        ranks = np.concatenate(
-            [
-                _unfiltered_ranks(tail_scores, validation_batch[:, 2]),
-                _unfiltered_ranks(head_scores, validation_batch[:, 0]),
-            ]
-        )
-        return float(np.mean(1.0 / ranks))
+        return one_shot_mrr(self.model, validation_batch)
 
     def one_shot_validation_mrr(self, candidate: Candidate, sample_size: Optional[int] = None) -> float:
         """Reward computed on the full validation split (or a fixed-size sample of it)."""
@@ -158,6 +168,26 @@ class SharedEmbeddingSupernet:
             idx = self._rng.choice(len(valid), size=sample_size, replace=False)
             valid = valid[idx]
         return self.reward(candidate, valid)
+
+
+def one_shot_mrr(model: KGEModel, triples: np.ndarray) -> float:
+    """Unfiltered MRR of ``model`` on ``triples`` (head and tail prediction interleaved).
+
+    This is the one-shot reward Q of the paper, factored out of the supernet so that
+    pool workers (:mod:`repro.runtime.evaluation`) can score a reconstructed model with
+    exactly the same code path as the in-process supernet -- the guarantee behind
+    ``--workers N`` producing bit-identical search results for every ``N``.
+    """
+    with no_grad():
+        tail_scores = model.score_all_tails(triples).data
+        head_scores = model.score_all_heads(triples).data
+    ranks = np.concatenate(
+        [
+            _unfiltered_ranks(tail_scores, triples[:, 2]),
+            _unfiltered_ranks(head_scores, triples[:, 0]),
+        ]
+    )
+    return float(np.mean(1.0 / ranks))
 
 
 def _unfiltered_ranks(scores: np.ndarray, targets: np.ndarray) -> np.ndarray:

@@ -89,9 +89,13 @@ def _configured(base: Optional[ERASConfig], **overrides) -> ERASConfig:
     return dataclasses.replace(base, **overrides)
 
 
-def eras_n1(config: Optional[ERASConfig] = None) -> ERASSearcher:
-    """ERAS restricted to a single relation group (task-aware, like AutoSF)."""
-    searcher = ERASSearcher(_configured(config, num_groups=1))
+def eras_n1(config: Optional[ERASConfig] = None, pool: Optional["EvaluationPool"] = None) -> ERASSearcher:
+    """ERAS restricted to a single relation group (task-aware, like AutoSF).
+
+    ``pool`` optionally parallelises the derive-phase scorings, exactly as in
+    :class:`~repro.search.eras.ERASSearcher`.
+    """
+    searcher = ERASSearcher(_configured(config, num_groups=1), pool=pool)
     searcher.name = "ERAS_N=1"
     return searcher
 

@@ -1,0 +1,386 @@
+"""Tests of the runtime layer: cache semantics, worker-count determinism,
+checkpoint/resume equivalence, the SearchRunner pipeline and the CLI."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    CheckpointError,
+    EvalCache,
+    EvaluationPool,
+    RunConfig,
+    SearchRunner,
+    load_search_checkpoint,
+    load_search_result,
+    save_search_checkpoint,
+    save_search_result,
+)
+from repro.runtime.evaluation import (
+    candidate_payload,
+    one_shot_shared_payload,
+    score_candidate_one_shot,
+)
+from repro.search import ERASConfig, ERASSearcher, RandomSearchConfig, RandomSearcher
+from repro.search.supernet import SharedEmbeddingSupernet, SupernetConfig
+from repro.models.trainer import TrainerConfig
+
+_CALLS = []
+
+
+def _record_and_double(shared, payload):
+    """Module-level worker (picklable) that logs every in-process invocation."""
+    _CALLS.append(payload)
+    return float(shared * payload)
+
+
+def _square(shared, payload):
+    return float(payload) ** 2
+
+
+def _eras_config(epochs: int = 3) -> ERASConfig:
+    return ERASConfig(
+        epochs=epochs,
+        derive_samples=6,
+        supernet=SupernetConfig(dim=16, batch_size=128),
+        seed=0,
+    )
+
+
+# ---------------------------------------------------------------------------- cache
+class TestEvalCache:
+    def test_hit_miss_accounting(self):
+        cache = EvalCache()
+        assert cache.get("a") is None
+        assert cache.misses == 1 and cache.hits == 0
+        cache.put("a", 0.5)
+        assert cache.get("a") == 0.5
+        assert cache.hits == 1 and cache.misses == 1
+        assert "a" in cache and len(cache) == 1
+        assert cache.hit_rate == 0.5
+
+    def test_eviction_and_clear(self):
+        cache = EvalCache(max_size=2)
+        cache.put("a", 1.0)
+        cache.put("b", 2.0)
+        cache.put("c", 3.0)  # evicts the oldest entry ("a")
+        assert "a" not in cache and "b" in cache and "c" in cache
+        cache.clear()
+        assert len(cache) == 0 and cache.hits == 0 and cache.misses == 0
+
+    def test_rejects_non_positive_max_size(self):
+        with pytest.raises(ValueError):
+            EvalCache(max_size=0)
+
+
+# ---------------------------------------------------------------------------- pool
+class TestEvaluationPool:
+    def test_serial_map_preserves_order(self):
+        pool = EvaluationPool(n_workers=1)
+        assert pool.map(_square, [3, 1, 2]) == [9.0, 1.0, 4.0]
+
+    def test_parallel_map_matches_serial(self):
+        payloads = list(range(6))
+        serial = EvaluationPool(n_workers=1).map(_square, payloads)
+        parallel = EvaluationPool(n_workers=2).map(_square, payloads)
+        assert serial == parallel
+
+    def test_duplicate_keys_evaluated_once(self):
+        _CALLS.clear()
+        pool = EvaluationPool(n_workers=1, cache=EvalCache())
+        results = pool.map(_record_and_double, [2, 2, 3], shared=10, keys=["k2", "k2", "k3"])
+        assert results == [20.0, 20.0, 30.0]
+        assert _CALLS == [2, 3]  # the duplicate key never reached the worker
+
+    def test_cache_spans_map_calls(self):
+        _CALLS.clear()
+        cache = EvalCache()
+        pool = EvaluationPool(n_workers=1, cache=cache)
+        pool.map(_record_and_double, [5], shared=2, keys=["k5"])
+        pool.map(_record_and_double, [5], shared=2, keys=["k5"])
+        assert _CALLS == [5]
+        assert cache.hits == 1 and cache.misses == 1  # first call missed, second hit
+
+    def test_key_payload_length_mismatch(self):
+        with pytest.raises(ValueError):
+            EvaluationPool(n_workers=1).map(_square, [1, 2], keys=["only-one"])
+
+    def test_worker_count_validation(self):
+        with pytest.raises(ValueError):
+            EvaluationPool(n_workers=-1)
+        assert EvaluationPool(n_workers=0).n_workers >= 1  # 0 = all cores
+
+
+# ---------------------------------------------------------------------------- determinism
+class TestWorkerDeterminism:
+    def test_one_shot_worker_matches_supernet(self, tiny_graph):
+        """The pool worker reproduces the supernet's in-process scoring bit for bit."""
+        supernet = SharedEmbeddingSupernet(tiny_graph, num_groups=2, config=SupernetConfig(dim=16))
+        from repro.search.space import RelationAwareSearchSpace
+        from repro.search.result import Candidate
+        from repro.utils.rng import new_rng
+
+        space = RelationAwareSearchSpace(num_blocks=4, num_groups=2)
+        candidate = Candidate(tuple(space.random_candidate(new_rng(0))))
+        shared = one_shot_shared_payload(supernet)
+        worker_score = score_candidate_one_shot(shared, candidate_payload(candidate))
+        assert worker_score == supernet.one_shot_validation_mrr(candidate)
+
+    def test_eras_search_identical_across_worker_counts(self, tiny_graph):
+        config = _eras_config()
+        serial = ERASSearcher(config, pool=EvaluationPool(n_workers=1, cache=EvalCache())).search(tiny_graph)
+        parallel = ERASSearcher(config, pool=EvaluationPool(n_workers=2, cache=EvalCache())).search(tiny_graph)
+        assert serial.best_candidate.signature() == parallel.best_candidate.signature()
+        assert serial.best_valid_mrr == parallel.best_valid_mrr
+        assert serial.evaluations == parallel.evaluations
+        assert np.array_equal(serial.best_assignment, parallel.best_assignment)
+
+    def test_random_search_identical_across_worker_counts(self, tiny_graph):
+        config = RandomSearchConfig(
+            num_candidates=3,
+            embedding_dim=16,
+            trainer=TrainerConfig(epochs=2, valid_every=1, patience=1, seed=0),
+            seed=0,
+        )
+        serial = RandomSearcher(config, pool=EvaluationPool(n_workers=1)).search(tiny_graph)
+        parallel = RandomSearcher(config, pool=EvaluationPool(n_workers=2)).search(tiny_graph)
+        assert serial.best_candidate.signature() == parallel.best_candidate.signature()
+        assert serial.best_valid_mrr == parallel.best_valid_mrr
+
+    def test_autosf_search_identical_across_worker_counts(self, tiny_graph):
+        from repro.search import AutoSFConfig, AutoSFSearcher
+
+        config = AutoSFConfig(
+            max_budget=5,
+            num_parents=2,
+            num_sampled_children=3,
+            top_k=2,
+            embedding_dim=16,
+            trainer=TrainerConfig(epochs=2, valid_every=1, patience=1, seed=0),
+            seed=0,
+        )
+        serial = AutoSFSearcher(config, pool=EvaluationPool(n_workers=1)).search(tiny_graph)
+        parallel = AutoSFSearcher(config, pool=EvaluationPool(n_workers=2)).search(tiny_graph)
+        assert serial.best_candidate.signature() == parallel.best_candidate.signature()
+        assert serial.best_valid_mrr == parallel.best_valid_mrr
+        assert serial.evaluations == parallel.evaluations
+
+    def test_bayes_search_identical_across_worker_counts(self, tiny_graph):
+        from repro.search import BayesSearchConfig, BayesSearcher
+
+        config = BayesSearchConfig(
+            num_candidates=4,
+            initial_random=3,
+            embedding_dim=16,
+            trainer=TrainerConfig(epochs=2, valid_every=1, patience=1, seed=0),
+            seed=0,
+        )
+        serial = BayesSearcher(config, pool=EvaluationPool(n_workers=1)).search(tiny_graph)
+        parallel = BayesSearcher(config, pool=EvaluationPool(n_workers=2)).search(tiny_graph)
+        assert serial.best_candidate.signature() == parallel.best_candidate.signature()
+        assert serial.best_valid_mrr == parallel.best_valid_mrr
+        assert serial.evaluations == parallel.evaluations
+
+
+# ---------------------------------------------------------------------------- checkpointing
+class TestCheckpoint:
+    def test_resume_is_bit_identical(self, tiny_graph, tmp_path):
+        config = _eras_config(epochs=4)
+        path = tmp_path / "checkpoint.json"
+
+        searcher = ERASSearcher(config)
+        state = searcher.init_state(tiny_graph)
+        for _ in range(4):
+            searcher.run_epoch(state)
+        uninterrupted = searcher.finalize(state)
+
+        first_half = ERASSearcher(config)
+        state = first_half.init_state(tiny_graph)
+        for _ in range(2):
+            first_half.run_epoch(state)
+        save_search_checkpoint(path, first_half, state)
+
+        second_half = ERASSearcher(config)
+        resumed = load_search_checkpoint(path, second_half, tiny_graph)
+        assert resumed.epochs_completed == 2
+        for _ in range(2):
+            second_half.run_epoch(resumed)
+        result = second_half.finalize(resumed)
+
+        assert result.best_candidate.signature() == uninterrupted.best_candidate.signature()
+        assert result.best_valid_mrr == uninterrupted.best_valid_mrr
+        assert result.evaluations == uninterrupted.evaluations
+        assert np.array_equal(result.best_assignment, uninterrupted.best_assignment)
+
+    def test_config_mismatch_is_rejected(self, tiny_graph, tmp_path):
+        path = tmp_path / "checkpoint.json"
+        searcher = ERASSearcher(_eras_config())
+        state = searcher.init_state(tiny_graph)
+        searcher.run_epoch(state)
+        save_search_checkpoint(path, searcher, state)
+        other = ERASSearcher(_eras_config(epochs=5))
+        with pytest.raises(CheckpointError):
+            load_search_checkpoint(path, other, tiny_graph)
+
+    def test_missing_checkpoint_is_rejected(self, tiny_graph, tmp_path):
+        with pytest.raises(CheckpointError):
+            load_search_checkpoint(tmp_path / "absent.json", ERASSearcher(_eras_config()), tiny_graph)
+
+    def test_graph_content_mismatch_is_rejected(self, tiny_graph, tmp_path):
+        """Same dataset name and shapes but different content must not resume."""
+        from repro.kg.graph import KnowledgeGraph
+        from repro.kg.triples import TripleSet
+
+        path = tmp_path / "checkpoint.json"
+        searcher = ERASSearcher(_eras_config())
+        state = searcher.init_state(tiny_graph)
+        searcher.run_epoch(state)
+        save_search_checkpoint(path, searcher, state)
+        # Same name, entity/relation counts and split sizes -- only the training
+        # triples are ordered differently, as a different data seed would produce.
+        other_graph = KnowledgeGraph(
+            name=tiny_graph.name,
+            num_entities=tiny_graph.num_entities,
+            num_relations=tiny_graph.num_relations,
+            train=TripleSet(tiny_graph.train.array[::-1].copy()),
+            valid=tiny_graph.valid,
+            test=tiny_graph.test,
+            entity_vocab=tiny_graph.entity_vocab,
+            relation_vocab=tiny_graph.relation_vocab,
+        )
+        with pytest.raises(CheckpointError):
+            load_search_checkpoint(path, ERASSearcher(_eras_config()), other_graph)
+
+    def test_search_result_round_trip(self, tiny_graph, tmp_path):
+        result = ERASSearcher(_eras_config(epochs=1)).search(tiny_graph)
+        path = tmp_path / "result.json"
+        save_search_result(result, path)
+        loaded = load_search_result(path)
+        assert loaded.best_candidate.signature() == result.best_candidate.signature()
+        assert loaded.best_valid_mrr == result.best_valid_mrr
+        assert np.array_equal(loaded.best_assignment, result.best_assignment)
+        assert [c.signature() for c in loaded.extras["top_candidates"]] == [
+            c.signature() for c in result.extras["top_candidates"]
+        ]
+
+
+# ---------------------------------------------------------------------------- runner
+def _tiny_run_config(**overrides) -> RunConfig:
+    defaults = dict(
+        dataset="wn18rr_like",
+        scale=0.4,
+        searcher="eras",
+        search_epochs=2,
+        derive_samples=6,
+        dim=16,
+        train_epochs=4,
+        rerank=False,
+        seed=0,
+    )
+    defaults.update(overrides)
+    return RunConfig(**defaults)
+
+
+class TestSearchRunner:
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            RunConfig(searcher="gradient-descent")
+        with pytest.raises(ValueError):
+            RunConfig(eval_split="train")
+        with pytest.raises(ValueError):
+            RunConfig(workers=-2)
+
+    def test_full_pipeline_publishes_artifact(self, tmp_path):
+        config = _tiny_run_config(registry_root=str(tmp_path / "registry"), model_name="pipeline-test")
+        report = SearchRunner(config).run()
+        assert report.training is not None and report.metrics is not None
+        assert report.artifact is not None and report.artifact.version == 1
+        summary = report.summary()
+        assert summary["artifact"] == "pipeline-test/v1"
+        assert 0.0 <= summary["test_MRR"] <= 1.0
+
+        from repro.serve.artifacts import ModelArtifactRegistry
+
+        registry = ModelArtifactRegistry(tmp_path / "registry")
+        model, manifest = registry.load("pipeline-test")
+        # Metadata records the producing algorithm (the SearchResult's name).
+        assert manifest["metadata"]["searcher"] == "ERAS"
+        assert model.num_relations == SearchRunner(config).graph.num_relations
+
+    def test_search_only_skips_training(self):
+        report = SearchRunner(_tiny_run_config(train_final=False)).run()
+        assert report.training is None and report.metrics is None and report.artifact is None
+
+    def test_checkpointed_run_resumes_to_identical_result(self, tmp_path):
+        checkpoint = tmp_path / "search.json"
+        config = _tiny_run_config(train_final=False, checkpoint_path=str(checkpoint))
+        first = SearchRunner(config).run().search_result
+        assert checkpoint.exists()
+        # A second run finds the completed checkpoint, skips the epochs and re-derives.
+        second = SearchRunner(config).run().search_result
+        assert second.best_candidate.signature() == first.best_candidate.signature()
+        assert second.best_valid_mrr == first.best_valid_mrr
+
+
+# ---------------------------------------------------------------------------- CLI
+class TestCLI:
+    def test_no_command_prints_help(self, capsys):
+        from repro.runtime.cli import main
+
+        assert main([]) == 1
+        assert "search" in capsys.readouterr().out
+
+    def test_search_command_writes_output(self, tmp_path, capsys):
+        from repro.runtime.cli import main
+
+        output = tmp_path / "result.json"
+        code = main(
+            [
+                "search",
+                "--dataset", "wn18rr_like",
+                "--scale", "0.4",
+                "--epochs", "1",
+                "--dim", "16",
+                "--derive-samples", "4",
+                "--output", str(output),
+            ]
+        )
+        assert code == 0
+        assert output.exists()
+        payload = json.loads(output.read_text())
+        assert payload["searcher"] == "ERAS"
+        assert "winning candidate" in capsys.readouterr().out
+
+    def test_subcommand_parsers_exposed(self):
+        from repro.runtime.cli import subcommand_parsers
+
+        assert set(subcommand_parsers()) == {"search", "train", "serve", "bench"}
+
+    def test_search_publish_requires_registry(self, capsys):
+        from repro.runtime.cli import main
+
+        assert main(["search", "--publish", "model-name"]) == 2
+        assert "--publish requires --registry" in capsys.readouterr().err
+
+    def test_train_from_result_rejects_dataset_mismatch(self, tmp_path, capsys):
+        from repro.runtime.cli import main
+        from repro.scoring.structure import BlockStructure
+        from repro.search.result import Candidate, SearchResult
+
+        result = SearchResult(
+            searcher="ERAS",
+            dataset="fb15k_like",
+            best_candidate=Candidate((BlockStructure.diagonal(4),)),
+            best_assignment=np.zeros(3, dtype=np.int64),
+            best_valid_mrr=0.1,
+            search_seconds=1.0,
+            evaluations=1,
+        )
+        path = tmp_path / "result.json"
+        save_search_result(result, path)
+        # The default --dataset is wn18rr_like, which does not match the result.
+        assert main(["train", "--from-result", str(path)]) == 2
+        assert "fb15k_like" in capsys.readouterr().err

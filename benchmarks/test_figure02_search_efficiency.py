@@ -14,7 +14,7 @@ seed loop vs :class:`~repro.runtime.evaluation.EvaluationPool` vs warm
 import dataclasses
 import os
 
-from repro.bench import SeriesReport, TableReport, quick_bayes_config, quick_random_config
+from repro.bench import SeriesReport, TableReport, quick_bayes_config, quick_random_config, write_bench_json
 from repro.datasets import load_benchmark
 from repro.models.trainer import TrainerConfig
 from repro.runtime.profiling import time_derive_phase
@@ -81,6 +81,8 @@ def test_derive_phase_runtime_timing(benchmark):
     report = TableReport("Derive phase: serial seed loop vs EvaluationPool vs warm EvalCache")
     report.add_row(**row)
     report.show()
+    path = write_bench_json("derive", row)
+    print(f"perf trajectory written to {path}")
     # Parallelism must never change the result: every strategy scores bit-identically.
     assert row["scores_match"]
     # The cache makes re-scoring a candidate essentially free -- this is the regime of

@@ -9,14 +9,21 @@ through the artifact registry, and measures the inference engine's throughput th
 - micro-batched through :class:`~repro.serve.service.PredictionService`,
 - micro-batched with the hottest relation precomputed.
 
-The batched path must win by at least 5x -- the vectorised all-entity matrix op amortises
-the per-call Python and autodiff overhead -- and the registry round-trip must preserve
+The batched path must keep a solid throughput lead -- the vectorised all-entity matrix
+op amortises the per-call Python overhead -- and the registry round-trip must preserve
 top-k answers exactly.  Future serving PRs optimise against these numbers.
+
+Gate history: the original gate demanded batched >= 5x single-query, most of which was
+single-query *autodiff* overhead.  The no-grad kernel layer
+(:mod:`repro.scoring.kernels`) made the single-query loop itself ~6x faster, so the
+remaining amortisable overhead is plain Python dispatch and the honest ratio is ~2.5x
+on a single-core container; the gate is 1.8x with noise headroom.  Absolute
+throughputs of both paths are tracked in ``BENCH_serving.json``.
 """
 
 import numpy as np
 
-from repro.bench import TableReport, bench_graph, quick_eras_config, retrain_searched
+from repro.bench import TableReport, bench_graph, quick_eras_config, retrain_searched, write_bench_json
 from repro.search import ERASSearcher
 from repro.serve import (
     LinkPredictionEngine,
@@ -32,7 +39,7 @@ from benchmarks.conftest import BENCH_SEED, run_once
 NUM_QUERIES = 512
 MICRO_BATCH = 128
 TOP_K = 10
-MIN_BATCH_SPEEDUP = 5.0
+MIN_BATCH_SPEEDUP = 1.8
 
 
 def _serving_model(tmp_path_factory):
@@ -112,8 +119,12 @@ def _run_workload(tmp_path_factory):
 def test_serving_latency(benchmark, tmp_path_factory):
     report, loop_qps, batch_qps, hot_qps = run_once(benchmark, lambda: _run_workload(tmp_path_factory))
     report.show()
+    path = write_bench_json("serving", report.rows)
+    print(f"perf trajectory written to {path}")
     assert loop_qps > 0 and batch_qps > 0 and hot_qps > 0
-    # The tentpole perf claim: micro-batching amortises per-query overhead at least 5x.
+    # Micro-batching must keep amortising the per-query Python dispatch overhead.  The
+    # factor is smaller than the original 5x because the no-grad kernels removed the
+    # autodiff share of the single-query cost (see the module docstring).
     assert batch_qps >= MIN_BATCH_SPEEDUP * loop_qps, (loop_qps, batch_qps)
     # Precomputed hot relations must not be slower than plain batching by any real margin.
     assert hot_qps >= 0.5 * batch_qps, (batch_qps, hot_qps)

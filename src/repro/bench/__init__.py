@@ -2,7 +2,13 @@
 standard experiment workloads (dataset + budget presets) used to regenerate every table
 and figure of the paper."""
 
-from repro.bench.reporting import TableReport, SeriesReport, format_table, summarize_latencies
+from repro.bench.reporting import (
+    TableReport,
+    SeriesReport,
+    format_table,
+    summarize_latencies,
+    write_bench_json,
+)
 from repro.bench.workloads import (
     BENCH_DATASETS,
     bench_graph,
@@ -21,6 +27,7 @@ __all__ = [
     "SeriesReport",
     "format_table",
     "summarize_latencies",
+    "write_bench_json",
     "BENCH_DATASETS",
     "bench_graph",
     "quick_trainer_config",

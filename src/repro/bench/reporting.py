@@ -7,10 +7,16 @@ can assert on them.
 
 from __future__ import annotations
 
+import json
+import os
+import platform
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
+
+from repro.utils.serialization import to_jsonable
 
 
 def format_table(rows: Sequence[Dict[str, object]], title: str = "") -> str:
@@ -90,6 +96,32 @@ class SeriesReport:
         """The y value of the last point of a series."""
         points = self.series[series_name]
         return points[-1][1]
+
+
+def write_bench_json(name: str, results: Union[Dict[str, object], List[Dict[str, object]]],
+                     directory: Optional[Union[str, Path]] = None) -> Path:
+    """Persist one benchmark's result rows as ``BENCH_<name>.json``.
+
+    This is the repo's perf trajectory: each benchmark run emits its timing rows next
+    to the working directory (or into ``$BENCH_OUTPUT_DIR``), CI uploads the files as
+    build artifacts, and successive runs can be compared commit over commit.  The file
+    holds the result payload plus minimal host context (CPU count, platform, Python)
+    so numbers from different machines are never compared blindly.
+    """
+    directory = Path(directory or os.environ.get("BENCH_OUTPUT_DIR", "."))
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{name}.json"
+    record = {
+        "benchmark": name,
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "results": to_jsonable(results),
+    }
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return path
 
 
 def summarize_latencies(latencies_ms: Sequence[float]) -> Dict[str, float]:

@@ -1,8 +1,12 @@
 """Evaluation protocols: filtered link-prediction ranking, relation-pattern metrics,
 triplet classification with per-relation thresholds, and correlation analysis between
-one-shot and stand-alone performance."""
+one-shot and stand-alone performance.
+
+:mod:`repro.eval.reference` keeps the pre-vectorization naive ranking implementation as
+the ground truth for the vectorized hot path (property tests + throughput gate)."""
 
 from repro.eval.ranking import RankingEvaluator, RankingMetrics
+from repro.eval.reference import NaiveFilterIndex, NaiveRankingEvaluator
 from repro.eval.patterns import PatternLevelEvaluator, PatternMetrics
 from repro.eval.classification import TripletClassifier, ClassificationResult
 from repro.eval.correlation import spearman_correlation, pearson_correlation, CorrelationStudy
@@ -10,6 +14,8 @@ from repro.eval.correlation import spearman_correlation, pearson_correlation, Co
 __all__ = [
     "RankingEvaluator",
     "RankingMetrics",
+    "NaiveFilterIndex",
+    "NaiveRankingEvaluator",
     "PatternLevelEvaluator",
     "PatternMetrics",
     "TripletClassifier",

@@ -3,17 +3,33 @@
 The protocol follows Bordes et al. (2013): for every evaluation triple (h, r, t) the model
 ranks the true tail against every entity (and the true head likewise), after removing all
 *other* known true triples from the candidate list ("filtered" setting).
+
+This is the hottest path in the repository -- the MRR reward driving the ERAS controller
+(Eq. 7), the early-stopping signal of ``Trainer.fit`` and every ranking table flow
+through it -- so the whole pipeline is vectorized:
+
+* scores come from the no-grad kernels (:meth:`~repro.models.kge.KGEModel.score_all_arrays`),
+  skipping autodiff ``Tensor`` construction;
+* filters come from the CSR :class:`~repro.kg.filter_index.FilterIndex` as flat
+  ``(row, column)`` arrays applied in one fancy-indexed assignment per batch -- no
+  per-triple Python loop, no dense per-row masks;
+* the per-split flat filter arrays and the filter index itself are memoised
+  (:meth:`~repro.kg.graph.KnowledgeGraph.filter_index`), because searches re-rank the
+  same validation split hundreds of times.
+
+Ranks are bit-identical to the retained naive reference implementation
+(:mod:`repro.eval.reference`); ``tests/test_ranking_vectorized.py`` and the throughput
+gate ``benchmarks/test_ranking_throughput.py`` enforce this.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
-from repro.autodiff import no_grad
-from repro.kg.filter_index import FilterIndex
+from repro.kg.filter_index import FilterIndex, FlatFilter
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.triples import TripleSet
 from repro.models.kge import KGEModel
@@ -66,12 +82,12 @@ class RankingEvaluator:
         graph: KnowledgeGraph,
         filtered: bool = True,
         batch_size: int = 128,
-        splits: Sequence[str] = ("valid", "test"),
     ) -> None:
         self.graph = graph
         self.filtered = filtered
         self.batch_size = batch_size
-        self._filter_index = FilterIndex.from_graph(graph) if filtered else None
+        # Shared per graph: constructing an evaluator per search candidate is free.
+        self._filter_index: Optional[FilterIndex] = graph.filter_index() if filtered else None
 
     # ------------------------------------------------------------------ public API
     def evaluate(
@@ -84,29 +100,48 @@ class RankingEvaluator:
     ) -> RankingMetrics:
         """Ranking metrics on ``split`` (optionally restricted to given relations or a sample)."""
         triples = self._select_triples(split, sample_size, seed, relations)
-        ranks = self.ranks(model, triples)
+        # Only whole-split arrays recur (and thus deserve a slot in the graph-shared
+        # filter memo); sampled or relation-restricted selections are one-offs.
+        full_split = triples is self._split_triples(split)
+        ranks = self.ranks(model, triples, _memoize_filters=full_split)
         return RankingMetrics.from_ranks(ranks)
 
     def per_relation(self, model: KGEModel, split: str = "test") -> Dict[int, RankingMetrics]:
-        """Ranking metrics per relation id (used by the pattern-level evaluation)."""
-        triples = self._split_triples(split)
+        """Ranking metrics per relation id (used by the pattern-level evaluation).
+
+        Triples are grouped by relation with one stable argsort pass instead of a full
+        array rescan per unique relation; within each group the original split order is
+        preserved, so the per-relation ranks match a ``for_relation`` scan exactly.
+        """
+        array = self._split_triples(split).array
         results: Dict[int, RankingMetrics] = {}
-        for relation in np.unique(triples.relations):
-            subset = triples.for_relation(int(relation))
-            results[int(relation)] = RankingMetrics.from_ranks(self.ranks(model, subset))
+        if len(array) == 0:
+            return results
+        order = np.argsort(array[:, 1], kind="stable")
+        grouped = array[order]
+        relations, starts = np.unique(grouped[:, 1], return_index=True)
+        bounds = np.append(starts, len(grouped))
+        for relation, start, stop in zip(relations, bounds[:-1], bounds[1:]):
+            subset = TripleSet(grouped[start:stop].copy())
+            # One-off subsets bypass the filter memo so they cannot evict the hot
+            # whole-split entries.
+            results[int(relation)] = RankingMetrics.from_ranks(
+                self.ranks(model, subset, _memoize_filters=False)
+            )
         return results
 
-    def ranks(self, model: KGEModel, triples: TripleSet) -> np.ndarray:
+    def ranks(self, model: KGEModel, triples: TripleSet, _memoize_filters: bool = True) -> np.ndarray:
         """Filtered ranks (tail-prediction and head-prediction interleaved) of all triples."""
         if len(triples) == 0:
             return np.array([], dtype=np.int64)
-        all_ranks = []
         array = triples.array
-        with no_grad():
-            for start in range(0, len(array), self.batch_size):
-                batch = array[start : start + self.batch_size]
-                all_ranks.append(self._batch_ranks(model, batch, direction="tail"))
-                all_ranks.append(self._batch_ranks(model, batch, direction="head"))
+        tail_filter, head_filter = self._filters_for(array, _memoize_filters)
+        all_ranks = []
+        for start in range(0, len(array), self.batch_size):
+            stop = min(start + self.batch_size, len(array))
+            batch = array[start:stop]
+            all_ranks.append(self._batch_ranks(model, batch, "tail", tail_filter, start, stop))
+            all_ranks.append(self._batch_ranks(model, batch, "head", head_filter, start, stop))
         return np.concatenate(all_ranks)
 
     def validation_mrr(self, model: KGEModel, sample_size: Optional[int] = None, seed: SeedLike = 0) -> float:
@@ -135,21 +170,39 @@ class RankingEvaluator:
             triples = TripleSet(triples.array[idx].copy())
         return triples
 
-    def _batch_ranks(self, model: KGEModel, batch: np.ndarray, direction: str) -> np.ndarray:
-        if direction == "tail":
-            scores = model.score_all_tails(batch).data.copy()
-            targets = batch[:, 2]
-        else:
-            scores = model.score_all_heads(batch).data.copy()
-            targets = batch[:, 0]
-        if self._filter_index is not None:
-            for row, (head, relation, tail) in enumerate(batch):
-                if direction == "tail":
-                    mask = self._filter_index.tail_filter_mask(int(head), int(relation), int(tail), self.graph.num_entities)
-                else:
-                    mask = self._filter_index.head_filter_mask(int(relation), int(tail), int(head), self.graph.num_entities)
-                scores[row, mask] = -np.inf
-        target_scores = scores[np.arange(len(batch)), targets]
+    def _filters_for(
+        self, array: np.ndarray, memoize: bool = True
+    ) -> Tuple[Optional[FlatFilter], Optional[FlatFilter]]:
+        """Flat exclusion arrays of a whole triple array (memoised on the filter index)."""
+        if self._filter_index is None:
+            return None, None
+        return (
+            self._filter_index.flat_filter(array, "tail", memoize=memoize),
+            self._filter_index.flat_filter(array, "head", memoize=memoize),
+        )
+
+    def _batch_ranks(
+        self,
+        model: KGEModel,
+        batch: np.ndarray,
+        direction: str,
+        flat_filter: Optional[FlatFilter],
+        start: int,
+        stop: int,
+    ) -> np.ndarray:
+        # score_all_arrays returns a fresh writable array, so masking in place is safe
+        # (the old Tensor path needed a defensive .data.copy() here).
+        scores = model.score_all_arrays(batch, direction)
+        targets = batch[:, 2] if direction == "tail" else batch[:, 0]
+        row_idx = np.arange(len(batch))
+        target_scores = scores[row_idx, targets]  # fancy indexing: already a copy
+        if flat_filter is not None:
+            rows, cols = flat_filter.batch_indices(start, stop)
+            scores[rows, cols] = -np.inf
+            # The flat filter excludes *all* known entities, including each triple's own
+            # target; restoring the target scores yields exactly the classic protocol
+            # (mask known-but-other candidates, keep the target).
+            scores[row_idx, targets] = target_scores
         # Rank = 1 + number of candidates scoring strictly higher; ties broken optimistically
         # by half the tied count to avoid both over- and under-estimating systematically.
         higher = (scores > target_scores[:, None]).sum(axis=1)

@@ -1,0 +1,130 @@
+"""The pre-vectorization reference implementation of filtered ranking.
+
+This module preserves, verbatim in behaviour, the seed's filtered-ranking hot path:
+a dict-of-sets filter index built by per-triple Python insertion, and a ranking loop
+that allocates a dense boolean mask per evaluation triple.  It exists for two reasons:
+
+1. **ground truth** -- ``tests/test_ranking_vectorized.py`` asserts that the CSR
+   :class:`~repro.kg.filter_index.FilterIndex` plus the no-grad scoring kernels produce
+   ranks *exactly* equal to this implementation on randomized graphs;
+2. **perf trajectory** -- ``benchmarks/test_ranking_throughput.py`` times the vectorized
+   path against this reference and records the speedup in ``BENCH_ranking.json``.
+
+Never use these classes outside tests/benchmarks; :class:`repro.eval.ranking.RankingEvaluator`
+is the production path.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Set, Tuple
+
+import numpy as np
+
+from repro.autodiff import no_grad
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.triples import TripleSet
+from repro.models.kge import KGEModel
+
+
+class NaiveFilterIndex:
+    """The seed's known-true lookup: Python sets filled one triple at a time."""
+
+    def __init__(self, triple_sets: Iterable[TripleSet]) -> None:
+        self._tails_of: Dict[Tuple[int, int], Set[int]] = defaultdict(set)
+        self._heads_of: Dict[Tuple[int, int], Set[int]] = defaultdict(set)
+        self._all: Set[Tuple[int, int, int]] = set()
+        for triples in triple_sets:
+            for head, relation, tail in triples:
+                self._tails_of[(head, relation)].add(tail)
+                self._heads_of[(relation, tail)].add(head)
+                self._all.add((head, relation, tail))
+
+    @classmethod
+    def from_graph(cls, graph: KnowledgeGraph) -> "NaiveFilterIndex":
+        """Index over all splits of ``graph`` -- rebuilt on every call, as the seed did."""
+        return cls([graph.train, graph.valid, graph.test])
+
+    def known_tails(self, head: int, relation: int) -> Set[int]:
+        """All tails t such that (head, relation, t) is a known true triple."""
+        return self._tails_of.get((head, relation), set())
+
+    def known_heads(self, relation: int, tail: int) -> Set[int]:
+        """All heads h such that (h, relation, tail) is a known true triple."""
+        return self._heads_of.get((relation, tail), set())
+
+    def contains(self, head: int, relation: int, tail: int) -> bool:
+        """Whether the exact triple is known true."""
+        return (head, relation, tail) in self._all
+
+    def __len__(self) -> int:
+        return len(self._all)
+
+    def tail_filter_mask(self, head: int, relation: int, true_tail: int, num_entities: int) -> np.ndarray:
+        """Dense boolean exclusion mask for one tail-prediction query (target kept)."""
+        mask = np.zeros(num_entities, dtype=bool)
+        known = self.known_tails(head, relation)
+        if known:
+            mask[list(known)] = True
+        mask[true_tail] = False
+        return mask
+
+    def head_filter_mask(self, relation: int, tail: int, true_head: int, num_entities: int) -> np.ndarray:
+        """Dense boolean exclusion mask for one head-prediction query (target kept)."""
+        mask = np.zeros(num_entities, dtype=bool)
+        known = self.known_heads(relation, tail)
+        if known:
+            mask[list(known)] = True
+        mask[true_head] = False
+        return mask
+
+
+class NaiveRankingEvaluator:
+    """The seed's ranking loop: Tensor scoring plus one dense mask per triple.
+
+    Constructing an instance rebuilds the set-based filter index from scratch --
+    exactly what the seed's ``RankingEvaluator`` did for every search candidate.
+    """
+
+    def __init__(self, graph: KnowledgeGraph, filtered: bool = True, batch_size: int = 128) -> None:
+        self.graph = graph
+        self.filtered = filtered
+        self.batch_size = batch_size
+        self._filter_index = NaiveFilterIndex.from_graph(graph) if filtered else None
+
+    def ranks(self, model: KGEModel, triples: TripleSet) -> np.ndarray:
+        """Filtered ranks (tail- and head-prediction interleaved), seed semantics."""
+        if len(triples) == 0:
+            return np.array([], dtype=np.int64)
+        all_ranks = []
+        array = triples.array
+        with no_grad():
+            for start in range(0, len(array), self.batch_size):
+                batch = array[start : start + self.batch_size]
+                all_ranks.append(self._batch_ranks(model, batch, direction="tail"))
+                all_ranks.append(self._batch_ranks(model, batch, direction="head"))
+        return np.concatenate(all_ranks)
+
+    def _batch_ranks(self, model: KGEModel, batch: np.ndarray, direction: str) -> np.ndarray:
+        if direction == "tail":
+            scores = model.score_all_tails(batch).data.copy()
+            targets = batch[:, 2]
+        else:
+            scores = model.score_all_heads(batch).data.copy()
+            targets = batch[:, 0]
+        if self._filter_index is not None:
+            for row, (head, relation, tail) in enumerate(batch):
+                if direction == "tail":
+                    mask = self._filter_index.tail_filter_mask(
+                        int(head), int(relation), int(tail), self.graph.num_entities
+                    )
+                else:
+                    mask = self._filter_index.head_filter_mask(
+                        int(relation), int(tail), int(head), self.graph.num_entities
+                    )
+                scores[row, mask] = -np.inf
+        target_scores = scores[np.arange(len(batch)), targets]
+        higher = (scores > target_scores[:, None]).sum(axis=1)
+        ties = (scores == target_scores[:, None]).sum(axis=1) - 1
+        ranks = 1 + higher + ties // 2
+        return ranks.astype(np.int64)

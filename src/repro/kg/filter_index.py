@@ -2,71 +2,278 @@
 
 When ranking a test triple (h, r, t) against all candidate tails, every *other* known true
 triple (h, r, t') must be removed from the candidate list (Bordes et al., 2013).  The
-index below answers "which tails are known for (h, r)" and "which heads for (r, t)" in
-O(1) per query.
+index answers "which tails are known for (h, r)" and "which heads for (r, t)".
+
+Layout
+------
+The index is CSR-style over sorted NumPy arrays instead of Python dict-of-sets:
+
+* all known triples are deduplicated and lexsorted once (``np.unique`` / ``np.lexsort``);
+* for each direction the sorted unique group keys (``(h, r)`` for tails, ``(r, t)`` for
+  heads, encoded as single int64 values) sit next to an offset-pointer array into one
+  flat value array, exactly like the ``indptr`` / ``indices`` pair of a CSR matrix;
+* a batched lookup is two ``np.searchsorted`` calls plus fancy indexing -- no per-triple
+  Python work -- and :meth:`flat_filter_indices` returns the whole batch's exclusions as
+  ``(row, column)`` coordinate arrays so they apply in one assignment.
+
+The per-split ``(row, column)`` arrays are additionally memoised (keyed by triple-array
+content), because evaluation re-ranks the same validation split dozens of times per
+training run and hundreds of times per search.  The pre-vectorization dict-of-sets
+implementation is retained verbatim in :mod:`repro.eval.reference` as the ground truth
+for the property tests and the throughput gate in
+``benchmarks/test_ranking_throughput.py``.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Dict, Iterable, Set, Tuple
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterable, Optional, Set, Tuple
 
 import numpy as np
 
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.triples import TripleSet
 
+_EMPTY = np.array([], dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class FlatFilter:
+    """All exclusions of one triple array as a flat CSR pair.
+
+    ``cols[offsets[i]:offsets[i + 1]]`` are the known entities to exclude when ranking
+    triple ``i``; :meth:`batch_indices` re-expands any contiguous row range into the
+    ``(row, column)`` coordinate arrays consumed by a fancy-indexed assignment.
+
+    Fields
+    ------
+    cols:
+        Concatenated known-entity ids, grouped by triple (int64, length = total
+        exclusions).
+    offsets:
+        Prefix offsets into ``cols``; length ``n + 1`` for ``n`` triples, so row ``i``
+        owns the half-open slice ``[offsets[i], offsets[i + 1])``.
+    """
+
+    cols: np.ndarray
+    offsets: np.ndarray
+
+    def batch_indices(self, start: int, stop: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(row, column)`` exclusion coordinates of rows ``[start, stop)``.
+
+        Rows are re-based to the batch (row ``start`` becomes 0), matching the score
+        matrix of one evaluation batch.
+        """
+        lo, hi = int(self.offsets[start]), int(self.offsets[stop])
+        counts = np.diff(self.offsets[start : stop + 1])
+        rows = np.repeat(np.arange(stop - start, dtype=np.int64), counts)
+        return rows, self.cols[lo:hi]
+
 
 class FilterIndex:
-    """Known-true lookup structure over one or more triple sets."""
+    """Known-true lookup structure over one or more triple sets.
 
-    def __init__(self, triple_sets: Iterable[TripleSet]) -> None:
-        self._tails_of: Dict[Tuple[int, int], Set[int]] = defaultdict(set)
-        self._heads_of: Dict[Tuple[int, int], Set[int]] = defaultdict(set)
-        self._all: Set[Tuple[int, int, int]] = set()
-        for triples in triple_sets:
-            for head, relation, tail in triples:
-                self._tails_of[(head, relation)].add(tail)
-                self._heads_of[(relation, tail)].add(head)
-                self._all.add((head, relation, tail))
+    ``num_entities`` / ``num_relations`` bound the id domain of the int64 key encoding;
+    they default to the maximum ids observed in the triples, and ids beyond the bounds
+    are handled by an explicit out-of-domain guard (they can never alias onto another
+    group's key), so lookups with any non-negative ids are safe.
+    """
 
+    def __init__(
+        self,
+        triple_sets: Iterable[TripleSet],
+        num_entities: Optional[int] = None,
+        num_relations: Optional[int] = None,
+    ) -> None:
+        arrays = [np.asarray(t.array if isinstance(t, TripleSet) else t, dtype=np.int64) for t in triple_sets]
+        arrays = [a.reshape(-1, 3) for a in arrays]
+        combined = np.concatenate(arrays, axis=0) if arrays else np.zeros((0, 3), dtype=np.int64)
+        if combined.size:
+            combined = np.unique(combined, axis=0)
+        self._triples = combined
+        heads, relations, tails = combined[:, 0], combined[:, 1], combined[:, 2]
+        observed_relations = int(relations.max()) + 1 if combined.size else 1
+        observed_entities = int(max(heads.max(), tails.max())) + 1 if combined.size else 1
+        self._num_relations = max(observed_relations, int(num_relations or 0))
+        self._num_entities = max(observed_entities, int(num_entities or 0))
+
+        # np.unique(axis=0) leaves rows lexsorted by (h, r, t), so the tail-direction CSR
+        # falls straight out of the sorted array ...
+        self._tail_keys, self._tail_ptr = self._group(self._encode_hr(heads, relations))
+        self._tail_vals = tails
+        # ... while the head direction needs one more lexsort by (r, t, h).
+        order = np.lexsort((heads, tails, relations))
+        self._head_keys, self._head_ptr = self._group(self._encode_rt(relations[order], tails[order]))
+        self._head_vals = heads[order]
+        # Encoded full triples, sorted (monotone in the (h, r, t) lexsort), for contains().
+        self._triple_keys = self._encode_hr(heads, relations) * self._num_entities + tails
+        # LRU memo of per-array FlatFilter pairs, keyed by a content digest of the
+        # triple array (32 bytes per entry instead of pinning the raw split bytes).
+        self._flat_cache: "OrderedDict[Tuple[str, int, bytes], FlatFilter]" = OrderedDict()
+        self._flat_cache_max = 32
+
+    # ------------------------------------------------------------------ construction
     @classmethod
     def from_graph(cls, graph: KnowledgeGraph) -> "FilterIndex":
-        """Index over all splits of ``graph`` (the standard filtered protocol)."""
-        return cls([graph.train, graph.valid, graph.test])
+        """Index over all splits of ``graph`` (the standard filtered protocol).
 
+        Memoised per graph: repeated calls return :meth:`KnowledgeGraph.filter_index`'s
+        cached instance, so evaluators, engines and samplers share one index instead of
+        each rebuilding their own.
+        """
+        return graph.filter_index()
+
+    @staticmethod
+    def _group(sorted_keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Unique keys of a sorted key array plus CSR offset pointers."""
+        if sorted_keys.size == 0:
+            return _EMPTY, np.zeros(1, dtype=np.int64)
+        keys, starts = np.unique(sorted_keys, return_index=True)
+        ptr = np.append(starts, len(sorted_keys)).astype(np.int64)
+        return keys, ptr
+
+    def _encode_hr(self, heads, relations) -> np.ndarray:
+        """Injective ``(h, r)`` key; out-of-domain ids yield -1, matching no stored key."""
+        heads = np.asarray(heads, dtype=np.int64)
+        relations = np.asarray(relations, dtype=np.int64)
+        in_domain = (heads >= 0) & (relations >= 0) & (relations < self._num_relations)
+        return np.where(in_domain, heads * self._num_relations + relations, -1)
+
+    def _encode_rt(self, relations, tails) -> np.ndarray:
+        """Injective ``(r, t)`` key; out-of-domain ids yield -1, matching no stored key."""
+        relations = np.asarray(relations, dtype=np.int64)
+        tails = np.asarray(tails, dtype=np.int64)
+        in_domain = (relations >= 0) & (tails >= 0) & (tails < self._num_entities)
+        return np.where(in_domain, relations * self._num_entities + tails, -1)
+
+    # ------------------------------------------------------------------ range lookups
+    def _ranges(self, keys: np.ndarray, sorted_keys: np.ndarray, ptr: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """CSR ``(start, end)`` ranges of a batch of encoded keys (0-length when absent)."""
+        keys = np.atleast_1d(np.asarray(keys, dtype=np.int64))
+        if sorted_keys.size == 0:
+            zeros = np.zeros(len(keys), dtype=np.int64)
+            return zeros, zeros
+        pos = np.searchsorted(sorted_keys, keys)
+        clipped = np.minimum(pos, len(sorted_keys) - 1)
+        found = sorted_keys[clipped] == keys
+        starts = np.where(found, ptr[clipped], 0)
+        ends = np.where(found, ptr[clipped + 1], 0)
+        return starts, ends
+
+    def _tail_range(self, head: int, relation: int) -> Tuple[int, int]:
+        starts, ends = self._ranges(self._encode_hr(head, relation), self._tail_keys, self._tail_ptr)
+        return int(starts[0]), int(ends[0])
+
+    def _head_range(self, relation: int, tail: int) -> Tuple[int, int]:
+        starts, ends = self._ranges(self._encode_rt(relation, tail), self._head_keys, self._head_ptr)
+        return int(starts[0]), int(ends[0])
+
+    # ------------------------------------------------------------------ point lookups
     def known_tails(self, head: int, relation: int) -> Set[int]:
         """All tails t such that (head, relation, t) is a known true triple."""
-        return self._tails_of.get((head, relation), set())
+        return set(self.known_tails_array(head, relation).tolist())
 
     def known_heads(self, relation: int, tail: int) -> Set[int]:
         """All heads h such that (h, relation, tail) is a known true triple."""
-        return self._heads_of.get((relation, tail), set())
+        return set(self.known_heads_array(relation, tail).tolist())
+
+    def known_tails_array(self, head: int, relation: int) -> np.ndarray:
+        """Sorted known tails of ``(head, relation)`` as an int64 array (a view)."""
+        start, end = self._tail_range(head, relation)
+        return self._tail_vals[start:end]
+
+    def known_heads_array(self, relation: int, tail: int) -> np.ndarray:
+        """Sorted known heads of ``(relation, tail)`` as an int64 array (a view)."""
+        start, end = self._head_range(relation, tail)
+        return self._head_vals[start:end]
 
     def contains(self, head: int, relation: int, tail: int) -> bool:
-        """Whether the exact triple is known true."""
-        return (head, relation, tail) in self._all
+        """Whether the exact triple is known true (one binary search)."""
+        head, relation, tail = int(head), int(relation), int(tail)
+        if self._triple_keys.size == 0:
+            return False
+        if min(head, relation, tail) < 0 or relation >= self._num_relations or tail >= self._num_entities:
+            return False  # outside the key-encoding domain: cannot be stored
+        key = (head * self._num_relations + relation) * self._num_entities + tail
+        pos = int(np.searchsorted(self._triple_keys, key))
+        return pos < len(self._triple_keys) and int(self._triple_keys[pos]) == key
 
     def __len__(self) -> int:
-        return len(self._all)
+        return len(self._triples)
 
+    # ------------------------------------------------------------------ batched filters
+    def flat_filter_indices(self, batch: np.ndarray, direction: str) -> Tuple[np.ndarray, np.ndarray]:
+        """All exclusions of a ``(n, 3)`` triple batch as ``(row, column)`` arrays.
+
+        ``direction='tail'`` excludes the known tails of each row's ``(h, r)``,
+        ``direction='head'`` the known heads of each row's ``(r, t)``.  The true target
+        entity of each triple is *included* (the caller restores its score after the
+        masked assignment), so one fancy-indexed store replaces a per-row mask loop.
+        """
+        flat = self.flat_filter(batch, direction)
+        return flat.batch_indices(0, len(flat.offsets) - 1)
+
+    def flat_filter(self, batch: np.ndarray, direction: str, memoize: bool = True) -> FlatFilter:
+        """The :class:`FlatFilter` of a triple array, LRU-memoised by content digest.
+
+        The memo makes re-ranking an unchanged split (the dominant evaluation pattern:
+        early stopping re-ranks the same validation split every few epochs, a search
+        does so for every candidate) cost two searchsorted passes exactly once.  Pass
+        ``memoize=False`` for one-off arrays (e.g. the per-relation subsets of
+        ``RankingEvaluator.per_relation``) so they cannot churn the hot split entries
+        out of the cache.
+        """
+        batch = np.ascontiguousarray(np.atleast_2d(np.asarray(batch, dtype=np.int64)))
+        if not memoize:
+            return self._build_flat_filter(batch, direction)
+        key = (direction, batch.shape[0], hashlib.sha256(batch.tobytes()).digest())
+        cached = self._flat_cache.get(key)
+        if cached is not None:
+            self._flat_cache.move_to_end(key)
+            return cached
+        flat = self._build_flat_filter(batch, direction)
+        while len(self._flat_cache) >= self._flat_cache_max:
+            self._flat_cache.popitem(last=False)
+        self._flat_cache[key] = flat
+        return flat
+
+    def _build_flat_filter(self, batch: np.ndarray, direction: str) -> FlatFilter:
+        if direction == "tail":
+            keys = self._encode_hr(batch[:, 0], batch[:, 1])
+            sorted_keys, ptr, vals = self._tail_keys, self._tail_ptr, self._tail_vals
+        elif direction == "head":
+            keys = self._encode_rt(batch[:, 1], batch[:, 2])
+            sorted_keys, ptr, vals = self._head_keys, self._head_ptr, self._head_vals
+        else:
+            raise ValueError(f"direction must be 'tail' or 'head', got {direction!r}")
+        starts, ends = self._ranges(keys, sorted_keys, ptr)
+        counts = ends - starts
+        total = int(counts.sum())
+        offsets = np.zeros(len(batch) + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        if total == 0:
+            return FlatFilter(cols=_EMPTY, offsets=offsets)
+        # Expand the (start, end) ranges into one flat gather index:
+        # positions [offsets[i], offsets[i+1]) map to vals[starts[i] + 0..counts[i]).
+        gather = np.arange(total, dtype=np.int64) + np.repeat(starts - offsets[:-1], counts)
+        return FlatFilter(cols=vals[gather], offsets=offsets)
+
+    # ------------------------------------------------------------------ dense masks
     def tail_filter_mask(self, head: int, relation: int, true_tail: int, num_entities: int) -> np.ndarray:
         """Boolean mask of candidates to *exclude* when ranking the tail of (head, relation, true_tail).
 
         The true tail itself is never excluded.
         """
         mask = np.zeros(num_entities, dtype=bool)
-        known = self.known_tails(head, relation)
-        if known:
-            mask[list(known)] = True
+        mask[self.known_tails_array(head, relation)] = True
         mask[true_tail] = False
         return mask
 
     def head_filter_mask(self, relation: int, tail: int, true_head: int, num_entities: int) -> np.ndarray:
         """Boolean mask of candidates to *exclude* when ranking the head of (true_head, relation, tail)."""
         mask = np.zeros(num_entities, dtype=bool)
-        known = self.known_heads(relation, tail)
-        if known:
-            mask[list(known)] = True
+        mask[self.known_heads_array(relation, tail)] = True
         mask[true_head] = False
         return mask

@@ -62,6 +62,7 @@ class KnowledgeGraph:
         self.test = test
         self.entity_vocab = entity_vocab
         self.relation_vocab = relation_vocab
+        self._filter_index = None
         self._validate_ids()
 
     def _validate_ids(self) -> None:
@@ -82,6 +83,24 @@ class KnowledgeGraph:
                 )
 
     # ------------------------------------------------------------------ views
+    def filter_index(self):
+        """The known-true :class:`~repro.kg.filter_index.FilterIndex` over all splits.
+
+        Built lazily and memoised: every consumer of the filtered protocol (ranking
+        evaluation, filtered serving, negative sampling) shares one index per graph
+        instead of rebuilding it -- the splits are immutable, so the shared instance is
+        always current.
+        """
+        if self._filter_index is None:
+            from repro.kg.filter_index import FilterIndex  # local import: filter_index sits above graph
+
+            self._filter_index = FilterIndex(
+                (self.train, self.valid, self.test),
+                num_entities=self.num_entities,
+                num_relations=self.num_relations,
+            )
+        return self._filter_index
+
     def all_triples(self) -> TripleSet:
         """Union of train, validation and test triples (duplicates removed)."""
         return self.train.concat(self.valid).concat(self.test).unique()
@@ -121,6 +140,16 @@ class KnowledgeGraph:
             entity_vocab=self.entity_vocab,
             relation_vocab=self.relation_vocab,
         )
+
+    def __getstate__(self):
+        """Drop the memoised filter index when pickling (e.g. into pool workers).
+
+        The CSR index plus its flat-filter cache can rival the triples in size;
+        receivers rebuild it lazily on first :meth:`filter_index` call.
+        """
+        state = self.__dict__.copy()
+        state["_filter_index"] = None
+        return state
 
     def __repr__(self) -> str:
         return (

@@ -18,6 +18,7 @@ from repro.autodiff import Tensor, functional as F
 from repro.nn import Embedding, Module
 from repro.scoring.base import ScoringFunction
 from repro.scoring.bilinear import BlockScoringFunction
+from repro.scoring.kernels import kernel_for
 from repro.scoring.structure import BlockStructure
 from repro.utils.rng import SeedLike, new_rng, spawn_rng
 
@@ -176,6 +177,37 @@ class KGEModel(Module):
                 piece = scorer.score_all_heads(tail[rows], relation[rows], candidates)
             pieces.append((rows, piece))
         return _scatter_rows(pieces, len(triples), width=self.num_entities)
+
+    def score_all_arrays(self, triples: np.ndarray, direction: str) -> np.ndarray:
+        """No-grad 1-vs-all scores as a plain array, via the compiled scoring kernels.
+
+        Bit-identical to ``score_all_tails(triples).data`` / ``score_all_heads(...)``
+        (same arithmetic in the same order) but skips autodiff ``Tensor`` construction
+        entirely -- the hot path of ranking evaluation, one-shot search rewards and
+        serving.  The returned array is freshly allocated and writable, so callers may
+        mask it in place.
+        """
+        if direction not in ("tail", "head"):
+            raise ValueError(f"direction must be 'tail' or 'head', got {direction!r}")
+        triples = np.asarray(triples, dtype=np.int64)
+        if triples.size and (triples.min() < 0 or triples[:, (0, 2)].max() >= self.num_entities
+                             or triples[:, 1].max() >= self.num_relations):
+            raise IndexError("triple ids out of range for this model")
+        entities = self.entities.weight.data
+        anchor = entities[triples[:, 0] if direction == "tail" else triples[:, 2]]
+        relation = self.relations.weight.data[triples[:, 1]]
+        if self.num_groups == 1:
+            return kernel_for(self.scorers[0])(anchor, relation, entities, direction)
+        scores = np.empty((len(triples), self.num_entities), dtype=np.float64)
+        produced = False
+        for group, rows in enumerate(self._group_slices(triples[:, 1])):
+            if rows.size == 0:
+                continue
+            produced = True
+            scores[rows] = kernel_for(self.scorers[group])(anchor[rows], relation[rows], entities, direction)
+        if not produced:
+            raise ValueError("no scores produced; is the assignment consistent with the batch?")
+        return scores
 
     # ------------------------------------------------------------------ training loss
     def multiclass_loss(self, triples: np.ndarray) -> Tensor:

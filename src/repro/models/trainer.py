@@ -113,7 +113,7 @@ class Trainer:
         config = self.config
         rng = new_rng(config.seed)
         optimizer = self._build_optimizer(model)
-        evaluator = evaluator or RankingEvaluator(graph, splits=("valid",))
+        evaluator = evaluator or RankingEvaluator(graph)
 
         loss_history: List[float] = []
         valid_history: List[float] = []

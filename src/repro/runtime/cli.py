@@ -10,7 +10,7 @@ serving subsystem:
 - ``serve``  -- answer link-prediction queries against a model stored in the artifact
   registry.
 - ``bench``  -- run the runtime timing workloads (derive-phase scaling, serving
-  latency).
+  latency, filtered-ranking throughput).
 
 Every invocation documented in ``docs/CLI.md`` is checked against these parsers by
 ``tests/test_docs.py``, so the documentation cannot drift from the implementation.
@@ -188,10 +188,11 @@ def _add_bench_parser(subparsers) -> None:
         help="run a runtime timing workload",
         description="Benchmark the runtime layer: 'derive' times serial vs parallel vs "
         "cached derive-phase scoring, 'serving' measures the prediction service's "
-        "latency and throughput.",
+        "latency and throughput, 'ranking' times vectorized filtered ranking against "
+        "the retained naive reference.",
     )
     parser.add_argument(
-        "--workload", choices=("derive", "serving"), default="derive",
+        "--workload", choices=("derive", "serving", "ranking"), default="derive",
         help="which workload to run (default: derive)",
     )
     _add_dataset_arguments(parser, default="fb15k_like")
@@ -415,7 +416,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench.reporting import TableReport
     from repro.bench.workloads import train_structure
     from repro.datasets import load_benchmark
-    from repro.runtime.profiling import time_derive_phase
+    from repro.runtime.profiling import time_derive_phase, time_filtered_ranking
     from repro.scoring.classics import named_structure
     from repro.serve.engine import LinkPredictionEngine, LinkQuery
     from repro.serve.service import PredictionService
@@ -434,6 +435,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
         report = TableReport("derive-phase timing: serial vs parallel vs cached")
         report.add_row(**row)
         print(report.render())
+    elif args.workload == "ranking":
+        row = time_filtered_ranking(graph, dim=args.dim, seed=args.seed)
+        report = TableReport("filtered ranking: naive reference vs vectorized")
+        report.add_row(**row)
+        print(report.render())
+        if not row["ranks_match"]:
+            print("vectorized ranks diverge from the naive reference", file=sys.stderr)
+            return 1
     else:
         model, _ = train_structure(graph, named_structure("distmult"), dim=min(args.dim, 32), epochs=8, seed=args.seed)
         engine = LinkPredictionEngine.from_graph(model, graph)

@@ -191,6 +191,7 @@ class SearchRunner:
         self.config = config
         self.pool = pool if pool is not None else EvaluationPool(n_workers=config.workers, cache=EvalCache())
         self._graph: Optional[KnowledgeGraph] = None
+        self._evaluator: Optional[RankingEvaluator] = None
 
     # ------------------------------------------------------------------ components
     @property
@@ -295,8 +296,15 @@ class SearchRunner:
         )
 
     def evaluate(self, model: KGEModel) -> RankingMetrics:
-        """Filtered ranking metrics of ``model`` on the configured split."""
-        return RankingEvaluator(self.graph).evaluate(model, split=self.config.eval_split)
+        """Filtered ranking metrics of ``model`` on the configured split.
+
+        The evaluator is memoised (it shares the graph's cached filter index and its
+        own per-split flat filter arrays), so evaluating many models per run pays the
+        filter setup once.
+        """
+        if self._evaluator is None:
+            self._evaluator = RankingEvaluator(self.graph)
+        return self._evaluator.evaluate(model, split=self.config.eval_split)
 
     def publish(
         self,

@@ -20,6 +20,7 @@ from repro.scoring.classics import (
     named_structure,
 )
 from repro.scoring.translational import TransEScorer, RotatEScorer
+from repro.scoring.kernels import compile_block_kernel, kernel_for
 from repro.scoring.expressiveness import ExpressivenessReport, analyze_structure, expressiveness_table
 from repro.scoring.render import render_structure, render_relation_aware
 
@@ -36,6 +37,8 @@ __all__ = [
     "named_structure",
     "TransEScorer",
     "RotatEScorer",
+    "compile_block_kernel",
+    "kernel_for",
     "ExpressivenessReport",
     "analyze_structure",
     "expressiveness_table",

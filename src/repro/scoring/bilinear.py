@@ -25,6 +25,21 @@ class BlockScoringFunction(ScoringFunction):
     def __init__(self, structure: BlockStructure, name: Optional[str] = None) -> None:
         self.structure = structure
         self.name = name or f"block_sf_M{structure.num_blocks}"
+        self._kernel = None
+
+    def kernel(self):
+        """The compiled raw-NumPy ``score_all`` closure of this structure (memoised).
+
+        Built by :func:`repro.scoring.kernels.compile_block_kernel`; safe to cache
+        because :class:`BlockStructure` is immutable.  Evaluation and serving call it
+        through :meth:`repro.models.kge.KGEModel.score_all_arrays` to skip autodiff
+        graph construction entirely.
+        """
+        if self._kernel is None:
+            from repro.scoring.kernels import compile_block_kernel  # local import: kernels sits above bilinear
+
+            self._kernel = compile_block_kernel(self.structure)
+        return self._kernel
 
     # ------------------------------------------------------------------ helpers
     def _split(self, embeddings: Tensor) -> List[Tensor]:

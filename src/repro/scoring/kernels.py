@@ -1,0 +1,120 @@
+"""No-grad scoring kernels: raw-NumPy 1-vs-all scoring without autodiff bookkeeping.
+
+Evaluation and serving only need forward score values, yet the seed implementation ran
+them through the :class:`~repro.autodiff.Tensor` machinery (object wrappers, graph
+checks, closure allocation) for every op.  This module compiles each scoring function
+into a plain-array ``score_all`` closure:
+
+* :func:`compile_block_kernel` turns a :class:`~repro.scoring.structure.BlockStructure`'s
+  nonzero items into a closure that collapses the anchor-relation interaction per
+  candidate block and finishes with one matmul per block -- the identical arithmetic
+  (same operations, same order, same float64 dtype) as
+  :meth:`~repro.scoring.bilinear.BlockScoringFunction.score_all_tails`, so scores are
+  **bit-identical** to the autodiff path; only the Tensor wrappers disappear.
+* :func:`kernel_for` dispatches: block scoring functions get their compiled kernel
+  (memoised per instance), anything else (TransE, RotatE, custom scorers) falls back to
+  the Tensor implementation under ``no_grad`` and unwraps the result.
+
+Kernels return freshly allocated, writable arrays -- callers may mask scores in place
+without a defensive copy (``RankingEvaluator`` relies on this; the fallback copies in
+the rare case a scorer returns a view).  The kernels back
+:meth:`repro.models.kge.KGEModel.score_all_arrays`, which is the shared fast path of
+:class:`~repro.eval.ranking.RankingEvaluator`, the supernet's one-shot rewards and
+:class:`~repro.serve.engine.LinkPredictionEngine`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.autodiff import Tensor, no_grad
+from repro.scoring.base import ScoringFunction
+from repro.scoring.structure import BlockStructure
+
+# A kernel maps (anchor, relation, candidates, direction) -> (n, num_candidates) scores.
+# ``anchor`` is the head embedding for direction 'tail' and the tail embedding for 'head'.
+ScoreAllKernel = Callable[[np.ndarray, np.ndarray, np.ndarray, str], np.ndarray]
+
+
+def compile_block_kernel(structure: BlockStructure) -> ScoreAllKernel:
+    """Compile a block structure's nonzero items into a raw-NumPy ``score_all`` closure.
+
+    The closure mirrors :class:`~repro.scoring.bilinear.BlockScoringFunction` exactly:
+    per item ``<h_i, r_k, t_j>`` the anchor-relation product (times the sign) is
+    accumulated into the query of the opposite block, then each non-empty query hits the
+    candidate table with one matmul.  Item order and block-accumulation order match the
+    Tensor path, keeping results bit-identical.
+    """
+    items = structure.nonzero_items()
+    num_blocks = structure.num_blocks
+
+    def split(array: np.ndarray) -> List[np.ndarray]:
+        dim = array.shape[-1]
+        if dim % num_blocks != 0:
+            raise ValueError(
+                f"embedding dimension {dim} is not divisible by the number of blocks {num_blocks}"
+            )
+        block_dim = dim // num_blocks
+        return [array[:, i * block_dim : (i + 1) * block_dim] for i in range(num_blocks)]
+
+    def score_all(anchor: np.ndarray, relation: np.ndarray, candidates: np.ndarray, direction: str) -> np.ndarray:
+        anchor_blocks = split(anchor)
+        relation_blocks = split(relation)
+        candidate_blocks = split(candidates)
+        queries: List[Optional[np.ndarray]] = [None] * num_blocks
+        for head_block, tail_block, value in items:
+            sign = 1.0 if value > 0 else -1.0
+            relation_block = relation_blocks[abs(value) - 1]
+            if direction == "tail":
+                contribution = anchor_blocks[head_block] * relation_block * sign
+                target_block = tail_block
+            else:
+                contribution = relation_block * anchor_blocks[tail_block] * sign
+                target_block = head_block
+            queries[target_block] = (
+                contribution if queries[target_block] is None else queries[target_block] + contribution
+            )
+        total: Optional[np.ndarray] = None
+        for block, query in enumerate(queries):
+            if query is None:
+                continue
+            term = query @ candidate_blocks[block].T
+            total = term if total is None else total + term
+        if total is None:
+            # Degenerate all-zero structure: the score is identically zero.
+            return np.zeros((anchor.shape[0], candidates.shape[0]), dtype=np.float64)
+        return total
+
+    return score_all
+
+
+def _fallback_kernel(scorer: ScoringFunction) -> ScoreAllKernel:
+    """Wrap a scorer's Tensor implementation as a plain-array kernel (``no_grad``)."""
+
+    def score_all(anchor: np.ndarray, relation: np.ndarray, candidates: np.ndarray, direction: str) -> np.ndarray:
+        with no_grad():
+            if direction == "tail":
+                result = scorer.score_all_tails(Tensor(anchor), Tensor(relation), Tensor(candidates))
+            else:
+                result = scorer.score_all_heads(Tensor(anchor), Tensor(relation), Tensor(candidates))
+        data = result.data
+        # Kernels promise a fresh writable array; copy only if the scorer returned a view.
+        return data if data.base is None and data.flags.writeable else data.copy()
+
+    return score_all
+
+
+def kernel_for(scorer: ScoringFunction) -> ScoreAllKernel:
+    """The fastest available ``score_all`` kernel of a scoring function.
+
+    Block scoring functions expose a compiled kernel
+    (:meth:`~repro.scoring.bilinear.BlockScoringFunction.kernel`, memoised per
+    instance); every other scorer is served through the Tensor fallback, which is
+    bit-identical by construction.
+    """
+    kernel = getattr(scorer, "kernel", None)
+    if callable(kernel):
+        return kernel()
+    return _fallback_kernel(scorer)

@@ -177,10 +177,13 @@ def one_shot_mrr(model: KGEModel, triples: np.ndarray) -> float:
     pool workers (:mod:`repro.runtime.evaluation`) can score a reconstructed model with
     exactly the same code path as the in-process supernet -- the guarantee behind
     ``--workers N`` producing bit-identical search results for every ``N``.
+
+    Scores come from the compiled no-grad kernels
+    (:meth:`~repro.models.kge.KGEModel.score_all_arrays`), which are bit-identical to
+    the autodiff path, so switching the reward to the fast path never changes a search.
     """
-    with no_grad():
-        tail_scores = model.score_all_tails(triples).data
-        head_scores = model.score_all_heads(triples).data
+    tail_scores = model.score_all_arrays(triples, "tail")
+    head_scores = model.score_all_arrays(triples, "head")
     ranks = np.concatenate(
         [
             _unfiltered_ranks(tail_scores, triples[:, 2]),

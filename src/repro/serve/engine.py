@@ -24,7 +24,6 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.autodiff import no_grad
 from repro.kg.filter_index import FilterIndex
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.vocab import Vocabulary
@@ -156,7 +155,7 @@ class LinkPredictionEngine:
     @classmethod
     def from_graph(cls, model: KGEModel, graph: KnowledgeGraph, **kwargs) -> "LinkPredictionEngine":
         """Engine with the graph's filter index and vocabularies attached."""
-        kwargs.setdefault("filter_index", FilterIndex.from_graph(graph))
+        kwargs.setdefault("filter_index", graph.filter_index())
         kwargs.setdefault("entity_vocab", graph.entity_vocab)
         kwargs.setdefault("relation_vocab", graph.relation_vocab)
         return cls(model, **kwargs)
@@ -194,7 +193,7 @@ class LinkPredictionEngine:
             # The manifest wins; the graph fills in whatever it did not store.
             entity_vocab = entity_vocab or graph.entity_vocab
             relation_vocab = relation_vocab or graph.relation_vocab
-            kwargs.setdefault("filter_index", FilterIndex.from_graph(graph))
+            kwargs.setdefault("filter_index", graph.filter_index())
         kwargs.setdefault("entity_vocab", entity_vocab)
         kwargs.setdefault("relation_vocab", relation_vocab)
         return cls(model, **kwargs)
@@ -286,14 +285,8 @@ class LinkPredictionEngine:
                 chunk = anchors[start : start + self.score_batch_size]
                 triples = np.zeros((len(chunk), 3), dtype=np.int64)
                 triples[:, 1] = relation
-                with no_grad():
-                    if direction == "tail":
-                        triples[:, 0] = chunk
-                        scores = self.model.score_all_tails(triples).data
-                    else:
-                        triples[:, 2] = chunk
-                        scores = self.model.score_all_heads(triples).data
-                matrix[start : start + len(chunk)] = scores
+                triples[:, 0 if direction == "tail" else 2] = chunk
+                matrix[start : start + len(chunk)] = self.model.score_all_arrays(triples, direction)
             self._relation_scores[key] = matrix
         return self._relation_scores[key]
 
@@ -344,12 +337,9 @@ class LinkPredictionEngine:
     def _score_chunk(self, queries: Sequence[LinkQuery], direction: str) -> np.ndarray:
         triples = np.zeros((len(queries), 3), dtype=np.int64)
         triples[:, 1] = [q.relation for q in queries]
-        with no_grad():
-            if direction == "tail":
-                triples[:, 0] = [q.anchor for q in queries]
-                return self.model.score_all_tails(triples).data
-            triples[:, 2] = [q.anchor for q in queries]
-            return self.model.score_all_heads(triples).data
+        triples[:, 0 if direction == "tail" else 2] = [q.anchor for q in queries]
+        # Compiled no-grad kernels: one matmul batch, no autodiff Tensor construction.
+        return self.model.score_all_arrays(triples, direction)
 
     def _precomputed_row(self, query: LinkQuery) -> Optional[np.ndarray]:
         # A view into the cached matrix; _finish copies before its only mutation.
@@ -362,11 +352,11 @@ class LinkPredictionEngine:
         if self.filtered:
             scores = scores.copy()
             if query.direction == "tail":
-                known = self.filter_index.known_tails(query.head, query.relation)
+                known = self.filter_index.known_tails_array(query.head, query.relation)
             else:
-                known = self.filter_index.known_heads(query.relation, query.tail)
-            if known:
-                scores[list(known)] = -np.inf
+                known = self.filter_index.known_heads_array(query.relation, query.tail)
+            if known.size:
+                scores[known] = -np.inf
         entities, top_scores = _top_k(scores, query.k)
         labels = None
         if self.entity_vocab is not None:

@@ -174,7 +174,7 @@ class TestTrainer:
         result = Trainer(config).fit(model, tiny_graph)
         # fit restores the best snapshot into the model; with the full validation split
         # the evaluation is deterministic, so the MRR must match exactly.
-        evaluator = RankingEvaluator(tiny_graph, splits=("valid",))
+        evaluator = RankingEvaluator(tiny_graph)
         restored_mrr = evaluator.evaluate(model, split="valid").mrr
         assert restored_mrr == pytest.approx(result.best_valid_mrr, abs=1e-12)
 

@@ -1,0 +1,290 @@
+"""Property tests: the vectorized filtered-ranking path vs the naive reference.
+
+The CSR :class:`~repro.kg.filter_index.FilterIndex` plus the compiled no-grad kernels
+must produce ranks *exactly* equal to the retained seed implementation
+(:mod:`repro.eval.reference`) -- on randomized graphs, across relation-group
+assignments, with empty filters and the all-known-tails edge case.  Bit-identity is
+what lets every paper-table benchmark keep its printed metrics unchanged while the
+wall clock drops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval import NaiveFilterIndex, NaiveRankingEvaluator, RankingEvaluator
+from repro.kg import FilterIndex, KnowledgeGraph, TripleSet
+from repro.models import KGEModel
+from repro.scoring import BlockStructure, RotatEScorer, TransEScorer
+from repro.scoring.kernels import kernel_for
+
+
+# ---------------------------------------------------------------------------- helpers
+def random_graph(seed: int, num_entities: int = 30, num_relations: int = 6, n: int = 400) -> KnowledgeGraph:
+    """A random dense-ish graph with duplicated keys across splits."""
+    rng = np.random.default_rng(seed)
+    triples = np.stack(
+        [
+            rng.integers(0, num_entities, size=n),
+            rng.integers(0, num_relations, size=n),
+            rng.integers(0, num_entities, size=n),
+        ],
+        axis=1,
+    ).astype(np.int64)
+    triples = np.unique(triples, axis=0)
+    rng.shuffle(triples)
+    n = len(triples)
+    return KnowledgeGraph(
+        name=f"random-{seed}",
+        num_entities=num_entities,
+        num_relations=num_relations,
+        train=TripleSet(triples[: n // 2].copy()),
+        valid=TripleSet(triples[n // 2 : 3 * n // 4].copy()),
+        test=TripleSet(triples[3 * n // 4 :].copy()),
+    )
+
+
+def random_model(graph: KnowledgeGraph, num_groups: int, seed: int, dim: int = 16) -> KGEModel:
+    rng = np.random.default_rng(seed + 1000)
+    structures = [BlockStructure.random(4, rng) for _ in range(num_groups)]
+    assignment = rng.integers(0, num_groups, size=graph.num_relations)
+    return KGEModel(
+        num_entities=graph.num_entities,
+        num_relations=graph.num_relations,
+        dim=dim,
+        scorers=structures,
+        assignment=assignment,
+        seed=seed,
+    )
+
+
+def all_known_tails_graph() -> KnowledgeGraph:
+    """Entity 0 under relation 0 links to *every* entity: the fully-filtered edge case."""
+    num_entities = 12
+    rows = [(0, 0, t) for t in range(num_entities)]          # all-known-tails key (0, 0)
+    rows += [(t, 1, 0) for t in range(num_entities)]         # all-known-heads key (1, 0)
+    rows += [(3, 2, 4), (5, 2, 6), (7, 0, 8)]
+    train = TripleSet(rows)
+    valid = TripleSet([(0, 0, 5), (2, 1, 0)])
+    test = TripleSet([(0, 0, 9), (9, 1, 0), (3, 2, 4)])
+    return KnowledgeGraph("edge", num_entities, 3, train, valid, test)
+
+
+# ---------------------------------------------------------------------------- filter index
+class TestCsrFilterIndex:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_naive_lookups(self, seed):
+        graph = random_graph(seed)
+        csr = FilterIndex.from_graph(graph)
+        naive = NaiveFilterIndex.from_graph(graph)
+        assert len(csr) == len(naive)
+        for h in range(graph.num_entities):
+            for r in range(graph.num_relations):
+                assert csr.known_tails(h, r) == naive.known_tails(h, r)
+                for t in (0, graph.num_entities - 1):
+                    assert csr.contains(h, r, t) == naive.contains(h, r, t)
+        for r in range(graph.num_relations):
+            for t in range(graph.num_entities):
+                assert csr.known_heads(r, t) == naive.known_heads(r, t)
+
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_masks_match_naive(self, seed):
+        graph = random_graph(seed)
+        csr = FilterIndex.from_graph(graph)
+        naive = NaiveFilterIndex.from_graph(graph)
+        for h, r, t in graph.test:
+            np.testing.assert_array_equal(
+                csr.tail_filter_mask(h, r, t, graph.num_entities),
+                naive.tail_filter_mask(h, r, t, graph.num_entities),
+            )
+            np.testing.assert_array_equal(
+                csr.head_filter_mask(r, t, h, graph.num_entities),
+                naive.head_filter_mask(r, t, h, graph.num_entities),
+            )
+
+    @pytest.mark.parametrize("direction", ["tail", "head"])
+    def test_flat_filter_indices_match_masks(self, direction):
+        graph = random_graph(7)
+        csr = FilterIndex.from_graph(graph)
+        batch = graph.valid.array
+        rows, cols = csr.flat_filter_indices(batch, direction)
+        dense = np.zeros((len(batch), graph.num_entities), dtype=bool)
+        dense[rows, cols] = True
+        for i, (h, r, t) in enumerate(batch):
+            if direction == "tail":
+                expected = csr.tail_filter_mask(int(h), int(r), int(t), graph.num_entities)
+                expected[int(t)] = True  # flat filters include the target; callers restore it
+            else:
+                expected = csr.head_filter_mask(int(r), int(t), int(h), graph.num_entities)
+                expected[int(h)] = True
+            np.testing.assert_array_equal(dense[i], expected)
+
+    def test_flat_filter_unknown_keys_are_empty(self):
+        graph = random_graph(11)
+        csr = FilterIndex.from_graph(graph)
+        probe = np.array([[graph.num_entities - 1, graph.num_relations - 1, 0]], dtype=np.int64)
+        # Force a key that cannot exist by using an otherwise-unused relation id.
+        empty_graph_index = FilterIndex([TripleSet.empty()])
+        rows, cols = empty_graph_index.flat_filter_indices(probe, "tail")
+        assert rows.size == 0 and cols.size == 0
+        assert not empty_graph_index.contains(0, 0, 0)
+        assert len(empty_graph_index) == 0
+
+    def test_ids_beyond_observed_range_do_not_alias(self):
+        """Regression: ids valid for the graph but absent from the index must not
+        alias onto other groups' encoded keys (they used to, when the encoding moduli
+        were derived from the observed maxima only)."""
+        index = FilterIndex([TripleSet([(1, 0, 5), (0, 0, 1)])])
+        naive = NaiveFilterIndex([TripleSet([(1, 0, 5), (0, 0, 1)])])
+        # relation 1 was never observed: known_tails(0, 1) used to collide with (h=1, r=0).
+        assert index.known_tails(0, 1) == naive.known_tails(0, 1) == set()
+        assert index.known_heads(7, 0) == naive.known_heads(7, 0) == set()
+        assert not index.contains(0, 1, 5)
+        assert not index.contains(0, 0, 99)
+        rows, cols = index.flat_filter_indices(np.array([[0, 1, 5]]), "tail")
+        assert rows.size == 0 and cols.size == 0
+        # Explicit domain sizes (the graph path) encode unobserved ids injectively.
+        sized = FilterIndex([TripleSet([(1, 0, 5), (0, 0, 1)])], num_entities=10, num_relations=3)
+        assert sized.known_tails(0, 1) == set()
+        assert sized.known_tails(1, 0) == {5}
+
+    def test_per_relation_does_not_evict_split_filters(self):
+        """Regression: the one-off per-relation subsets must not churn the hot
+        whole-split entries out of the flat-filter LRU."""
+        graph = random_graph(15)
+        index = graph.filter_index()
+        split_filter = index.flat_filter(graph.test.array, "tail")
+        model = random_model(graph, 1, seed=0)
+        RankingEvaluator(graph).per_relation(model, split="test")
+        assert index.flat_filter(graph.test.array, "tail") is split_filter
+
+    def test_sampled_evaluations_do_not_evict_split_filters(self):
+        """Regression: per-validation random samples (fresh seed each check, as in
+        Trainer.fit) are one-offs and must not churn the shared flat-filter LRU."""
+        graph = random_graph(16)
+        index = graph.filter_index()
+        split_filter = index.flat_filter(graph.valid.array, "tail")
+        model = random_model(graph, 1, seed=0)
+        evaluator = RankingEvaluator(graph)
+        for seed in range(40):  # more distinct samples than the LRU holds
+            evaluator.evaluate(model, split="valid", sample_size=5, seed=seed)
+        assert index.flat_filter(graph.valid.array, "tail") is split_filter
+
+    def test_memoised_per_graph(self):
+        graph = random_graph(5)
+        assert graph.filter_index() is graph.filter_index()
+        assert FilterIndex.from_graph(graph) is graph.filter_index()
+        # Flat filters of an identical array are served from the content-keyed memo.
+        first = graph.filter_index().flat_filter(graph.valid.array, "tail")
+        second = graph.filter_index().flat_filter(graph.valid.array.copy(), "tail")
+        assert first is second
+
+
+# ---------------------------------------------------------------------------- kernels
+class TestScoringKernels:
+    @pytest.mark.parametrize("num_groups", [1, 2, 3])
+    def test_block_kernels_bit_identical(self, num_groups):
+        graph = random_graph(2)
+        model = random_model(graph, num_groups, seed=3)
+        batch = graph.test.array[:40]
+        for direction in ("tail", "head"):
+            reference = (
+                model.score_all_tails(batch) if direction == "tail" else model.score_all_heads(batch)
+            ).data
+            np.testing.assert_array_equal(model.score_all_arrays(batch, direction), reference)
+
+    @pytest.mark.parametrize("scorer", [TransEScorer(norm=1), TransEScorer(norm=2), RotatEScorer()])
+    def test_fallback_kernels_bit_identical(self, scorer):
+        graph = random_graph(4)
+        model = KGEModel(graph.num_entities, graph.num_relations, dim=16, scorers=scorer, seed=1)
+        batch = graph.test.array[:20]
+        for direction in ("tail", "head"):
+            reference = (
+                model.score_all_tails(batch) if direction == "tail" else model.score_all_heads(batch)
+            ).data
+            np.testing.assert_array_equal(model.score_all_arrays(batch, direction), reference)
+
+    def test_kernel_output_is_fresh_and_writable(self):
+        graph = random_graph(6)
+        model = random_model(graph, 1, seed=0)
+        scores = model.score_all_arrays(graph.test.array[:8], "tail")
+        assert scores.flags.writeable
+        assert not np.shares_memory(scores, model.entities.weight.data)
+        scores[:] = 0.0  # masking in place must be safe
+
+    def test_degenerate_all_zero_structure(self):
+        graph = random_graph(8)
+        model = KGEModel(graph.num_entities, graph.num_relations, dim=16,
+                         scorers=BlockStructure.zeros(4), seed=0)
+        batch = graph.test.array[:5]
+        scores = model.score_all_arrays(batch, "tail")
+        np.testing.assert_array_equal(scores, np.zeros_like(scores))
+
+    def test_kernel_memoised_per_scorer(self):
+        model = random_model(random_graph(9), 1, seed=0)
+        assert kernel_for(model.scorers[0]) is kernel_for(model.scorers[0])
+
+
+# ---------------------------------------------------------------------------- end-to-end ranks
+class TestVectorizedRanksMatchNaive:
+    @pytest.mark.parametrize("seed,num_groups", [(0, 1), (1, 2), (2, 3), (3, 2)])
+    def test_randomized_graphs(self, seed, num_groups):
+        graph = random_graph(seed)
+        model = random_model(graph, num_groups, seed=seed)
+        naive = NaiveRankingEvaluator(graph)
+        fast = RankingEvaluator(graph)
+        for split in (graph.valid, graph.test):
+            np.testing.assert_array_equal(naive.ranks(model, split), fast.ranks(model, split))
+
+    def test_all_known_tails_edge_case(self):
+        graph = all_known_tails_graph()
+        model = random_model(graph, 2, seed=0)
+        naive = NaiveRankingEvaluator(graph)
+        fast = RankingEvaluator(graph)
+        for split in (graph.valid, graph.test):
+            np.testing.assert_array_equal(naive.ranks(model, split), fast.ranks(model, split))
+        # The fully-filtered query still ranks its target first among survivors.
+        ranks = fast.ranks(model, TripleSet([(0, 0, 5)]))
+        assert ranks[0] == 1  # every other candidate tail is a known true triple
+
+    def test_triples_outside_the_index(self):
+        """Ranking triples with unknown (h, r) keys -- completely empty filters."""
+        graph = random_graph(10, num_entities=20, num_relations=4)
+        model = random_model(graph, 1, seed=2)
+        probe = TripleSet([(0, 3, 1), (19, 3, 0)])  # relation 3 may be unused by these keys
+        naive = NaiveRankingEvaluator(graph)
+        fast = RankingEvaluator(graph)
+        np.testing.assert_array_equal(naive.ranks(model, probe), fast.ranks(model, probe))
+
+    def test_unfiltered_matches_naive(self):
+        graph = random_graph(12)
+        model = random_model(graph, 2, seed=5)
+        naive = NaiveRankingEvaluator(graph, filtered=False)
+        fast = RankingEvaluator(graph, filtered=False)
+        np.testing.assert_array_equal(naive.ranks(model, graph.test), fast.ranks(model, graph.test))
+
+    def test_small_batch_size_same_ranks(self):
+        graph = random_graph(13)
+        model = random_model(graph, 2, seed=1)
+        big = RankingEvaluator(graph, batch_size=512)
+        small = RankingEvaluator(graph, batch_size=7)
+        # Batching interleaves tail/head blocks per batch, so only the multiset of
+        # ranks (and hence every aggregate metric) is batch-size invariant.
+        np.testing.assert_array_equal(
+            np.sort(big.ranks(model, graph.test)), np.sort(small.ranks(model, graph.test))
+        )
+        # Aggregates are means over the reordered ranks, so they agree to rounding
+        # (summation order shifts the last ulp); the printed rows are identical.
+        assert big.evaluate(model, split="test").as_row() == small.evaluate(model, split="test").as_row()
+
+    def test_per_relation_matches_for_relation_scan(self):
+        graph = random_graph(14)
+        model = random_model(graph, 2, seed=4)
+        fast = RankingEvaluator(graph)
+        grouped = fast.per_relation(model, split="test")
+        for relation in np.unique(graph.test.relations):
+            subset = graph.test.for_relation(int(relation))
+            expected = fast.evaluate(model, split="test", relations=[int(relation)])
+            assert grouped[int(relation)] == expected
+            assert grouped[int(relation)].count == 2 * len(subset)

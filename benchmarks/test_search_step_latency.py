@@ -1,0 +1,45 @@
+"""Search workload: one budgeted step of every registered searcher.
+
+The unified :class:`~repro.search.base.Searcher` protocol makes "one step" a
+comparable unit across algorithms -- an ERAS supernet epoch, an AutoSF greedy
+shortlist round, a random/Bayes candidate batch -- all driven by the identical loop
+under ``SearchBudget(max_steps=1)``.  This workload times that step per registered
+searcher on the FB15k-like benchmark and persists the rows as ``BENCH_search.json``
+(uploaded as a CI artifact alongside the ranking/derive/serving files), so the paper's
+per-evaluation cost asymmetry (Table IX: stand-alone training vs one-shot scoring) is
+tracked commit over commit for every algorithm at once.
+
+The gates are deliberately structural rather than absolute-time: every registered
+searcher must produce a row, every step must perform at least one candidate
+evaluation, and the stand-alone AutoSF step must stay more expensive per evaluation
+than the one-shot ERAS step (the qualitative asymmetry the reproduction preserves).
+"""
+
+from repro.bench import TableReport, bench_graph, write_bench_json
+from repro.runtime.profiling import time_search_steps
+from repro.search import available_searchers
+
+from benchmarks.conftest import BENCH_SEED, run_once
+
+SEARCH_STEP_SCALE = 0.35
+STEP_DIM = 32
+
+
+def test_search_step_latency(benchmark):
+    graph = bench_graph("fb15k_like", scale=SEARCH_STEP_SCALE, seed=BENCH_SEED)
+    rows = run_once(benchmark, lambda: time_search_steps(graph, workers=1, dim=STEP_DIM, seed=BENCH_SEED))
+
+    report = TableReport("Search workload -- one budgeted step per registered searcher")
+    for row in rows:
+        report.add_row(**row)
+    report.show()
+    path = write_bench_json("search", rows)
+    print(f"perf trajectory written to {path}")
+
+    by_name = {row["searcher"]: row for row in rows}
+    assert set(by_name) == set(available_searchers())
+    assert all(row["step_seconds"] > 0 and row["evaluations"] >= 1 for row in rows)
+    assert all(row["steps_completed"] == 1 for row in rows)  # max_steps=1 spent exactly
+    # The cost asymmetry of Table IX: a stand-alone training evaluation (AutoSF) costs
+    # more wall clock than a one-shot supernet reward evaluation (ERAS).
+    assert by_name["autosf"]["seconds_per_evaluation"] > by_name["eras"]["seconds_per_evaluation"]

@@ -17,6 +17,7 @@ from repro.bench.workloads import (
     quick_autosf_config,
     quick_random_config,
     quick_bayes_config,
+    search_step_options,
     train_structure,
     train_candidate,
     retrain_searched,
@@ -35,6 +36,7 @@ __all__ = [
     "quick_autosf_config",
     "quick_random_config",
     "quick_bayes_config",
+    "search_step_options",
     "train_structure",
     "train_candidate",
     "retrain_searched",

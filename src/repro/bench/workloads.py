@@ -22,6 +22,7 @@ from repro.search.bayes_search import BayesSearchConfig
 from repro.search.controller import ControllerConfig
 from repro.search.eras import ERASConfig
 from repro.search.random_search import RandomSearchConfig
+from repro.search.registry import SearcherOptions
 from repro.search.result import Candidate
 from repro.search.supernet import SupernetConfig
 
@@ -120,6 +121,26 @@ def quick_bayes_config(num_candidates: int = 8, seed: int = 0) -> BayesSearchCon
         embedding_dim=32,
         trainer=quick_search_trainer_config(),
         seed=seed,
+    )
+
+
+def search_step_options(dim: int = 32, seed: int = 0, proxy_epochs: int = 3) -> SearcherOptions:
+    """Small uniform budgets for timing one protocol step of every registered searcher.
+
+    Used by :func:`repro.runtime.profiling.time_search_steps` (the ``bench --workload
+    search`` row behind ``BENCH_search.json``): one supernet epoch for the ERAS family,
+    a handful of candidates with a short ``proxy_epochs`` stand-alone training for the
+    baselines -- enough work to measure the per-step cost asymmetry without re-running
+    a full search.
+    """
+    return SearcherOptions(
+        num_groups=2,
+        search_epochs=1,
+        num_candidates=4,
+        derive_samples=8,
+        dim=dim,
+        seed=seed,
+        proxy_epochs=proxy_epochs,
     )
 
 

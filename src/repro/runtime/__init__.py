@@ -6,11 +6,11 @@ This package is the chassis around the reproduction's library code:
   evaluations out over ``multiprocessing`` workers (deterministic in-process fallback
   for ``n_workers=1``) behind a structure-keyed :class:`EvalCache`, used by every
   searcher in :mod:`repro.search`.
-- :mod:`repro.runtime.checkpoint` -- JSON checkpoint/resume of ERAS search state
-  between epochs, plus search-result round-tripping.
+- :mod:`repro.runtime.checkpoint` -- protocol-level JSON checkpoint/resume of any
+  registered searcher's state between steps, plus search-result round-tripping.
 - :mod:`repro.runtime.runner` -- :class:`RunConfig` / :class:`SearchRunner`, the
-  facade owning dataset loading, search, final re-training, evaluation and publishing
-  into the serving registry.
+  facade owning dataset loading, the budgeted stepwise search driver, final
+  re-training, evaluation and publishing into the serving registry.
 - :mod:`repro.runtime.profiling` -- timing workloads shared by the benchmark harness
   and ``python -m repro bench``.
 - :mod:`repro.runtime.cli` -- the argparse layer behind ``python -m repro``.

@@ -2,14 +2,16 @@
 
 Two concerns live here:
 
-1. **Epoch-level checkpointing of ERAS** -- :func:`save_search_checkpoint` writes an
-   :class:`~repro.search.eras.ERASSearchState` (shared embeddings, Adagrad accumulators,
-   controller weights, Adam moments, REINFORCE baseline, every random stream, the
-   reward memory and all counters) to a single JSON file, and
-   :func:`load_search_checkpoint` restores it so that a resumed search is
-   **bit-identical** to an uninterrupted one (enforced by ``tests/test_runtime.py``).
-   Checkpoints embed the search configuration; loading under a different configuration
-   raises :class:`CheckpointError` instead of silently continuing a different search.
+1. **Step-level checkpointing of any registered searcher** --
+   :func:`save_search_checkpoint` wraps a searcher's
+   :meth:`~repro.search.base.Searcher.state_dict` in a validated envelope (format
+   version, searcher name, configuration, graph content identity) and writes it to a
+   single JSON file; :func:`load_search_checkpoint` validates the envelope and
+   restores the state through :meth:`~repro.search.base.Searcher.load_state_dict`,
+   so a resumed search is **bit-identical** to an uninterrupted one for *every*
+   algorithm implementing the protocol (enforced by ``tests/test_runtime.py``).
+   Loading under a different searcher, configuration or dataset raises
+   :class:`CheckpointError` instead of silently continuing a different search.
 
 2. **Search-result round-tripping** -- :func:`search_result_to_jsonable` /
    :func:`search_result_from_jsonable` convert a
@@ -24,32 +26,22 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict
 
 import numpy as np
 
 from repro.kg.graph import KnowledgeGraph
-from repro.scoring.structure import BlockStructure
-from repro.search.eras import ERASSearcher, ERASSearchState
-from repro.search.result import Candidate, SearchResult, TracePoint
+from repro.search.base import Searcher, SearchState, candidate_from_jsonable, candidate_to_jsonable
+from repro.search.result import SearchResult, TracePoint
 from repro.utils.serialization import PathLike, load_json, save_json, to_jsonable
 
-CHECKPOINT_FORMAT_VERSION = 1
+# Version 2: protocol-level envelope ({searcher, config, graph, state}) replacing the
+# version-1 ERAS-only flat layout.
+CHECKPOINT_FORMAT_VERSION = 2
 
 
 class CheckpointError(RuntimeError):
     """A checkpoint file is missing, malformed or belongs to a different search."""
-
-
-# ---------------------------------------------------------------------------- candidates
-def candidate_to_jsonable(candidate: Candidate) -> List[List[List[int]]]:
-    """A candidate as nested lists: one signed entry matrix per relation group."""
-    return [structure.entries.tolist() for structure in candidate.structures]
-
-
-def candidate_from_jsonable(data: List[List[List[int]]]) -> Candidate:
-    """Rebuild a :class:`~repro.search.result.Candidate` from :func:`candidate_to_jsonable`."""
-    return Candidate(tuple(BlockStructure(np.asarray(entries, dtype=np.int64)) for entries in data))
 
 
 # ---------------------------------------------------------------------------- graph identity
@@ -73,48 +65,21 @@ def _graph_identity(graph: KnowledgeGraph) -> Dict[str, object]:
     }
 
 
-# ---------------------------------------------------------------------------- rng streams
-def _rng_state(rng: np.random.Generator) -> Dict[str, object]:
-    return rng.bit_generator.state
-
-
-def _restore_rng(rng: np.random.Generator, state: Dict[str, object]) -> None:
-    rng.bit_generator.state = state
-
-
 # ---------------------------------------------------------------------------- checkpoints
-def save_search_checkpoint(path: PathLike, searcher: ERASSearcher, state: ERASSearchState) -> Path:
-    """Write the full search state to ``path`` (atomically: write-then-rename)."""
+def save_search_checkpoint(path: PathLike, searcher: Searcher, state: SearchState) -> Path:
+    """Write ``searcher``'s full search state to ``path`` (atomically: write-then-rename).
+
+    Works for every :class:`~repro.search.base.Searcher` implementation: the envelope
+    is generic and the body is whatever the searcher's ``state_dict`` returns.
+    """
     payload = {
         "format_version": CHECKPOINT_FORMAT_VERSION,
+        "searcher": searcher.name,
         "config": to_jsonable(dataclasses.asdict(searcher.config)),
         "dataset": state.graph.name,
         "graph": _graph_identity(state.graph),
-        "epochs_completed": state.epochs_completed,
-        "iteration": state.iteration,
-        "evaluations": state.evaluations,
-        "elapsed_seconds": state.elapsed_seconds,
-        "memory_start": state.memory_start,
-        "assignment": state.assignment.tolist(),
-        "rng": _rng_state(state.rng),
-        "supernet": {
-            "model": state.supernet.model.state_dict(),
-            "optimizer": state.supernet.optimizer.state_dict(),
-            "rng": _rng_state(state.supernet._rng),
-        },
-        "controller": {"model": state.controller.state_dict()},
-        "updater": {
-            "baseline": state.updater.baseline,
-            "optimizer": state.updater.optimizer.state_dict(),
-        },
-        "clustering_rng": _rng_state(state.clustering._rng),
-        "trace": [dataclasses.asdict(point) for point in state.trace],
-        # Insertion order matters: derive-phase ties are broken by it.
-        "reward_memory": [
-            {"reward": reward, "candidate": candidate_to_jsonable(candidate)}
-            for reward, candidate in state.reward_memory.values()
-        ],
-        "last_rewards": [float(reward) for reward in state.last_rewards],
+        "steps_completed": int(state.steps_completed),
+        "state": searcher.state_dict(state),
     }
     path = Path(path)
     scratch = path.with_name(path.name + ".tmp")
@@ -123,12 +88,11 @@ def save_search_checkpoint(path: PathLike, searcher: ERASSearcher, state: ERASSe
     return path
 
 
-def load_search_checkpoint(path: PathLike, searcher: ERASSearcher, graph: KnowledgeGraph) -> ERASSearchState:
-    """Rebuild an :class:`~repro.search.eras.ERASSearchState` saved by
-    :func:`save_search_checkpoint`.
+def load_search_checkpoint(path: PathLike, searcher: Searcher, graph: KnowledgeGraph) -> SearchState:
+    """Rebuild the search state saved by :func:`save_search_checkpoint`.
 
     ``searcher`` and ``graph`` must match the checkpointed search; a different
-    configuration or dataset raises :class:`CheckpointError`.
+    algorithm, configuration or dataset raises :class:`CheckpointError`.
     """
     path = Path(path)
     if not path.is_file():
@@ -143,6 +107,11 @@ def load_search_checkpoint(path: PathLike, searcher: ERASSearcher, graph: Knowle
             f"unsupported checkpoint format version {declared!r} "
             f"(this library reads version {CHECKPOINT_FORMAT_VERSION})"
         )
+    if payload.get("searcher") != searcher.name:
+        raise CheckpointError(
+            f"checkpoint at {path} was written by searcher {payload.get('searcher')!r} "
+            f"and cannot resume a {searcher.name!r} search"
+        )
     expected_config = to_jsonable(dataclasses.asdict(searcher.config))
     if payload.get("config") != expected_config:
         raise CheckpointError(
@@ -156,36 +125,9 @@ def load_search_checkpoint(path: PathLike, searcher: ERASSearcher, graph: Knowle
             f"resume against {graph.name!r}"
         )
 
-    # Build fresh components, then overwrite every piece of mutable state.
+    # Build fresh components, then let the searcher overwrite every mutable piece.
     state = searcher.init_state(graph)
-    supernet_payload = payload["supernet"]
-    state.supernet.model.load_state_dict(
-        {name: np.asarray(value, dtype=np.float64) for name, value in supernet_payload["model"].items()}
-    )
-    state.supernet.optimizer.load_state_dict(supernet_payload["optimizer"])
-    _restore_rng(state.supernet._rng, supernet_payload["rng"])
-    state.controller.load_state_dict(
-        {name: np.asarray(value, dtype=np.float64) for name, value in payload["controller"]["model"].items()}
-    )
-    baseline = payload["updater"]["baseline"]
-    state.updater.baseline = None if baseline is None else float(baseline)
-    state.updater.optimizer.load_state_dict(payload["updater"]["optimizer"])
-    _restore_rng(state.clustering._rng, payload["clustering_rng"])
-    _restore_rng(state.rng, payload["rng"])
-
-    state.assignment = np.asarray(payload["assignment"], dtype=np.int64)
-    state.supernet.set_assignment(state.assignment)
-    state.epochs_completed = int(payload["epochs_completed"])
-    state.iteration = int(payload["iteration"])
-    state.evaluations = int(payload["evaluations"])
-    state.elapsed_seconds = float(payload["elapsed_seconds"])
-    state.memory_start = int(payload["memory_start"])
-    state.trace = [TracePoint(**point) for point in payload["trace"]]
-    state.reward_memory = {}
-    for entry in payload["reward_memory"]:
-        candidate = candidate_from_jsonable(entry["candidate"])
-        state.reward_memory[candidate.signature()] = (float(entry["reward"]), candidate)
-    state.last_rewards = [float(reward) for reward in payload["last_rewards"]]
+    searcher.load_state_dict(state, payload["state"])
     return state
 
 

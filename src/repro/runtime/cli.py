@@ -3,14 +3,15 @@
 Four subcommands drive the :class:`~repro.runtime.runner.SearchRunner` facade and the
 serving subsystem:
 
-- ``search`` -- run a scoring-function search (ERAS or a baseline), optionally
-  re-train / evaluate / publish the winner and checkpoint between epochs.
+- ``search`` -- run any registered scoring-function search (``--list-searchers``),
+  optionally under a budget (``--budget-steps/evals/seconds``), with step-level
+  checkpoint/resume, and re-train / evaluate / publish the winner.
 - ``train``  -- train a classic structure or a saved search result from scratch and
   evaluate it.
 - ``serve``  -- answer link-prediction queries against a model stored in the artifact
   registry.
 - ``bench``  -- run the runtime timing workloads (derive-phase scaling, serving
-  latency, filtered-ranking throughput).
+  latency, filtered-ranking throughput, per-searcher step latency).
 
 Every invocation documented in ``docs/CLI.md`` is checked against these parsers by
 ``tests/test_docs.py``, so the documentation cannot drift from the implementation.
@@ -27,8 +28,9 @@ import sys
 from typing import Dict, List, Optional
 
 from repro.datasets.registry import BENCHMARK_NAMES
+from repro.search.registry import available_searchers
 
-from repro.runtime.runner import SEARCHER_NAMES, RunConfig, SearchRunner
+from repro.runtime.runner import RunConfig, SearchRunner
 
 CLASSIC_NAMES = ("distmult", "complex", "simple", "analogy")
 
@@ -75,8 +77,12 @@ def _add_search_parser(subparsers) -> None:
     )
     _add_dataset_arguments(parser)
     parser.add_argument(
-        "--searcher", choices=SEARCHER_NAMES, default="eras",
-        help="search algorithm (default: eras)",
+        "--searcher", choices=available_searchers(), default="eras",
+        help="search algorithm from the plugin registry (default: eras)",
+    )
+    parser.add_argument(
+        "--list-searchers", action="store_true",
+        help="print every registered searcher name and exit",
     )
     parser.add_argument("--groups", type=int, default=3, help="N, relation groups for ERAS (default: 3)")
     parser.add_argument("--blocks", type=int, default=4, help="M, structure block count (default: 4)")
@@ -96,12 +102,29 @@ def _add_search_parser(subparsers) -> None:
         help="evaluation-pool processes; 1 = serial, 0 = all cores (default: 1)",
     )
     parser.add_argument(
+        "--proxy-epochs", type=int, default=None,
+        help="per-candidate training epochs of the autosf/random/bayes proxy "
+        "(default: each algorithm's benchmark budget)",
+    )
+    parser.add_argument(
         "--checkpoint", metavar="PATH", default=None,
-        help="JSON checkpoint file; ERAS searches resume from it when it exists",
+        help="JSON checkpoint file; any searcher resumes from it when it exists",
     )
     parser.add_argument(
         "--checkpoint-every", type=int, default=1,
-        help="write the checkpoint every this many epochs (default: 1)",
+        help="write the checkpoint every this many steps (default: 1)",
+    )
+    parser.add_argument(
+        "--budget-steps", type=int, default=None,
+        help="stop the search after this many steps (default: unlimited)",
+    )
+    parser.add_argument(
+        "--budget-evals", type=int, default=None,
+        help="stop the search after this many candidate evaluations (default: unlimited)",
+    )
+    parser.add_argument(
+        "--budget-seconds", type=float, default=None,
+        help="stop the search after this much cumulative wall clock (default: unlimited)",
     )
     parser.add_argument("--output", metavar="PATH", default=None, help="write the search result as JSON")
     parser.add_argument(
@@ -189,10 +212,11 @@ def _add_bench_parser(subparsers) -> None:
         description="Benchmark the runtime layer: 'derive' times serial vs parallel vs "
         "cached derive-phase scoring, 'serving' measures the prediction service's "
         "latency and throughput, 'ranking' times vectorized filtered ranking against "
-        "the retained naive reference.",
+        "the retained naive reference, 'search' times one budgeted step of every "
+        "registered searcher and writes BENCH_search.json.",
     )
     parser.add_argument(
-        "--workload", choices=("derive", "serving", "ranking"), default="derive",
+        "--workload", choices=("derive", "serving", "ranking", "search"), default="derive",
         help="which workload to run (default: derive)",
     )
     _add_dataset_arguments(parser, default="fb15k_like")
@@ -212,6 +236,10 @@ def cmd_search(args: argparse.Namespace) -> int:
     from repro.runtime.checkpoint import save_search_result
     from repro.scoring.render import render_relation_aware
 
+    if args.list_searchers:
+        for name in available_searchers():
+            print(name)
+        return 0
     if args.publish and not args.registry:
         print("--publish requires --registry", file=sys.stderr)
         return 2
@@ -228,8 +256,12 @@ def cmd_search(args: argparse.Namespace) -> int:
         dim=args.dim,
         seed=args.seed,
         workers=args.workers,
+        proxy_epochs=args.proxy_epochs,
         checkpoint_path=args.checkpoint,
         checkpoint_every=args.checkpoint_every,
+        budget_steps=args.budget_steps,
+        budget_evals=args.budget_evals,
+        budget_seconds=args.budget_seconds,
         train_final=bool(args.train or args.publish),
         train_epochs=args.train_epochs,
         rerank=not args.no_rerank,
@@ -247,6 +279,8 @@ def cmd_search(args: argparse.Namespace) -> int:
         return 2
     result = report.search_result
 
+    if "budget" in result.extras:
+        print(f"search stopped early: {result.extras['budget']['stopped']}")
     print(f"winning candidate (signature): {result.best_candidate.signature()}")
     if runner.graph.relation_vocab is not None:
         group_relations = {
@@ -413,10 +447,10 @@ def _parse_query(text: str, engine, k: int):
 
 def cmd_bench(args: argparse.Namespace) -> int:
     """``python -m repro bench``: derive-phase or serving timing workloads."""
-    from repro.bench.reporting import TableReport
+    from repro.bench.reporting import TableReport, write_bench_json
     from repro.bench.workloads import train_structure
     from repro.datasets import load_benchmark
-    from repro.runtime.profiling import time_derive_phase, time_filtered_ranking
+    from repro.runtime.profiling import time_derive_phase, time_filtered_ranking, time_search_steps
     from repro.scoring.classics import named_structure
     from repro.serve.engine import LinkPredictionEngine, LinkQuery
     from repro.serve.service import PredictionService
@@ -443,6 +477,19 @@ def cmd_bench(args: argparse.Namespace) -> int:
         if not row["ranks_match"]:
             print("vectorized ranks diverge from the naive reference", file=sys.stderr)
             return 1
+    elif args.workload == "search":
+        rows = time_search_steps(graph, workers=args.workers, dim=min(args.dim, 32), seed=args.seed)
+        report = TableReport("search workload: one budgeted step per registered searcher")
+        for searcher_row in rows:
+            report.add_row(**searcher_row)
+        print(report.render())
+        path = write_bench_json("search", rows)
+        print(f"perf trajectory written to {path}")
+        # One row per searcher, so --output writes the list (unlike the single-row workloads).
+        if args.output:
+            save_json(rows, args.output)
+            print(f"result rows written to {args.output}")
+        return 0
     else:
         model, _ = train_structure(graph, named_structure("distmult"), dim=min(args.dim, 32), epochs=8, seed=args.seed)
         engine = LinkPredictionEngine.from_graph(model, graph)

@@ -13,6 +13,14 @@ execution strategies:
    :class:`~repro.runtime.evaluation.EvalCache` (the regime of the anchor pass and
    of converged controllers that resample the same candidates).
 
+:func:`time_search_steps` times one budgeted step
+(:class:`~repro.search.base.SearchBudget` ``max_steps=1``) of **every registered
+searcher** through the shared stepwise protocol -- the fairness primitive behind the
+paper's efficiency comparisons: each algorithm gets the identical driver, budget and
+evaluation pool, and the row records what one step of it costs.  ``python -m repro
+bench --workload search`` and ``benchmarks/test_search_step_latency.py`` report these
+rows and persist them as ``BENCH_search.json``.
+
 :func:`time_filtered_ranking` measures the repository's hottest path -- filtered
 ranking evaluation as a search exercises it (one fresh evaluator per candidate, the
 same validation sample re-ranked every time) -- under the retained naive reference
@@ -31,7 +39,7 @@ drift apart.
 from __future__ import annotations
 
 import time
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -118,6 +126,64 @@ def time_derive_phase(
             and np.array_equal(np.asarray(serial_scores), np.asarray(cached_scores))
         ),
     }
+
+
+def time_search_steps(
+    graph: KnowledgeGraph,
+    workers: int = 1,
+    dim: int = 32,
+    seed: int = 0,
+    names: Optional[Sequence[str]] = None,
+) -> List[Dict[str, object]]:
+    """Time one budgeted step of each registered searcher on ``graph``.
+
+    For every name in ``names`` (default: :func:`~repro.search.registry.available_searchers`),
+    the searcher is built from the registry at the small uniform
+    :func:`~repro.bench.workloads.search_step_options` budget, its state is
+    initialised, and exactly one protocol step runs under
+    ``SearchBudget(max_steps=1)`` -- the same driver every algorithm shares.  Rows
+    report the init and step wall clocks plus the candidate evaluations the step
+    performed, which is the per-step cost asymmetry of Table IX in benchmarkable form.
+    """
+    from repro.bench.workloads import search_step_options
+    from repro.search.base import SearchBudget
+    from repro.search.registry import available_searchers, create_searcher
+
+    budget = SearchBudget(max_steps=1)
+    options = search_step_options(dim=dim, seed=seed)
+    rows: List[Dict[str, object]] = []
+    for name in names if names is not None else available_searchers():
+        pool = EvaluationPool(n_workers=workers, cache=EvalCache())
+        searcher = create_searcher(name, options, pool=pool)
+        started = time.perf_counter()
+        state = searcher.init_state(graph)
+        init_seconds = time.perf_counter() - started
+        # The driver loop with the budget genuinely governing execution (finalize is
+        # skipped so the row times steps only, not result packaging).
+        stopped = None
+        step_seconds = 0.0
+        while not searcher.is_complete(state):
+            stopped = budget.exhausted(state)
+            if stopped is not None:
+                break
+            started = time.perf_counter()
+            searcher.run_step(state)
+            step_seconds += time.perf_counter() - started
+        rows.append(
+            {
+                "searcher": name,
+                "dataset": graph.name,
+                "workers": workers,
+                "budget": "max_steps=1",
+                "steps_completed": int(state.steps_completed),
+                "init_seconds": round(init_seconds, 4),
+                "step_seconds": round(step_seconds, 4),
+                "evaluations": int(state.evaluations),
+                "seconds_per_evaluation": round(step_seconds / max(state.evaluations, 1), 4),
+                "stopped": stopped if stopped is not None else "complete",
+            }
+        )
+    return rows
 
 
 def _ranking_workload_models(graph: KnowledgeGraph, num_models: int, dim: int, seed: int) -> List[KGEModel]:

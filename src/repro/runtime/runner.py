@@ -3,10 +3,14 @@
 A run is *dataset -> search -> re-train winner -> evaluate -> publish*:
 
 - the dataset comes from :mod:`repro.datasets.registry`,
-- the search is any of the four searchers (ERAS, ERAS_N=1, AutoSF, random, Bayes),
-  evaluated through a shared :class:`~repro.runtime.evaluation.EvaluationPool`,
-- ERAS searches are checkpointed to JSON between epochs and resumed automatically
-  (:mod:`repro.runtime.checkpoint`),
+- the search is any algorithm of the :mod:`repro.search.registry` plugin registry
+  (``eras``, ``eras_n1``, ``eras_diff``, ``autosf``, ``random``, ``bayes``, plus
+  anything third-party code registered), built against a shared
+  :class:`~repro.runtime.evaluation.EvaluationPool` and driven through the stepwise
+  :class:`~repro.search.base.Searcher` protocol under an optional
+  :class:`~repro.search.base.SearchBudget`,
+- every search is checkpointed to JSON between steps and resumed automatically when a
+  checkpoint path is configured (:mod:`repro.runtime.checkpoint`),
 - the winning candidate is re-trained from scratch (:mod:`repro.models.trainer`),
   evaluated with the filtered ranking protocol (:mod:`repro.eval.ranking`), and
 - the trained model is published into the versioned
@@ -18,8 +22,7 @@ drive it directly.
 
 from __future__ import annotations
 
-import dataclasses
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Optional, Tuple
 
@@ -29,11 +32,8 @@ from repro.kg.graph import KnowledgeGraph
 from repro.models.kge import KGEModel
 from repro.models.trainer import TrainingResult
 from repro.search import SearchResult
-from repro.search.autosf import AutoSFSearcher
-from repro.search.bayes_search import BayesSearcher
-from repro.search.eras import ERASSearcher
-from repro.search.random_search import RandomSearcher
-from repro.search.variants import eras_n1
+from repro.search.base import Searcher, SearchBudget, SearchState
+from repro.search.registry import SearcherOptions, available_searchers, create_searcher
 from repro.serve.artifacts import ArtifactRef, ModelArtifactRegistry
 from repro.utils.logging import get_logger
 from repro.utils.serialization import to_jsonable
@@ -42,8 +42,6 @@ from repro.runtime.checkpoint import load_search_checkpoint, save_search_checkpo
 from repro.runtime.evaluation import EvalCache, EvaluationPool
 
 logger = get_logger("runtime.runner")
-
-SEARCHER_NAMES: Tuple[str, ...] = ("eras", "eras_n1", "autosf", "random", "bayes")
 
 
 @dataclass
@@ -60,7 +58,10 @@ class RunConfig:
     data_seed:
         Seed of the synthetic dataset generator (default 0).
     searcher:
-        One of ``eras | eras_n1 | autosf | random | bayes`` (default ``"eras"``).
+        Any name from :func:`repro.search.registry.available_searchers` -- the
+        built-ins are ``eras | eras_n1 | eras_diff | autosf | random | bayes``
+        (default ``"eras"``); unknown names raise :class:`ValueError` listing the
+        registered searchers.
     num_groups:
         N, relation groups of the ERAS search (default 3, >= 1; ignored by the
         task-aware searchers).
@@ -80,11 +81,23 @@ class RunConfig:
     workers:
         Evaluation-pool processes; 1 is serial in-process, 0 means all cores
         (default 1).  Any value yields a bit-identical winning candidate.
+    proxy_epochs:
+        Override of the stand-alone per-candidate training epochs of the
+        AutoSF/random/Bayes evaluation proxy (default None: each algorithm's
+        benchmark budget; >= 1 when set).
     checkpoint_path:
-        Optional JSON file for epoch-level ERAS checkpointing; if it exists the
-        search resumes from it (default None; ignored for non-ERAS searchers).
+        Optional JSON file for step-level checkpointing; if it exists the search
+        resumes from it (default None; supported by every registered searcher).
     checkpoint_every:
-        Write the checkpoint every this many epochs (default 1, >= 1).
+        Write the checkpoint every this many steps (default 1, >= 1).
+    budget_steps:
+        Stop the search after this many steps (default None = unlimited, >= 1).
+    budget_evals:
+        Stop the search once this many candidate evaluations were performed
+        (default None = unlimited, >= 1).
+    budget_seconds:
+        Stop the search once its cumulative wall clock reaches this many seconds
+        (default None = unlimited, > 0).
     train_final:
         Re-train the winning candidate from scratch and evaluate it
         (default True; False stops after the search).
@@ -115,8 +128,12 @@ class RunConfig:
     dim: int = 48
     seed: int = 0
     workers: int = 1
+    proxy_epochs: Optional[int] = None
     checkpoint_path: Optional[str] = None
     checkpoint_every: int = 1
+    budget_steps: Optional[int] = None
+    budget_evals: Optional[int] = None
+    budget_seconds: Optional[float] = None
     train_final: bool = True
     train_epochs: int = 30
     rerank: bool = True
@@ -125,8 +142,10 @@ class RunConfig:
     model_name: Optional[str] = None
 
     def __post_init__(self) -> None:
-        if self.searcher not in SEARCHER_NAMES:
-            raise ValueError(f"unknown searcher {self.searcher!r}; choose from {SEARCHER_NAMES}")
+        if self.searcher not in available_searchers():
+            raise ValueError(
+                f"unknown searcher {self.searcher!r}; choose from: {', '.join(available_searchers())}"
+            )
         if self.scale <= 0:
             raise ValueError("scale must be positive")
         if self.workers < 0:
@@ -137,8 +156,22 @@ class RunConfig:
             raise ValueError("num_blocks must be at least 2")
         if self.dim < 1 or self.train_epochs < 1 or self.checkpoint_every < 1:
             raise ValueError("dim, train_epochs and checkpoint_every must be positive")
+        if self.proxy_epochs is not None and self.proxy_epochs < 1:
+            raise ValueError("proxy_epochs must be >= 1 (or None for the default budget)")
         if self.eval_split not in ("valid", "test"):
             raise ValueError("eval_split must be 'valid' or 'test'")
+        # SearchBudget validates the budget fields; build it once to fail fast.
+        self.search_budget()
+
+    def search_budget(self) -> Optional[SearchBudget]:
+        """The configured :class:`~repro.search.base.SearchBudget`, or None if unbounded."""
+        if self.budget_steps is None and self.budget_evals is None and self.budget_seconds is None:
+            return None
+        return SearchBudget(
+            max_steps=self.budget_steps,
+            max_evaluations=self.budget_evals,
+            max_seconds=self.budget_seconds,
+        )
 
 
 @dataclass
@@ -203,79 +236,56 @@ class SearchRunner:
             )
         return self._graph
 
-    def build_searcher(self):
-        """Instantiate the configured searcher, wired to the shared evaluation pool."""
-        from repro.bench.workloads import (
-            quick_autosf_config,
-            quick_bayes_config,
-            quick_eras_config,
-            quick_random_config,
-        )
-
+    def build_searcher(self) -> Searcher:
+        """Instantiate the configured searcher through the plugin registry, wired to
+        the shared evaluation pool.  Unknown names raise :class:`ValueError` listing
+        :func:`~repro.search.registry.available_searchers`."""
         config = self.config
-        if config.searcher in ("eras", "eras_n1"):
-            groups = 1 if config.searcher == "eras_n1" else config.num_groups
-            eras_config = dataclasses.replace(
-                quick_eras_config(
-                    num_groups=groups,
-                    num_blocks=config.num_blocks,
-                    epochs=config.search_epochs,
-                    dim=config.dim,
-                    seed=config.seed,
-                ),
-                derive_samples=config.derive_samples,
-            )
-            if config.searcher == "eras_n1":
-                return eras_n1(eras_config, pool=self.pool)
-            return ERASSearcher(eras_config, pool=self.pool)
-        if config.searcher == "autosf":
-            autosf_config = dataclasses.replace(
-                quick_autosf_config(seed=config.seed),
-                num_blocks=config.num_blocks,
-                embedding_dim=config.dim,
-            )
-            return AutoSFSearcher(autosf_config, pool=self.pool)
-        if config.searcher == "random":
-            random_config = dataclasses.replace(
-                quick_random_config(num_candidates=config.num_candidates, seed=config.seed),
-                num_blocks=config.num_blocks,
-                embedding_dim=config.dim,
-            )
-            return RandomSearcher(random_config, pool=self.pool)
-        bayes_config = dataclasses.replace(
-            quick_bayes_config(num_candidates=config.num_candidates, seed=config.seed),
+        options = SearcherOptions(
+            num_groups=config.num_groups,
             num_blocks=config.num_blocks,
-            embedding_dim=config.dim,
+            search_epochs=config.search_epochs,
+            num_candidates=config.num_candidates,
+            derive_samples=config.derive_samples,
+            dim=config.dim,
+            seed=config.seed,
+            proxy_epochs=config.proxy_epochs,
         )
-        return BayesSearcher(bayes_config, pool=self.pool)
+        return create_searcher(config.searcher, options, pool=self.pool)
 
     # ------------------------------------------------------------------ stages
     def search(self) -> SearchResult:
-        """Run (or resume) the configured search and return its result."""
+        """Run (or resume) the configured search under the configured budget."""
         searcher = self.build_searcher()
-        checkpoint = self.config.checkpoint_path
-        if checkpoint and isinstance(searcher, ERASSearcher):
-            return self._run_checkpointed(searcher, Path(checkpoint))
-        if checkpoint:
-            logger.warning(
-                "checkpointing is only supported for the ERAS searchers; ignoring %s", checkpoint
-            )
-        return searcher.search(self.graph)
+        budget = self.config.search_budget()
+        if self.config.checkpoint_path:
+            return self._run_checkpointed(searcher, Path(self.config.checkpoint_path), budget)
+        return searcher.search(self.graph, budget=budget)
 
-    def _run_checkpointed(self, searcher: ERASSearcher, path: Path) -> SearchResult:
+    def _run_checkpointed(
+        self, searcher: Searcher, path: Path, budget: Optional[SearchBudget] = None
+    ) -> SearchResult:
+        """Drive the stepwise loop, persisting the state every ``checkpoint_every`` steps.
+
+        Works for every registered searcher: the generic checkpoint envelope wraps
+        whatever the searcher's ``state_dict`` returns.
+        """
         if path.exists():
             state = load_search_checkpoint(path, searcher, self.graph)
-            logger.info("resumed search from %s at epoch %d", path, state.epochs_completed)
+            logger.info(
+                "resumed %s search from %s at step %d", searcher.name, path, state.steps_completed
+            )
         else:
             state = searcher.init_state(self.graph)
-        while state.epochs_completed < searcher.config.epochs:
-            searcher.run_epoch(state)
+
+        def checkpoint_step(current: SearchState) -> None:
             if (
-                state.epochs_completed % self.config.checkpoint_every == 0
-                or state.epochs_completed == searcher.config.epochs
+                current.steps_completed % self.config.checkpoint_every == 0
+                or searcher.is_complete(current)
             ):
-                save_search_checkpoint(path, searcher, state)
-        return searcher.finalize(state)
+                save_search_checkpoint(path, searcher, current)
+
+        return searcher.drive(state, budget=budget, on_step=checkpoint_step)
 
     def train(self, result: SearchResult) -> Tuple[KGEModel, TrainingResult]:
         """Re-train the winning candidate from scratch (the paper's final protocol)."""

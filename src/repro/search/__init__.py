@@ -1,7 +1,13 @@
 """Scoring-function search.
 
-This package contains the paper's contribution and everything it is compared against:
+This package contains the paper's contribution and everything it is compared against,
+all implemented as plugins of one stepwise lifecycle:
 
+* :class:`~repro.search.base.Searcher` -- the shared protocol
+  (``init_state -> run_step* -> finalize`` plus ``state_dict``/``load_state_dict``
+  and :class:`~repro.search.base.SearchBudget` enforcement) every algorithm follows.
+* :mod:`~repro.search.registry` -- the name -> factory plugin registry the runtime
+  layer builds searchers through (``register_searcher`` / ``available_searchers``).
 * :class:`~repro.search.eras.ERASSearcher` -- the relation-aware one-shot search
   (Algorithm 2): shared-embedding supernet, EM relation clustering, REINFORCE controller.
 * :class:`~repro.search.autosf.AutoSFSearcher` -- the progressive greedy baseline
@@ -12,6 +18,7 @@ This package contains the paper's contribution and everything it is compared aga
   (ERAS_N=1, ERAS_los, ERAS_dif, ERAS_sig, ERAS_pde, ERAS_smt).
 """
 
+from repro.search.base import Searcher, SearchBudget, SearchState
 from repro.search.space import RelationAwareSearchSpace
 from repro.search.result import Candidate, SearchResult, TracePoint
 from repro.search.supernet import SharedEmbeddingSupernet, SupernetConfig
@@ -22,9 +29,20 @@ from repro.search.autosf import AutoSFConfig, AutoSFSearcher
 from repro.search.random_search import RandomSearchConfig, RandomSearcher
 from repro.search.bayes_search import BayesSearchConfig, BayesSearcher
 from repro.search.predictor import StructurePerformancePredictor
+from repro.search.registry import (
+    SearcherOptions,
+    available_searchers,
+    create_searcher,
+    register_searcher,
+    searcher_factory,
+    unregister_searcher,
+)
 from repro.search import variants
 
 __all__ = [
+    "Searcher",
+    "SearchBudget",
+    "SearchState",
     "RelationAwareSearchSpace",
     "Candidate",
     "SearchResult",
@@ -43,5 +61,11 @@ __all__ = [
     "BayesSearchConfig",
     "BayesSearcher",
     "StructurePerformancePredictor",
+    "SearcherOptions",
+    "available_searchers",
+    "create_searcher",
+    "register_searcher",
+    "searcher_factory",
+    "unregister_searcher",
     "variants",
 ]

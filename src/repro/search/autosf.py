@@ -4,19 +4,36 @@ This is the strongest published baseline the paper compares against.  The search
 *stand-alone*: every candidate it wants to evaluate is trained from scratch to
 convergence, which is exactly why it is orders of magnitude slower than ERAS (Table IX /
 Figure 2) -- the asymmetry this reproduction preserves.
+
+The search implements the shared stepwise :class:`~repro.search.base.Searcher`
+protocol: step 0 evaluates the diagonal-like starting structures (budget b = M), and
+every following step runs one greedy shortlist round (sample children, rank them with
+the performance predictor, train the shortlist) at the next item budget.  Any step
+boundary can be checkpointed and resumed bit-identically through
+:meth:`AutoSFSearcher.state_dict` / :meth:`~AutoSFSearcher.load_state_dict`.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
 from repro.kg.graph import KnowledgeGraph
 from repro.models.trainer import TrainerConfig
 from repro.scoring.structure import BlockStructure
+from repro.search.base import (
+    Searcher,
+    SearchState,
+    restore_rng,
+    rng_state,
+    structure_from_jsonable,
+    structure_to_jsonable,
+    trace_from_jsonable,
+    trace_to_jsonable,
+)
 from repro.search.predictor import StructurePerformancePredictor
 from repro.search.result import Candidate, SearchResult, TracePoint
 from repro.utils.rng import new_rng
@@ -66,7 +83,52 @@ class AutoSFConfig:
             raise ValueError("num_parents, num_sampled_children and top_k must be positive")
 
 
-class AutoSFSearcher:
+@dataclass
+class AutoSFSearchState(SearchState):
+    """Mutable state of an in-progress AutoSF search.
+
+    Fields
+    ------
+    graph:
+        The dataset being searched.
+    rng:
+        The search-level random stream (frontier sampling and child sampling).
+    predictor:
+        The learned performance predictor, refit after every observation.
+    pool:
+        Live :class:`~repro.runtime.evaluation.EvaluationPool` the stand-alone
+        trainings fan out over (rebuilt by ``init_state``; never serialised).
+    shared:
+        The pool's shared payload (graph + trainer budget; never serialised).
+    fingerprint:
+        Content identity of ``graph`` used in the stand-alone cache keys.
+    evaluated:
+        Observed ``structure signature -> validation MRR`` map, insertion-ordered.
+    steps_completed:
+        Finished protocol steps (step 0 = starting frontier, then one greedy round
+        per item budget b in ``num_blocks+1 .. max_budget``).
+    evaluations:
+        Stand-alone trainings performed so far (``len(evaluated)``).
+    elapsed_seconds:
+        Cumulative search wall clock across completed steps.
+    trace:
+        Search-progress points, one per trained candidate.
+    """
+
+    graph: KnowledgeGraph
+    rng: np.random.Generator
+    predictor: StructurePerformancePredictor
+    pool: "EvaluationPool"
+    shared: Dict[str, object]
+    fingerprint: Tuple
+    evaluated: Dict[Tuple[int, ...], float] = field(default_factory=dict)
+    steps_completed: int = 0
+    evaluations: int = 0
+    elapsed_seconds: float = 0.0
+    trace: List[TracePoint] = field(default_factory=list)
+
+
+class AutoSFSearcher(Searcher):
     """Progressive greedy search with a learned performance predictor."""
 
     name = "AutoSF"
@@ -75,46 +137,101 @@ class AutoSFSearcher:
         self.config = config or AutoSFConfig()
         self._pool = pool
 
-    # ------------------------------------------------------------------ public API
-    def search(self, graph: KnowledgeGraph) -> SearchResult:
+    # ------------------------------------------------------------------ protocol
+    def init_state(self, graph: KnowledgeGraph) -> AutoSFSearchState:
+        """Fresh state: RNG, predictor and the pooled stand-alone evaluator."""
+        from repro.runtime.evaluation import EvaluationPool, graph_fingerprint, standalone_shared_payload
+
+        pool = self._pool if self._pool is not None else EvaluationPool(n_workers=1)
+        return AutoSFSearchState(
+            graph=graph,
+            rng=new_rng(self.config.seed),
+            predictor=StructurePerformancePredictor(),
+            pool=pool,
+            shared=standalone_shared_payload(graph, self.config.trainer, self.config.embedding_dim),
+            fingerprint=graph_fingerprint(graph),
+        )
+
+    def run_step(self, state: AutoSFSearchState) -> None:
+        """One unit of Algorithm 1.
+
+        Step 0 evaluates the starting frontier: budget b = M, where the only sensible
+        structures are diagonal-like ones using each relation block exactly once (the
+        paper starts from b=4 with M=4).  Every later step is one greedy round at the
+        next item budget: carry the best parents, sample children extended by one
+        multiplicative item, shortlist them with the predictor and train the shortlist.
+        """
         config = self.config
-        rng = new_rng(config.seed)
-        predictor = StructurePerformancePredictor()
-        trace: List[TracePoint] = []
-        evaluated: dict[Tuple[int, ...], float] = {}
         started = time.perf_counter()
-        evaluate = self._make_batch_evaluator(graph, evaluated, predictor, trace, started)
+        if state.steps_completed == 0:
+            frontier = [BlockStructure.diagonal(config.num_blocks)]
+            frontier += [
+                self._random_permutation_structure(state.rng) for _ in range(config.num_parents - 1)
+            ]
+            self._evaluate(state, frontier, started)
+        else:
+            parents = self._best_structures(state.evaluated, config.num_parents, config.num_blocks)
+            children = self._sample_children(parents, state.rng)
+            if children:
+                self._evaluate(state, state.predictor.rank(children, config.top_k), started)
+        state.steps_completed += 1
+        state.elapsed_seconds += time.perf_counter() - started
 
-        # Budget b = M: the only sensible starting structures are diagonal-like ones that
-        # use each relation block exactly once (the paper starts from b=4 with M=4).
-        frontier = [BlockStructure.diagonal(config.num_blocks)]
-        frontier += [
-            self._random_permutation_structure(rng) for _ in range(config.num_parents - 1)
-        ]
-        evaluate(frontier)
+    def is_complete(self, state: AutoSFSearchState) -> bool:
+        """Done after the frontier step plus one greedy round per item budget."""
+        return state.steps_completed >= 1 + self.config.max_budget - self.config.num_blocks
 
-        for budget in range(config.num_blocks + 1, config.max_budget + 1):
-            parents = self._best_structures(evaluated, config.num_parents, config.num_blocks)
-            children = self._sample_children(parents, rng)
-            if not children:
-                continue
-            evaluate(predictor.rank(children, config.top_k))
-            del budget
-
-        best_signature, best_mrr = max(evaluated.items(), key=lambda item: item[1])
+    def finalize(self, state: AutoSFSearchState) -> SearchResult:
+        """Package the best structure trained so far (valid after any step >= 1)."""
+        if not state.evaluated:
+            raise RuntimeError("AutoSF cannot finalize before any candidate was evaluated")
+        config = self.config
+        best_signature, best_mrr = max(state.evaluated.items(), key=lambda item: item[1])
         best_structure = BlockStructure(np.asarray(best_signature).reshape(config.num_blocks, config.num_blocks))
-        elapsed = time.perf_counter() - started
         return SearchResult(
             searcher=self.name,
-            dataset=graph.name,
+            dataset=state.graph.name,
             best_candidate=Candidate((best_structure,)),
-            best_assignment=np.zeros(graph.num_relations, dtype=np.int64),
+            best_assignment=np.zeros(state.graph.num_relations, dtype=np.int64),
             best_valid_mrr=float(best_mrr),
-            search_seconds=elapsed,
-            evaluations=len(evaluated),
-            trace=trace,
+            search_seconds=state.elapsed_seconds,
+            evaluations=len(state.evaluated),
+            trace=state.trace,
             extras={"num_blocks": config.num_blocks, "max_budget": config.max_budget},
         )
+
+    def state_dict(self, state: AutoSFSearchState) -> Dict[str, object]:
+        """Counters, RNG stream and the insertion-ordered observations; the predictor
+        is rebuilt from the observations on load (its fit is a pure function of them)."""
+        return {
+            "steps_completed": state.steps_completed,
+            "evaluations": state.evaluations,
+            "elapsed_seconds": state.elapsed_seconds,
+            "rng": rng_state(state.rng),
+            "evaluated": [
+                {
+                    "entries": structure_to_jsonable(
+                        BlockStructure(np.asarray(signature).reshape(self.config.num_blocks, self.config.num_blocks))
+                    ),
+                    "mrr": float(mrr),
+                }
+                for signature, mrr in state.evaluated.items()
+            ],
+            "trace": trace_to_jsonable(state.trace),
+        }
+
+    def load_state_dict(self, state: AutoSFSearchState, payload: Dict[str, object]) -> None:
+        """Restore counters and observations, replaying them into the predictor."""
+        restore_rng(state.rng, payload["rng"])
+        state.evaluated = {}
+        for entry in payload["evaluated"]:
+            structure = structure_from_jsonable(entry["entries"])
+            state.evaluated[structure.signature()] = float(entry["mrr"])
+            state.predictor.observe(structure, float(entry["mrr"]))
+        state.steps_completed = int(payload["steps_completed"])
+        state.evaluations = int(payload["evaluations"])
+        state.elapsed_seconds = float(payload["elapsed_seconds"])
+        state.trace = trace_from_jsonable(payload["trace"])
 
     # ------------------------------------------------------------------ internals
     def _random_permutation_structure(self, rng: np.random.Generator) -> BlockStructure:
@@ -153,69 +270,51 @@ class AutoSFSearcher:
         ordered = sorted(evaluated.items(), key=lambda item: -item[1])[:count]
         return [BlockStructure(np.asarray(sig).reshape(num_blocks, num_blocks)) for sig, _ in ordered]
 
-    def _make_batch_evaluator(
-        self,
-        graph: KnowledgeGraph,
-        evaluated: dict,
-        predictor: StructurePerformancePredictor,
-        trace: List[TracePoint],
-        started: float,
-    ):
+    def _evaluate(self, state: AutoSFSearchState, structures: List[BlockStructure], step_started: float) -> None:
         """Step 5 of Algorithm 1: stand-alone training, batched through the pool.
 
         Every greedy step trains its shortlisted candidates independently, so they fan
         out over the :class:`~repro.runtime.evaluation.EvaluationPool` workers; the
-        pool's cache and the ``evaluated`` memo keep revisited structures free.  The
-        returned closure records results in shortlist order, which keeps the search
-        trajectory bit-identical to the serial loop for any worker count.
+        pool's cache and the ``evaluated`` memo keep revisited structures free.
+        Results are recorded in shortlist order, which keeps the search trajectory
+        bit-identical to the serial loop for any worker count.
         """
-        from repro.runtime.evaluation import (
-            EvaluationPool,
-            graph_fingerprint,
-            standalone_cache_key,
-            standalone_shared_payload,
-            train_candidate_standalone,
-        )
+        from repro.runtime.evaluation import standalone_cache_key, train_candidate_standalone
 
-        pool = self._pool if self._pool is not None else EvaluationPool(n_workers=1)
-        shared = standalone_shared_payload(graph, self.config.trainer, self.config.embedding_dim)
-        fingerprint = graph_fingerprint(graph)
+        config = self.config
         # One chunk per worker keeps trace timestamps honest (per candidate when
         # serial, as in the seed's loop) while filling every worker.
-        chunk_size = max(pool.n_workers, 1)
+        chunk_size = max(state.pool.n_workers, 1)
 
-        def evaluate(structures: List[BlockStructure]) -> None:
-            # Dedup within the call too: the seed's serial loop skipped a duplicate
-            # before training it, and a colliding random frontier structure must not
-            # trigger a second full stand-alone training from another chunk.
-            fresh: List[BlockStructure] = []
-            seen_here = set()
-            for s in structures:
-                signature = s.signature()
-                if signature in evaluated or signature in seen_here:
+        # Dedup within the call too: a colliding random frontier structure must not
+        # trigger a second full stand-alone training from another chunk.
+        fresh: List[BlockStructure] = []
+        seen_here = set()
+        for s in structures:
+            signature = s.signature()
+            if signature in state.evaluated or signature in seen_here:
+                continue
+            seen_here.add(signature)
+            fresh.append(s)
+        for start in range(0, len(fresh), chunk_size):
+            chunk = fresh[start : start + chunk_size]
+            payloads = [{"structures": [s.entries], "seed": config.seed} for s in chunk]
+            keys = [
+                standalone_cache_key(state.fingerprint, config.trainer, config.embedding_dim, config.seed, s)
+                for s in chunk
+            ]
+            scores = state.pool.map(train_candidate_standalone, payloads, shared=state.shared, keys=keys)
+            for structure, mrr in zip(chunk, scores):
+                if structure.signature() in state.evaluated:
                     continue
-                seen_here.add(signature)
-                fresh.append(s)
-            for start in range(0, len(fresh), chunk_size):
-                chunk = fresh[start : start + chunk_size]
-                payloads = [{"structures": [s.entries], "seed": self.config.seed} for s in chunk]
-                keys = [
-                    standalone_cache_key(fingerprint, self.config.trainer, self.config.embedding_dim, self.config.seed, s)
-                    for s in chunk
-                ]
-                scores = pool.map(train_candidate_standalone, payloads, shared=shared, keys=keys)
-                for structure, mrr in zip(chunk, scores):
-                    if structure.signature() in evaluated:
-                        continue
-                    evaluated[structure.signature()] = mrr
-                    predictor.observe(structure, mrr)
-                    trace.append(
-                        TracePoint(
-                            elapsed_seconds=time.perf_counter() - started,
-                            evaluations=len(evaluated),
-                            valid_mrr=max(evaluated.values()),
-                            note=f"budget={structure.nonzero_count()}",
-                        )
+                state.evaluated[structure.signature()] = mrr
+                state.evaluations = len(state.evaluated)
+                state.predictor.observe(structure, mrr)
+                state.trace.append(
+                    TracePoint(
+                        elapsed_seconds=state.elapsed_seconds + (time.perf_counter() - step_started),
+                        evaluations=len(state.evaluated),
+                        valid_mrr=max(state.evaluated.values()),
+                        note=f"budget={structure.nonzero_count()}",
                     )
-
-        return evaluate
+                )

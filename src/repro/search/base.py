@@ -1,0 +1,224 @@
+"""One lifecycle protocol for every scoring-function search algorithm.
+
+Every searcher in :mod:`repro.search` -- ERAS, its ablation variants, AutoSF, random
+and Bayes search -- implements the same stepwise :class:`Searcher` protocol:
+
+- :meth:`~Searcher.init_state` builds a fresh :class:`SearchState` for a graph,
+- :meth:`~Searcher.run_step` advances the search by one resumable unit of work
+  (an ERAS epoch, one AutoSF shortlist round, one random/Bayes candidate batch),
+- :meth:`~Searcher.finalize` packages the state into a
+  :class:`~repro.search.result.SearchResult`,
+- :meth:`~Searcher.state_dict` / :meth:`~Searcher.load_state_dict` serialise the
+  state to plain JSON structures, which is what makes checkpoint/resume
+  (:mod:`repro.runtime.checkpoint`) work identically for every algorithm.
+
+:meth:`Searcher.search` is the default driver that runs the stepwise loop end to end,
+so existing ``searcher.search(graph)`` call sites keep working unchanged.  The driver
+also enforces an optional :class:`SearchBudget` -- a uniform stopping rule over steps,
+candidate evaluations and wall clock -- which is how the runtime layer grants every
+algorithm the *same* budget when comparing them (the fairness requirement behind the
+paper's Figure 2 / Table IX efficiency claims).
+
+The module also hosts the JSON helpers shared by the concrete ``state_dict``
+implementations (RNG streams, candidates, traces), so the searchers and the runtime
+checkpoint format cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.kg.graph import KnowledgeGraph
+from repro.scoring.structure import BlockStructure
+from repro.search.result import Candidate, SearchResult, TracePoint
+
+
+# ---------------------------------------------------------------------------- state
+class SearchState:
+    """Base contract of a searcher's mutable state.
+
+    Concrete states are dataclasses owning whatever their algorithm updates between
+    steps (supernets, predictors, observation lists, live evaluation pools, ...).
+    The protocol only requires four common attributes, which the driver loop and
+    :class:`SearchBudget` read uniformly:
+
+    - ``graph`` -- the :class:`~repro.kg.graph.KnowledgeGraph` being searched,
+    - ``steps_completed`` -- finished :meth:`Searcher.run_step` calls,
+    - ``evaluations`` -- candidate evaluations performed so far,
+    - ``elapsed_seconds`` -- cumulative search wall clock across completed steps
+      (excluding time spent suspended on disk between checkpoint and resume).
+    """
+
+    __slots__ = ()
+
+
+# ---------------------------------------------------------------------------- budget
+@dataclass(frozen=True)
+class SearchBudget:
+    """Uniform stopping rules enforced by the stepwise driver loop.
+
+    The driver checks the budget *between* steps: a fresh state always gets its first
+    step, and a limit reached mid-step stops the search before the next one.  The
+    reason string is recorded in ``SearchResult.extras['budget']``.
+
+    Fields
+    ------
+    max_steps:
+        Stop once this many steps completed (default None = unlimited, >= 1).
+    max_evaluations:
+        Stop once this many candidate evaluations were performed
+        (default None = unlimited, >= 1).
+    max_seconds:
+        Stop once the cumulative search wall clock reaches this many seconds
+        (default None = unlimited, > 0).
+    """
+
+    max_steps: Optional[int] = None
+    max_evaluations: Optional[int] = None
+    max_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_steps is not None and self.max_steps < 1:
+            raise ValueError("max_steps must be >= 1 (or None for unlimited)")
+        if self.max_evaluations is not None and self.max_evaluations < 1:
+            raise ValueError("max_evaluations must be >= 1 (or None for unlimited)")
+        if self.max_seconds is not None and self.max_seconds <= 0:
+            raise ValueError("max_seconds must be positive (or None for unlimited)")
+
+    def exhausted(self, state: SearchState) -> Optional[str]:
+        """The reason the budget stops ``state``'s search, or None to keep going."""
+        if self.max_steps is not None and state.steps_completed >= self.max_steps:
+            return f"step budget reached ({state.steps_completed}/{self.max_steps} steps)"
+        if self.max_evaluations is not None and state.evaluations >= self.max_evaluations:
+            return (
+                f"evaluation budget reached ({state.evaluations}/{self.max_evaluations} evaluations)"
+            )
+        if self.max_seconds is not None and state.elapsed_seconds >= self.max_seconds:
+            return (
+                f"wall-clock budget reached ({state.elapsed_seconds:.2f}s of {self.max_seconds}s)"
+            )
+        return None
+
+
+# ---------------------------------------------------------------------------- protocol
+class Searcher(abc.ABC):
+    """The stepwise lifecycle every search algorithm implements.
+
+    ``init_state -> run_step* -> finalize`` is the whole contract; ``state_dict`` /
+    ``load_state_dict`` make any in-progress search serialisable, and the default
+    :meth:`search` drives the loop (optionally under a :class:`SearchBudget`), so a
+    monolithic ``search(graph)`` call and an externally driven stepwise loop are the
+    same computation.  Resuming a restored state must be bit-identical to never
+    having paused (``tests/test_runtime.py`` enforces this for every registered
+    searcher).
+    """
+
+    #: Human-readable algorithm name, recorded in results and checkpoints.
+    name: str = "Searcher"
+    #: The algorithm's configuration dataclass (set by each concrete ``__init__``).
+    config: object
+
+    @abc.abstractmethod
+    def init_state(self, graph: KnowledgeGraph) -> SearchState:
+        """Build a fresh search state for ``graph`` (no search work happens yet)."""
+
+    @abc.abstractmethod
+    def run_step(self, state: SearchState) -> None:
+        """Advance the search by one resumable step, mutating ``state`` in place."""
+
+    @abc.abstractmethod
+    def is_complete(self, state: SearchState) -> bool:
+        """True once the algorithm's own schedule has no more steps to run."""
+
+    @abc.abstractmethod
+    def finalize(self, state: SearchState) -> SearchResult:
+        """Package ``state`` into a result; valid after any number of steps >= 1."""
+
+    @abc.abstractmethod
+    def state_dict(self, state: SearchState) -> Dict[str, object]:
+        """``state`` as plain JSON structures (consumed by :meth:`load_state_dict`)."""
+
+    @abc.abstractmethod
+    def load_state_dict(self, state: SearchState, payload: Dict[str, object]) -> None:
+        """Restore a :meth:`state_dict` payload into a freshly initialised ``state``."""
+
+    # ------------------------------------------------------------------ driver
+    def search(self, graph: KnowledgeGraph, budget: Optional[SearchBudget] = None) -> SearchResult:
+        """Run the search end to end: the stepwise loop behind one call."""
+        return self.drive(self.init_state(graph), budget=budget)
+
+    def drive(
+        self,
+        state: SearchState,
+        budget: Optional[SearchBudget] = None,
+        on_step: Optional[Callable[[SearchState], None]] = None,
+    ) -> SearchResult:
+        """The shared driver loop: step until complete or out of budget, then finalize.
+
+        ``on_step`` is invoked after every completed step (the runtime layer hooks
+        its checkpoint writes here).  When a budget stops the search early, the
+        reason is recorded under ``result.extras['budget']``.
+        """
+        stopped: Optional[str] = None
+        while not self.is_complete(state):
+            if budget is not None:
+                stopped = budget.exhausted(state)
+                if stopped is not None:
+                    break
+            self.run_step(state)
+            if on_step is not None:
+                on_step(state)
+        result = self.finalize(state)
+        if stopped is not None:
+            result.extras["budget"] = {
+                "stopped": stopped,
+                "steps_completed": int(state.steps_completed),
+                "evaluations": int(state.evaluations),
+            }
+        return result
+
+
+# ---------------------------------------------------------------------------- JSON helpers
+def rng_state(rng: np.random.Generator) -> Dict[str, object]:
+    """The JSON-able bit-generator state of a NumPy random stream."""
+    return rng.bit_generator.state
+
+
+def restore_rng(rng: np.random.Generator, state: Dict[str, object]) -> None:
+    """Restore a stream captured by :func:`rng_state` (in place)."""
+    rng.bit_generator.state = state
+
+
+def structure_to_jsonable(structure: BlockStructure) -> List[List[int]]:
+    """A block structure as its nested-list signed entry matrix."""
+    return structure.entries.tolist()
+
+
+def structure_from_jsonable(entries: List[List[int]]) -> BlockStructure:
+    """Rebuild a :class:`~repro.scoring.structure.BlockStructure` entry matrix."""
+    return BlockStructure(np.asarray(entries, dtype=np.int64))
+
+
+def candidate_to_jsonable(candidate: Candidate) -> List[List[List[int]]]:
+    """A candidate as nested lists: one signed entry matrix per relation group."""
+    return [structure_to_jsonable(structure) for structure in candidate.structures]
+
+
+def candidate_from_jsonable(data: List[List[List[int]]]) -> Candidate:
+    """Rebuild a :class:`~repro.search.result.Candidate` from :func:`candidate_to_jsonable`."""
+    return Candidate(tuple(structure_from_jsonable(entries) for entries in data))
+
+
+def trace_to_jsonable(trace: List[TracePoint]) -> List[Dict[str, object]]:
+    """A search trace as a list of plain dicts."""
+    return [dataclasses.asdict(point) for point in trace]
+
+
+def trace_from_jsonable(data: List[Dict[str, object]]) -> List[TracePoint]:
+    """Rebuild the trace serialised by :func:`trace_to_jsonable`."""
+    return [TracePoint(**point) for point in data]

@@ -6,19 +6,33 @@ encoding of the structure space: observed candidates are split into a good and a
 by their validation MRR, per-token categorical densities l(token) and g(token) are
 estimated with Laplace smoothing, and new candidates are chosen among samples from l to
 maximise the density ratio l/g.  Each selected candidate is trained stand-alone.
+
+The searcher implements the shared stepwise :class:`~repro.search.base.Searcher`
+protocol: step 0 trains the uniformly random warm-up batch (mutually independent, so
+it fans out over the pool), and every later step makes one TPE suggestion and trains
+it -- the inherently sequential part of the algorithm.  Any step boundary can be
+checkpointed and resumed bit-identically.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.kg.graph import KnowledgeGraph
 from repro.models.trainer import TrainerConfig
 from repro.scoring.structure import BlockStructure
+from repro.search.base import (
+    Searcher,
+    SearchState,
+    restore_rng,
+    rng_state,
+    trace_from_jsonable,
+    trace_to_jsonable,
+)
 from repro.search.result import Candidate, SearchResult, TracePoint
 from repro.search.space import RelationAwareSearchSpace
 from repro.utils.rng import new_rng
@@ -68,7 +82,48 @@ class BayesSearchConfig:
             raise ValueError("good_fraction must be in (0, 1)")
 
 
-class BayesSearcher:
+@dataclass
+class BayesSearchState(SearchState):
+    """Mutable state of an in-progress Bayes search.
+
+    Fields
+    ------
+    graph:
+        The dataset being searched.
+    rng:
+        The search-level random stream (warm-up sampling and TPE suggestions).
+    pool:
+        Live :class:`~repro.runtime.evaluation.EvaluationPool` the stand-alone
+        trainings fan out over (rebuilt by ``init_state``; never serialised).
+    shared:
+        The pool's shared payload (graph + trainer budget; never serialised).
+    fingerprint:
+        Content identity of ``graph`` used in the stand-alone cache keys.
+    observations:
+        Observed ``(token sequence, validation MRR)`` pairs, in evaluation order.
+    steps_completed:
+        Finished protocol steps (step 0 = warm-up batch, then one TPE suggestion each).
+    evaluations:
+        Stand-alone trainings performed so far (``len(observations)``).
+    elapsed_seconds:
+        Cumulative search wall clock across completed steps.
+    trace:
+        Search-progress points, one per trained candidate.
+    """
+
+    graph: KnowledgeGraph
+    rng: np.random.Generator
+    pool: "EvaluationPool"
+    shared: Dict[str, object]
+    fingerprint: Tuple
+    observations: List[Tuple[np.ndarray, float]] = field(default_factory=list)
+    steps_completed: int = 0
+    evaluations: int = 0
+    elapsed_seconds: float = 0.0
+    trace: List[TracePoint] = field(default_factory=list)
+
+
+class BayesSearcher(Searcher):
     """TPE-style categorical Bayesian optimisation over the task-aware structure space."""
 
     name = "Bayes"
@@ -78,84 +133,134 @@ class BayesSearcher:
         self._space = RelationAwareSearchSpace(num_blocks=self.config.num_blocks, num_groups=1)
         self._pool = pool
 
-    # ------------------------------------------------------------------ public API
-    def search(self, graph: KnowledgeGraph) -> SearchResult:
-        from repro.runtime.evaluation import (
-            EvaluationPool,
-            graph_fingerprint,
-            standalone_cache_key,
-            standalone_shared_payload,
-            train_candidate_standalone,
-        )
-
-        config = self.config
-        rng = new_rng(config.seed)
-        observations: List[Tuple[np.ndarray, float]] = []
-        trace: List[TracePoint] = []
-        started = time.perf_counter()
+    # ------------------------------------------------------------------ protocol
+    def init_state(self, graph: KnowledgeGraph) -> BayesSearchState:
+        """Fresh state: RNG plus the pooled stand-alone evaluator."""
+        from repro.runtime.evaluation import EvaluationPool, graph_fingerprint, standalone_shared_payload
 
         pool = self._pool if self._pool is not None else EvaluationPool(n_workers=1)
-        shared = standalone_shared_payload(graph, config.trainer, config.embedding_dim)
-        fingerprint = graph_fingerprint(graph)
-        # One chunk per worker keeps trace timestamps honest (per candidate when
-        # serial, as in the seed's loop) while filling every worker.
-        chunk_size = max(pool.n_workers, 1)
+        return BayesSearchState(
+            graph=graph,
+            rng=new_rng(self.config.seed),
+            pool=pool,
+            shared=standalone_shared_payload(graph, self.config.trainer, self.config.embedding_dim),
+            fingerprint=graph_fingerprint(graph),
+        )
 
-        def evaluate_batch(token_batch: List[np.ndarray], first_index: int) -> None:
-            for start in range(0, len(token_batch), chunk_size):
-                chunk = token_batch[start : start + chunk_size]
-                structures = [self._space.structures_from_tokens(tokens)[0] for tokens in chunk]
-                payloads = [
-                    {"structures": [s.entries], "seed": config.seed + first_index + start + offset}
-                    for offset, s in enumerate(structures)
-                ]
-                keys = [
-                    standalone_cache_key(
-                        fingerprint, config.trainer, config.embedding_dim,
-                        config.seed + first_index + start + offset, s,
-                    )
-                    for offset, s in enumerate(structures)
-                ]
-                scores = pool.map(train_candidate_standalone, payloads, shared=shared, keys=keys)
-                for offset, (tokens, mrr) in enumerate(zip(chunk, scores)):
-                    observations.append((tokens, mrr))
-                    best = max(score for _, score in observations)
-                    trace.append(
-                        TracePoint(
-                            elapsed_seconds=time.perf_counter() - started,
-                            evaluations=len(observations),
-                            valid_mrr=float(best),
-                            note=f"candidate {first_index + start + offset}",
-                        )
-                    )
+    @property
+    def _warmup(self) -> int:
+        return min(self.config.initial_random, self.config.num_candidates)
 
-        # Warm-up: the initial uniformly random candidates are mutually independent, so
-        # they are sampled up front (same rng order as the serial loop) and trained in
-        # parallel; the TPE suggestions that follow are inherently sequential.
-        warmup = min(config.initial_random, config.num_candidates)
-        evaluate_batch([self._random_tokens(rng) for _ in range(warmup)], first_index=0)
-
-        for index in range(warmup, config.num_candidates):
-            if len(observations) < 2:
-                tokens = self._random_tokens(rng)
+    def run_step(self, state: BayesSearchState) -> None:
+        """Step 0 trains the warm-up batch in parallel; every later step makes one
+        TPE suggestion (falling back to uniform sampling under two observations)."""
+        config = self.config
+        started = time.perf_counter()
+        if state.steps_completed == 0:
+            # Warm-up: the initial uniformly random candidates are mutually independent,
+            # so they are sampled up front (same rng order as the serial loop) and
+            # trained in parallel.
+            batch = [self._random_tokens(state.rng) for _ in range(self._warmup)]
+            self._evaluate_batch(state, batch, first_index=0, step_started=started)
+        else:
+            index = self._warmup + state.steps_completed - 1
+            if len(state.observations) < 2:
+                tokens = self._random_tokens(state.rng)
             else:
-                tokens = self._suggest(observations, rng)
-            evaluate_batch([tokens], first_index=index)
+                tokens = self._suggest(state.observations, state.rng)
+            self._evaluate_batch(state, [tokens], first_index=index, step_started=started)
+        state.steps_completed += 1
+        state.elapsed_seconds += time.perf_counter() - started
 
-        best_tokens, best_mrr = max(observations, key=lambda item: item[1])
+    def is_complete(self, state: BayesSearchState) -> bool:
+        """Done after the warm-up step plus one step per remaining candidate."""
+        return state.steps_completed >= 1 + self.config.num_candidates - self._warmup
+
+    def finalize(self, state: BayesSearchState) -> SearchResult:
+        """Package the best observation so far (valid after any step >= 1)."""
+        if not state.observations:
+            raise RuntimeError("Bayes search cannot finalize before any candidate was evaluated")
+        best_tokens, best_mrr = max(state.observations, key=lambda item: item[1])
         best_structure = self._space.structures_from_tokens(best_tokens)[0]
         return SearchResult(
             searcher=self.name,
-            dataset=graph.name,
+            dataset=state.graph.name,
             best_candidate=Candidate((best_structure,)),
-            best_assignment=np.zeros(graph.num_relations, dtype=np.int64),
+            best_assignment=np.zeros(state.graph.num_relations, dtype=np.int64),
             best_valid_mrr=float(best_mrr),
-            search_seconds=time.perf_counter() - started,
-            evaluations=len(observations),
-            trace=trace,
+            search_seconds=state.elapsed_seconds,
+            evaluations=len(state.observations),
+            trace=state.trace,
         )
 
+    def state_dict(self, state: BayesSearchState) -> Dict[str, object]:
+        """Counters, the RNG stream and the ordered (tokens, MRR) observations."""
+        return {
+            "steps_completed": state.steps_completed,
+            "evaluations": state.evaluations,
+            "elapsed_seconds": state.elapsed_seconds,
+            "rng": rng_state(state.rng),
+            "observations": [
+                {"tokens": tokens.tolist(), "mrr": float(mrr)} for tokens, mrr in state.observations
+            ],
+            "trace": trace_to_jsonable(state.trace),
+        }
+
+    def load_state_dict(self, state: BayesSearchState, payload: Dict[str, object]) -> None:
+        """Restore counters, stream and observations into a fresh state."""
+        restore_rng(state.rng, payload["rng"])
+        state.observations = [
+            (np.asarray(entry["tokens"], dtype=np.int64), float(entry["mrr"]))
+            for entry in payload["observations"]
+        ]
+        state.steps_completed = int(payload["steps_completed"])
+        state.evaluations = int(payload["evaluations"])
+        state.elapsed_seconds = float(payload["elapsed_seconds"])
+        state.trace = trace_from_jsonable(payload["trace"])
+
     # ------------------------------------------------------------------ internals
+    def _evaluate_batch(
+        self,
+        state: BayesSearchState,
+        token_batch: List[np.ndarray],
+        first_index: int,
+        step_started: float,
+    ) -> None:
+        """Train a token batch through the pool, one chunk per worker."""
+        from repro.runtime.evaluation import standalone_cache_key, train_candidate_standalone
+
+        config = self.config
+        # One chunk per worker keeps trace timestamps honest (per candidate when
+        # serial, as in the seed's loop) while filling every worker.
+        chunk_size = max(state.pool.n_workers, 1)
+        for start in range(0, len(token_batch), chunk_size):
+            chunk = token_batch[start : start + chunk_size]
+            structures = [self._space.structures_from_tokens(tokens)[0] for tokens in chunk]
+            payloads = [
+                {"structures": [s.entries], "seed": config.seed + first_index + start + offset}
+                for offset, s in enumerate(structures)
+            ]
+            keys = [
+                standalone_cache_key(
+                    state.fingerprint, config.trainer, config.embedding_dim,
+                    config.seed + first_index + start + offset, s,
+                )
+                for offset, s in enumerate(structures)
+            ]
+            scores = state.pool.map(train_candidate_standalone, payloads, shared=state.shared, keys=keys)
+            for offset, (tokens, mrr) in enumerate(zip(chunk, scores)):
+                state.observations.append((tokens, mrr))
+                state.evaluations = len(state.observations)
+                best = max(score for _, score in state.observations)
+                state.trace.append(
+                    TracePoint(
+                        elapsed_seconds=state.elapsed_seconds + (time.perf_counter() - step_started),
+                        evaluations=len(state.observations),
+                        valid_mrr=float(best),
+                        note=f"candidate {first_index + start + offset}",
+                    )
+                )
+
     def _random_tokens(self, rng: np.random.Generator) -> np.ndarray:
         structure = BlockStructure.random(self.config.num_blocks, rng)
         return np.asarray(structure.to_tokens(), dtype=np.int64)

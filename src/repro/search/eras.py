@@ -13,8 +13,9 @@ After the search loop, K candidates are sampled from the trained controller, sco
 the full validation split with the shared embeddings, and the best one is returned (to be
 re-trained from scratch by the caller, as the paper does).
 
-The search is exposed at two granularities: :meth:`ERASSearcher.search` runs Algorithm 2
-end to end, while :meth:`~ERASSearcher.init_state` / :meth:`~ERASSearcher.run_epoch` /
+The searcher implements the shared stepwise :class:`~repro.search.base.Searcher`
+protocol (one epoch per step): :meth:`ERASSearcher.search` runs Algorithm 2 end to
+end, while :meth:`~ERASSearcher.init_state` / :meth:`~ERASSearcher.run_epoch` /
 :meth:`~ERASSearcher.finalize` operate on an explicit :class:`ERASSearchState` so that
 the runtime layer (:mod:`repro.runtime`) can checkpoint the search between epochs and
 resume it bit-identically.  Derive-phase scorings go through an optional
@@ -31,6 +32,16 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.kg.graph import KnowledgeGraph
+from repro.search.base import (
+    Searcher,
+    SearchState,
+    candidate_from_jsonable,
+    candidate_to_jsonable,
+    restore_rng,
+    rng_state,
+    trace_from_jsonable,
+    trace_to_jsonable,
+)
 from repro.search.clustering import EMRelationClustering
 from repro.search.controller import ArchitectureController, ControllerConfig, ReinforceUpdater, SampledCandidate
 from repro.search.result import Candidate, SearchResult, TracePoint
@@ -127,7 +138,7 @@ class ERASConfig:
 
 
 @dataclass
-class ERASSearchState:
+class ERASSearchState(SearchState):
     """Mutable state of an in-progress ERAS search.
 
     Everything Algorithm 2 updates between epochs lives here -- the live components
@@ -189,8 +200,13 @@ class ERASSearchState:
     reward_memory: Dict[tuple, Tuple[float, Candidate]] = field(default_factory=dict)
     last_rewards: List[float] = field(default_factory=list)
 
+    @property
+    def steps_completed(self) -> int:
+        """Protocol alias: one :meth:`~ERASSearcher.run_step` is one search epoch."""
+        return self.epochs_completed
 
-class ERASSearcher:
+
+class ERASSearcher(Searcher):
     """Searches relation-aware scoring functions with the one-shot supernet."""
 
     name = "ERAS"
@@ -210,12 +226,13 @@ class ERASSearcher:
         self._pool = pool
 
     # ------------------------------------------------------------------ public API
-    def search(self, graph: KnowledgeGraph) -> SearchResult:
-        """Run Algorithm 2 on ``graph`` and return the best candidate found."""
-        state = self.init_state(graph)
-        while state.epochs_completed < self.config.epochs:
-            self.run_epoch(state)
-        return self.finalize(state)
+    def run_step(self, state: ERASSearchState) -> None:
+        """Protocol step: one search epoch of Algorithm 2 (see :meth:`run_epoch`)."""
+        self.run_epoch(state)
+
+    def is_complete(self, state: ERASSearchState) -> bool:
+        """True once every configured search epoch has run."""
+        return state.epochs_completed >= self.config.epochs
 
     def init_state(self, graph: KnowledgeGraph) -> ERASSearchState:
         """Build the supernet, controller and clustering for a fresh search on ``graph``."""
@@ -351,6 +368,70 @@ class ERASSearcher:
                 "top_candidate_scores": [score for _, score in ranked[: self.config.derive_top_k]],
             },
         )
+
+    # ------------------------------------------------------------------ serialization
+    def state_dict(self, state: ERASSearchState) -> Dict[str, object]:
+        """Everything Algorithm 2 updates, as plain JSON structures: shared
+        embeddings, Adagrad accumulators, controller weights, Adam moments, the
+        REINFORCE baseline, every random stream, the reward memory and counters."""
+        return {
+            "epochs_completed": state.epochs_completed,
+            "iteration": state.iteration,
+            "evaluations": state.evaluations,
+            "elapsed_seconds": state.elapsed_seconds,
+            "memory_start": state.memory_start,
+            "assignment": state.assignment.tolist(),
+            "rng": rng_state(state.rng),
+            "supernet": {
+                "model": state.supernet.model.state_dict(),
+                "optimizer": state.supernet.optimizer.state_dict(),
+                "rng": rng_state(state.supernet._rng),
+            },
+            "controller": {"model": state.controller.state_dict()},
+            "updater": {
+                "baseline": state.updater.baseline,
+                "optimizer": state.updater.optimizer.state_dict(),
+            },
+            "clustering_rng": rng_state(state.clustering._rng),
+            "trace": trace_to_jsonable(state.trace),
+            # Insertion order matters: derive-phase ties are broken by it.
+            "reward_memory": [
+                {"reward": reward, "candidate": candidate_to_jsonable(candidate)}
+                for reward, candidate in state.reward_memory.values()
+            ],
+            "last_rewards": [float(reward) for reward in state.last_rewards],
+        }
+
+    def load_state_dict(self, state: ERASSearchState, payload: Dict[str, object]) -> None:
+        """Overwrite every piece of mutable state of a fresh ``state`` in place."""
+        supernet_payload = payload["supernet"]
+        state.supernet.model.load_state_dict(
+            {name: np.asarray(value, dtype=np.float64) for name, value in supernet_payload["model"].items()}
+        )
+        state.supernet.optimizer.load_state_dict(supernet_payload["optimizer"])
+        restore_rng(state.supernet._rng, supernet_payload["rng"])
+        state.controller.load_state_dict(
+            {name: np.asarray(value, dtype=np.float64) for name, value in payload["controller"]["model"].items()}
+        )
+        baseline = payload["updater"]["baseline"]
+        state.updater.baseline = None if baseline is None else float(baseline)
+        state.updater.optimizer.load_state_dict(payload["updater"]["optimizer"])
+        restore_rng(state.clustering._rng, payload["clustering_rng"])
+        restore_rng(state.rng, payload["rng"])
+
+        state.assignment = np.asarray(payload["assignment"], dtype=np.int64)
+        state.supernet.set_assignment(state.assignment)
+        state.epochs_completed = int(payload["epochs_completed"])
+        state.iteration = int(payload["iteration"])
+        state.evaluations = int(payload["evaluations"])
+        state.elapsed_seconds = float(payload["elapsed_seconds"])
+        state.memory_start = int(payload["memory_start"])
+        state.trace = trace_from_jsonable(payload["trace"])
+        state.reward_memory = {}
+        for entry in payload["reward_memory"]:
+            candidate = candidate_from_jsonable(entry["candidate"])
+            state.reward_memory[candidate.signature()] = (float(entry["reward"]), candidate)
+        state.last_rewards = [float(reward) for reward in payload["last_rewards"]]
 
     # ------------------------------------------------------------------ internals
     def _initial_assignment(

@@ -3,19 +3,33 @@
 Candidates are drawn uniformly from the task-aware space and, like AutoSF, each one is
 trained stand-alone -- random search therefore shares AutoSF's cost per evaluation but
 lacks its greedy guidance.
+
+The searcher implements the shared stepwise :class:`~repro.search.base.Searcher`
+protocol: all candidates are sampled up front (consuming the RNG exactly as the
+original serial loop did), and every step trains one batch of them -- one candidate
+per pool worker -- so the search can pause, checkpoint and resume at any batch
+boundary without changing the outcome.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.kg.graph import KnowledgeGraph
 from repro.models.trainer import TrainerConfig
 from repro.scoring.structure import BlockStructure
+from repro.search.base import (
+    Searcher,
+    SearchState,
+    structure_from_jsonable,
+    structure_to_jsonable,
+    trace_from_jsonable,
+    trace_to_jsonable,
+)
 from repro.search.result import Candidate, SearchResult, TracePoint
 from repro.utils.rng import new_rng
 
@@ -55,7 +69,55 @@ class RandomSearchConfig:
             raise ValueError("num_blocks must be at least 2")
 
 
-class RandomSearcher:
+@dataclass
+class RandomSearchState(SearchState):
+    """Mutable state of an in-progress random search.
+
+    Fields
+    ------
+    graph:
+        The dataset being searched.
+    selected:
+        The de-duplicated ``(candidate index, structure)`` pairs sampled up front;
+        fixed for the whole search.
+    pool:
+        Live :class:`~repro.runtime.evaluation.EvaluationPool` the stand-alone
+        trainings fan out over (rebuilt by ``init_state``; never serialised).
+    shared:
+        The pool's shared payload (graph + trainer budget; never serialised).
+    fingerprint:
+        Content identity of ``graph`` used in the stand-alone cache keys.
+    position:
+        Candidates evaluated so far (the next step starts here).
+    best_structure:
+        Best structure observed so far (None before the first step).
+    best_mrr:
+        Validation MRR of ``best_structure`` (-inf before the first step).
+    steps_completed:
+        Finished protocol steps (one candidate batch each).
+    evaluations:
+        Stand-alone trainings performed so far (equals ``position``).
+    elapsed_seconds:
+        Cumulative search wall clock across completed steps.
+    trace:
+        Search-progress points, one per trained candidate.
+    """
+
+    graph: KnowledgeGraph
+    selected: List[Tuple[int, BlockStructure]]
+    pool: "EvaluationPool"
+    shared: Dict[str, object]
+    fingerprint: Tuple
+    position: int = 0
+    best_structure: Optional[BlockStructure] = None
+    best_mrr: float = -np.inf
+    steps_completed: int = 0
+    evaluations: int = 0
+    elapsed_seconds: float = 0.0
+    trace: List[TracePoint] = field(default_factory=list)
+
+
+class RandomSearcher(Searcher):
     """Uniformly sample structures and keep the best stand-alone performer."""
 
     name = "Random"
@@ -64,26 +126,17 @@ class RandomSearcher:
         self.config = config or RandomSearchConfig()
         self._pool = pool
 
-    def search(self, graph: KnowledgeGraph) -> SearchResult:
-        from repro.runtime.evaluation import (
-            EvaluationPool,
-            graph_fingerprint,
-            standalone_cache_key,
-            standalone_shared_payload,
-            train_candidate_standalone,
-        )
+    # ------------------------------------------------------------------ protocol
+    def init_state(self, graph: KnowledgeGraph) -> RandomSearchState:
+        """Sample every candidate up front (consuming the RNG in the same order as
+        the original serial loop) -- they are mutually independent, so the steps only
+        have to walk the list."""
+        from repro.runtime.evaluation import EvaluationPool, graph_fingerprint, standalone_shared_payload
 
         config = self.config
         rng = new_rng(config.seed)
-        trace: List[TracePoint] = []
-        best_structure: Optional[BlockStructure] = None
-        best_mrr = -np.inf
-        started = time.perf_counter()
         seen = set()
-
-        # All candidates are independent, so sample them up front (consuming the rng in
-        # the same order as the serial loop did) and train them through the pool.
-        selected: List[tuple[int, BlockStructure]] = []
+        selected: List[Tuple[int, BlockStructure]] = []
         for index in range(config.num_candidates):
             structure = BlockStructure.random(config.num_blocks, rng, nonzero_fraction=config.nonzero_fraction)
             if structure.signature() in seen:
@@ -92,45 +145,98 @@ class RandomSearcher:
             selected.append((index, structure))
 
         pool = self._pool if self._pool is not None else EvaluationPool(n_workers=1)
-        shared = standalone_shared_payload(graph, config.trainer, config.embedding_dim)
-        fingerprint = graph_fingerprint(graph)
-        payloads = [{"structures": [s.entries], "seed": config.seed + index} for index, s in selected]
+        return RandomSearchState(
+            graph=graph,
+            selected=selected,
+            pool=pool,
+            shared=standalone_shared_payload(graph, config.trainer, config.embedding_dim),
+            fingerprint=graph_fingerprint(graph),
+        )
+
+    def run_step(self, state: RandomSearchState) -> None:
+        """Train one batch of candidates -- one per pool worker -- through the pool."""
+        from repro.runtime.evaluation import standalone_cache_key, train_candidate_standalone
+
+        config = self.config
+        started = time.perf_counter()
+        # One chunk per worker keeps trace timestamps honest (per candidate when
+        # serial, as in the seed's loop) while every worker still stays busy.
+        chunk_size = max(state.pool.n_workers, 1)
+        chunk = state.selected[state.position : state.position + chunk_size]
+        payloads = [{"structures": [s.entries], "seed": config.seed + index} for index, s in chunk]
         keys = [
-            standalone_cache_key(fingerprint, config.trainer, config.embedding_dim, config.seed + index, s)
-            for index, s in selected
+            standalone_cache_key(state.fingerprint, config.trainer, config.embedding_dim, config.seed + index, s)
+            for index, s in chunk
         ]
-
-        # Evaluate in chunks of one per worker: trace points keep honest per-chunk
-        # wall-clock timestamps (per-candidate when serial, as in the seed's loop)
-        # while every worker still stays busy.
-        chunk_size = max(pool.n_workers, 1)
-        position = 0
-        for start in range(0, len(selected), chunk_size):
-            stop = start + chunk_size
-            scores = pool.map(
-                train_candidate_standalone, payloads[start:stop], shared=shared, keys=keys[start:stop]
-            )
-            for (index, structure), mrr in zip(selected[start:stop], scores):
-                position += 1
-                if mrr > best_mrr:
-                    best_structure, best_mrr = structure, mrr
-                trace.append(
-                    TracePoint(
-                        elapsed_seconds=time.perf_counter() - started,
-                        evaluations=position,
-                        valid_mrr=float(best_mrr),
-                        note=f"candidate {index}",
-                    )
+        scores = state.pool.map(train_candidate_standalone, payloads, shared=state.shared, keys=keys)
+        for (index, structure), mrr in zip(chunk, scores):
+            state.position += 1
+            if mrr > state.best_mrr:
+                state.best_structure, state.best_mrr = structure, mrr
+            state.trace.append(
+                TracePoint(
+                    elapsed_seconds=state.elapsed_seconds + (time.perf_counter() - started),
+                    evaluations=state.position,
+                    valid_mrr=float(state.best_mrr),
+                    note=f"candidate {index}",
                 )
+            )
+        state.evaluations = state.position
+        state.steps_completed += 1
+        state.elapsed_seconds += time.perf_counter() - started
 
-        assert best_structure is not None
+    def is_complete(self, state: RandomSearchState) -> bool:
+        """Done once every sampled candidate has been trained."""
+        return state.position >= len(state.selected)
+
+    def finalize(self, state: RandomSearchState) -> SearchResult:
+        """Package the best candidate trained so far (valid after any step >= 1)."""
+        if state.best_structure is None:
+            raise RuntimeError("random search cannot finalize before any candidate was evaluated")
         return SearchResult(
             searcher=self.name,
-            dataset=graph.name,
-            best_candidate=Candidate((best_structure,)),
-            best_assignment=np.zeros(graph.num_relations, dtype=np.int64),
-            best_valid_mrr=float(best_mrr),
-            search_seconds=time.perf_counter() - started,
-            evaluations=len(seen),
-            trace=trace,
+            dataset=state.graph.name,
+            best_candidate=Candidate((state.best_structure,)),
+            best_assignment=np.zeros(state.graph.num_relations, dtype=np.int64),
+            best_valid_mrr=float(state.best_mrr),
+            search_seconds=state.elapsed_seconds,
+            evaluations=state.position,
+            trace=state.trace,
         )
+
+    def state_dict(self, state: RandomSearchState) -> Dict[str, object]:
+        """The sampled candidate list, walk position, incumbent and counters."""
+        return {
+            "steps_completed": state.steps_completed,
+            "evaluations": state.evaluations,
+            "elapsed_seconds": state.elapsed_seconds,
+            "position": state.position,
+            "selected": [
+                {"index": index, "entries": structure_to_jsonable(structure)}
+                for index, structure in state.selected
+            ],
+            "best": (
+                None
+                if state.best_structure is None
+                else {"entries": structure_to_jsonable(state.best_structure), "mrr": float(state.best_mrr)}
+            ),
+            "trace": trace_to_jsonable(state.trace),
+        }
+
+    def load_state_dict(self, state: RandomSearchState, payload: Dict[str, object]) -> None:
+        """Restore the candidate list (as saved, not resampled) and the walk position."""
+        state.selected = [
+            (int(entry["index"]), structure_from_jsonable(entry["entries"]))
+            for entry in payload["selected"]
+        ]
+        best = payload["best"]
+        if best is None:
+            state.best_structure, state.best_mrr = None, -np.inf
+        else:
+            state.best_structure = structure_from_jsonable(best["entries"])
+            state.best_mrr = float(best["mrr"])
+        state.position = int(payload["position"])
+        state.steps_completed = int(payload["steps_completed"])
+        state.evaluations = int(payload["evaluations"])
+        state.elapsed_seconds = float(payload["elapsed_seconds"])
+        state.trace = trace_from_jsonable(payload["trace"])

@@ -1,0 +1,218 @@
+"""Plugin registry of search algorithms: one name -> factory map for the runtime.
+
+The runtime layer (:class:`~repro.runtime.runner.SearchRunner`, the ``python -m repro
+search`` CLI, the bench workloads) never hardcodes searcher classes; it asks this
+registry.  Every built-in algorithm registers itself here, and third-party code can
+add its own with two lines::
+
+    from repro.search.registry import register_searcher
+
+    register_searcher("my_algo", lambda options, pool: MySearcher(..., pool=pool))
+
+A factory receives a :class:`SearcherOptions` (the CLI-addressable budget knobs) and
+an optional :class:`~repro.runtime.evaluation.EvaluationPool`, and returns a
+:class:`~repro.search.base.Searcher`.  Once registered, the algorithm gets the whole
+runtime for free: ``--searcher my_algo``, ``--workers``, checkpoint/resume,
+:class:`~repro.search.base.SearchBudget` enforcement and the bench workloads.
+
+Unknown names raise :class:`ValueError` listing :func:`available_searchers` -- there
+is deliberately no fallback searcher.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.search.base import Searcher
+
+#: A searcher factory: ``factory(options, pool) -> Searcher``.
+SearcherFactory = Callable[["SearcherOptions", Optional[object]], Searcher]
+
+_REGISTRY: Dict[str, SearcherFactory] = {}
+
+
+@dataclass(frozen=True)
+class SearcherOptions:
+    """The budget knobs a factory may consume, CLI-addressable field by field.
+
+    Every field has a sensible default, so ``SearcherOptions()`` builds each searcher
+    at its benchmark budget; factories ignore the fields their algorithm has no use
+    for (e.g. ``num_candidates`` for ERAS, ``derive_samples`` for AutoSF).
+
+    Fields
+    ------
+    num_groups:
+        N, relation groups of the relation-aware searchers (default 3, >= 1).
+    num_blocks:
+        M, structure block count shared by every searcher (default 4, >= 2).
+    search_epochs:
+        Supernet search epochs of the ERAS-family searchers (default 15, >= 1).
+    num_candidates:
+        Candidate budget of the random / Bayes searchers (default 8, >= 1).
+    derive_samples:
+        K, ERAS derive-phase samples (default 16, >= 1).
+    dim:
+        Embedding dimension of the supernet / stand-alone trainings (default 48).
+    seed:
+        Seed of the search (default 0).
+    proxy_epochs:
+        Override of the stand-alone per-candidate training epochs used by the
+        AutoSF / random / Bayes evaluation proxy (default None: keep each
+        algorithm's benchmark budget; >= 1 when set).
+    """
+
+    num_groups: int = 3
+    num_blocks: int = 4
+    search_epochs: int = 15
+    num_candidates: int = 8
+    derive_samples: int = 16
+    dim: int = 48
+    seed: int = 0
+    proxy_epochs: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if min(self.num_groups, self.search_epochs, self.num_candidates, self.derive_samples) < 1:
+            raise ValueError(
+                "num_groups, search_epochs, num_candidates and derive_samples must be positive"
+            )
+        if self.num_blocks < 2:
+            raise ValueError("num_blocks must be at least 2")
+        if self.dim < 1:
+            raise ValueError("dim must be positive")
+        if self.proxy_epochs is not None and self.proxy_epochs < 1:
+            raise ValueError("proxy_epochs must be >= 1 (or None for the default budget)")
+
+
+# ---------------------------------------------------------------------------- registry API
+def register_searcher(name: str, factory: SearcherFactory, overwrite: bool = False) -> None:
+    """Register ``factory`` under ``name`` (lowercase identifier used by ``--searcher``)."""
+    if not name or not isinstance(name, str):
+        raise ValueError("searcher name must be a non-empty string")
+    if not callable(factory):
+        raise TypeError(f"factory for {name!r} must be callable")
+    if name in _REGISTRY and not overwrite:
+        raise ValueError(f"searcher {name!r} is already registered (pass overwrite=True to replace)")
+    _REGISTRY[name] = factory
+
+
+def unregister_searcher(name: str) -> None:
+    """Remove a registered searcher (mainly for tests and plugin teardown)."""
+    _REGISTRY.pop(name, None)
+
+
+def available_searchers() -> Tuple[str, ...]:
+    """Every registered searcher name, in registration order (built-ins first)."""
+    return tuple(_REGISTRY)
+
+
+def searcher_factory(name: str) -> SearcherFactory:
+    """The factory registered under ``name``; unknown names raise listing the options."""
+    factory = _REGISTRY.get(name)
+    if factory is None:
+        raise ValueError(
+            f"unknown searcher {name!r}; choose from: {', '.join(available_searchers())}"
+        )
+    return factory
+
+
+def create_searcher(
+    name: str,
+    options: Optional[SearcherOptions] = None,
+    pool: Optional[object] = None,
+) -> Searcher:
+    """Instantiate the searcher registered under ``name``.
+
+    ``options`` defaults to :class:`SearcherOptions`'s benchmark budgets; ``pool`` is
+    the shared :class:`~repro.runtime.evaluation.EvaluationPool` (None scores serially
+    in-process through the identical code path).
+    """
+    return searcher_factory(name)(options or SearcherOptions(), pool)
+
+
+# ---------------------------------------------------------------------------- built-ins
+# The quick_* budget presets live in repro.bench.workloads, which imports repro.search;
+# importing them lazily inside the factories keeps the module graph acyclic.
+def _eras_config(options: SearcherOptions, num_groups: int):
+    from repro.bench.workloads import quick_eras_config
+
+    return dataclasses.replace(
+        quick_eras_config(
+            num_groups=num_groups,
+            num_blocks=options.num_blocks,
+            epochs=options.search_epochs,
+            dim=options.dim,
+            seed=options.seed,
+        ),
+        derive_samples=options.derive_samples,
+    )
+
+
+def _with_proxy_trainer(config, options: SearcherOptions):
+    if options.proxy_epochs is None:
+        return config
+    trainer = dataclasses.replace(config.trainer, epochs=options.proxy_epochs)
+    return dataclasses.replace(config, trainer=trainer)
+
+
+def _build_eras(options: SearcherOptions, pool) -> Searcher:
+    from repro.search.eras import ERASSearcher
+
+    return ERASSearcher(_eras_config(options, options.num_groups), pool=pool)
+
+
+def _build_eras_n1(options: SearcherOptions, pool) -> Searcher:
+    from repro.search.variants import eras_n1
+
+    return eras_n1(_eras_config(options, num_groups=1), pool=pool)
+
+
+def _build_eras_diff(options: SearcherOptions, pool) -> Searcher:
+    from repro.search.variants import ERASDifferentiableSearcher
+
+    return ERASDifferentiableSearcher(_eras_config(options, options.num_groups), pool=pool)
+
+
+def _build_autosf(options: SearcherOptions, pool) -> Searcher:
+    from repro.bench.workloads import quick_autosf_config
+    from repro.search.autosf import AutoSFSearcher
+
+    config = dataclasses.replace(
+        quick_autosf_config(seed=options.seed),
+        num_blocks=options.num_blocks,
+        embedding_dim=options.dim,
+    )
+    return AutoSFSearcher(_with_proxy_trainer(config, options), pool=pool)
+
+
+def _build_random(options: SearcherOptions, pool) -> Searcher:
+    from repro.bench.workloads import quick_random_config
+    from repro.search.random_search import RandomSearcher
+
+    config = dataclasses.replace(
+        quick_random_config(num_candidates=options.num_candidates, seed=options.seed),
+        num_blocks=options.num_blocks,
+        embedding_dim=options.dim,
+    )
+    return RandomSearcher(_with_proxy_trainer(config, options), pool=pool)
+
+
+def _build_bayes(options: SearcherOptions, pool) -> Searcher:
+    from repro.bench.workloads import quick_bayes_config
+    from repro.search.bayes_search import BayesSearcher
+
+    config = dataclasses.replace(
+        quick_bayes_config(num_candidates=options.num_candidates, seed=options.seed),
+        num_blocks=options.num_blocks,
+        embedding_dim=options.dim,
+    )
+    return BayesSearcher(_with_proxy_trainer(config, options), pool=pool)
+
+
+register_searcher("eras", _build_eras)
+register_searcher("eras_n1", _build_eras_n1)
+register_searcher("eras_diff", _build_eras_diff)
+register_searcher("autosf", _build_autosf)
+register_searcher("random", _build_random)
+register_searcher("bayes", _build_bayes)

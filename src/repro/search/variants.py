@@ -31,6 +31,14 @@ from repro.models.trainer import Trainer, TrainerConfig
 from repro.nn import Adam, Module, Parameter
 from repro.scoring.classics import simple_structure
 from repro.scoring.structure import BlockStructure
+from repro.search.base import (
+    Searcher,
+    SearchState,
+    restore_rng,
+    rng_state,
+    trace_from_jsonable,
+    trace_to_jsonable,
+)
 from repro.search.clustering import EMRelationClustering
 from repro.search.eras import ERASConfig, ERASSearcher
 from repro.search.result import Candidate, SearchResult, TracePoint
@@ -46,6 +54,7 @@ __all__ = [
     "eras_smt",
     "eras_dif",
     "ERASDifferentiableSearcher",
+    "DifferentiableSearchState",
     "semantic_assignment",
     "pretrained_assignment",
 ]
@@ -167,7 +176,47 @@ class _MixtureArchitecture(Module):
         return space.structures_from_tokens(tokens)
 
 
-class ERASDifferentiableSearcher:
+@dataclass
+class DifferentiableSearchState(SearchState):
+    """Mutable state of an in-progress ERAS_dif search.
+
+    Fields
+    ------
+    graph:
+        The dataset being searched.
+    supernet:
+        Shared-embedding supernet holding the one-shot model.
+    architecture:
+        The continuous per-group mixture weights over operations.
+    architecture_optimizer:
+        Adam optimiser of the architecture weights.
+    clustering:
+        The EM/k-means relation clustering refreshing the grouping each epoch.
+    rng:
+        The search-level random stream (per-epoch batch seeds).
+    steps_completed:
+        Finished protocol steps (one epoch each).
+    evaluations:
+        Architecture-gradient evaluations performed so far (one per epoch).
+    elapsed_seconds:
+        Cumulative search wall clock across completed steps.
+    trace:
+        Search-progress points, one per epoch.
+    """
+
+    graph: KnowledgeGraph
+    supernet: SharedEmbeddingSupernet
+    architecture: "_MixtureArchitecture"
+    architecture_optimizer: Adam
+    clustering: EMRelationClustering
+    rng: np.random.Generator
+    steps_completed: int = 0
+    evaluations: int = 0
+    elapsed_seconds: float = 0.0
+    trace: List[TracePoint] = field(default_factory=list)
+
+
+class ERASDifferentiableSearcher(Searcher):
     """ERAS_dif: DARTS/NASP-style differentiable search over the supernet.
 
     The architecture is a per-group softmax mixture over operations.  Shared embeddings
@@ -175,12 +224,17 @@ class ERASDifferentiableSearcher:
     updated on validation mini-batches by gradient descent (the validation loss is
     differentiable, unlike MRR); the relation grouping is refreshed by EM clustering each
     epoch.  The final structure is the argmax decode of the mixture weights.
+
+    Implements the shared stepwise :class:`~repro.search.base.Searcher` protocol (one
+    epoch per step).  ``pool`` is accepted for factory uniformity but unused -- the
+    differentiable search has no pooled candidate evaluations.
     """
 
     name = "ERAS_dif"
 
-    def __init__(self, config: Optional[ERASConfig] = None) -> None:
+    def __init__(self, config: Optional[ERASConfig] = None, pool: Optional["EvaluationPool"] = None) -> None:
         self.config = config or ERASConfig()
+        del pool  # no derive phase, nothing to fan out
 
     # -------------------------------------------------------------- candidate scoring
     def _mixture_loss(
@@ -233,60 +287,118 @@ class ERASDifferentiableSearcher:
         del space
         return total_loss
 
-    # -------------------------------------------------------------- public API
-    def search(self, graph: KnowledgeGraph) -> SearchResult:
+    # -------------------------------------------------------------- protocol
+    def init_state(self, graph: KnowledgeGraph) -> DifferentiableSearchState:
+        """Build the supernet, mixture architecture, optimiser and clustering."""
         config = self.config
-        rng = new_rng(config.seed)
         supernet = SharedEmbeddingSupernet(graph, num_groups=config.num_groups, config=config.supernet)
         architecture = _MixtureArchitecture(config.num_groups, config.num_blocks, seed=config.seed)
-        architecture_optimizer = Adam(architecture.parameters(), lr=config.controller.learning_rate)
         clustering = EMRelationClustering(config.num_groups, seed=config.seed)
-
         if config.num_groups > 1:
             supernet.set_assignment(clustering.assign(supernet.relation_embeddings()))
+        return DifferentiableSearchState(
+            graph=graph,
+            supernet=supernet,
+            architecture=architecture,
+            architecture_optimizer=Adam(architecture.parameters(), lr=config.controller.learning_rate),
+            clustering=clustering,
+            rng=new_rng(config.seed),
+        )
 
-        trace: List[TracePoint] = []
-        evaluations = 0
+    def run_step(self, state: DifferentiableSearchState) -> None:
+        """One epoch: embedding updates on the mixture loss, grouping refresh, then
+        one gradient step on the architecture weights from a validation mini-batch."""
+        config = self.config
+        supernet, architecture = state.supernet, state.architecture
         started = time.perf_counter()
-        for epoch in range(1, config.epochs + 1):
-            for batch in supernet.training_batches(seed=int(rng.integers(1 << 31))):
-                supernet.optimizer.zero_grad()
-                loss = self._mixture_loss(supernet, architecture, batch)
-                loss.backward()
-                supernet.optimizer.step()
-            if config.update_assignment and config.num_groups > 1:
-                supernet.set_assignment(
-                    clustering.assign(supernet.relation_embeddings(), initial_assignment=supernet.assignment)
-                )
-            validation_batch = supernet.sample_validation_batch()
-            architecture_optimizer.zero_grad()
-            validation_loss = self._mixture_loss(supernet, architecture, validation_batch)
-            validation_loss.backward()
-            architecture_optimizer.step()
-            evaluations += 1
-            candidate = Candidate(tuple(architecture.discretize()))
-            mrr = supernet.reward(candidate, validation_batch)
-            trace.append(
-                TracePoint(
-                    elapsed_seconds=time.perf_counter() - started,
-                    evaluations=evaluations,
-                    valid_mrr=mrr,
-                    note=f"epoch {epoch}",
-                )
+        for batch in supernet.training_batches(seed=int(state.rng.integers(1 << 31))):
+            supernet.optimizer.zero_grad()
+            loss = self._mixture_loss(supernet, architecture, batch)
+            loss.backward()
+            supernet.optimizer.step()
+        if config.update_assignment and config.num_groups > 1:
+            supernet.set_assignment(
+                state.clustering.assign(supernet.relation_embeddings(), initial_assignment=supernet.assignment)
             )
+        validation_batch = supernet.sample_validation_batch()
+        state.architecture_optimizer.zero_grad()
+        validation_loss = self._mixture_loss(supernet, architecture, validation_batch)
+        validation_loss.backward()
+        state.architecture_optimizer.step()
+        state.evaluations += 1
+        state.steps_completed += 1
+        candidate = Candidate(tuple(architecture.discretize()))
+        mrr = supernet.reward(candidate, validation_batch)
+        state.elapsed_seconds += time.perf_counter() - started
+        state.trace.append(
+            TracePoint(
+                elapsed_seconds=state.elapsed_seconds,
+                evaluations=state.evaluations,
+                valid_mrr=mrr,
+                note=f"epoch {state.steps_completed}",
+            )
+        )
 
-        best_candidate = Candidate(tuple(architecture.discretize()))
-        best_mrr = supernet.one_shot_validation_mrr(best_candidate)
+    def is_complete(self, state: DifferentiableSearchState) -> bool:
+        """True once every configured epoch has run."""
+        return state.steps_completed >= self.config.epochs
+
+    def finalize(self, state: DifferentiableSearchState) -> SearchResult:
+        """Argmax-decode the mixture weights and score the result one-shot."""
+        best_candidate = Candidate(tuple(state.architecture.discretize()))
+        best_mrr = state.supernet.one_shot_validation_mrr(best_candidate)
         return SearchResult(
             searcher=self.name,
-            dataset=graph.name,
+            dataset=state.graph.name,
             best_candidate=best_candidate,
-            best_assignment=supernet.assignment.copy(),
+            best_assignment=state.supernet.assignment.copy(),
             best_valid_mrr=float(best_mrr),
-            search_seconds=time.perf_counter() - started,
-            evaluations=evaluations,
-            trace=trace,
+            search_seconds=state.elapsed_seconds,
+            evaluations=state.evaluations,
+            trace=state.trace,
         )
+
+    def state_dict(self, state: DifferentiableSearchState) -> Dict[str, object]:
+        """Embeddings, architecture weights, both optimisers, streams and counters."""
+        return {
+            "steps_completed": state.steps_completed,
+            "evaluations": state.evaluations,
+            "elapsed_seconds": state.elapsed_seconds,
+            "rng": rng_state(state.rng),
+            "supernet": {
+                "model": state.supernet.model.state_dict(),
+                "optimizer": state.supernet.optimizer.state_dict(),
+                "rng": rng_state(state.supernet._rng),
+                "assignment": state.supernet.assignment.tolist(),
+            },
+            "architecture": {
+                "model": state.architecture.state_dict(),
+                "optimizer": state.architecture_optimizer.state_dict(),
+            },
+            "clustering_rng": rng_state(state.clustering._rng),
+            "trace": trace_to_jsonable(state.trace),
+        }
+
+    def load_state_dict(self, state: DifferentiableSearchState, payload: Dict[str, object]) -> None:
+        """Overwrite every piece of mutable state of a fresh ``state`` in place."""
+        supernet_payload = payload["supernet"]
+        state.supernet.model.load_state_dict(
+            {name: np.asarray(value, dtype=np.float64) for name, value in supernet_payload["model"].items()}
+        )
+        state.supernet.optimizer.load_state_dict(supernet_payload["optimizer"])
+        restore_rng(state.supernet._rng, supernet_payload["rng"])
+        state.supernet.set_assignment(np.asarray(supernet_payload["assignment"], dtype=np.int64))
+        architecture_payload = payload["architecture"]
+        state.architecture.load_state_dict(
+            {name: np.asarray(value, dtype=np.float64) for name, value in architecture_payload["model"].items()}
+        )
+        state.architecture_optimizer.load_state_dict(architecture_payload["optimizer"])
+        restore_rng(state.clustering._rng, payload["clustering_rng"])
+        restore_rng(state.rng, payload["rng"])
+        state.steps_completed = int(payload["steps_completed"])
+        state.evaluations = int(payload["evaluations"])
+        state.elapsed_seconds = float(payload["elapsed_seconds"])
+        state.trace = trace_from_jsonable(payload["trace"])
 
 
 def eras_dif(config: Optional[ERASConfig] = None) -> ERASDifferentiableSearcher:

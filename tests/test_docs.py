@@ -46,22 +46,31 @@ def test_every_module_has_a_docstring(module_name):
 def _audited_dataclasses():
     from repro.models.trainer import TrainerConfig
     from repro.runtime.runner import RunConfig, RunReport
-    from repro.search.autosf import AutoSFConfig
-    from repro.search.bayes_search import BayesSearchConfig
+    from repro.search.autosf import AutoSFConfig, AutoSFSearchState
+    from repro.search.base import SearchBudget
+    from repro.search.bayes_search import BayesSearchConfig, BayesSearchState
     from repro.search.controller import ControllerConfig
     from repro.search.eras import ERASConfig, ERASSearchState
-    from repro.search.random_search import RandomSearchConfig
+    from repro.search.random_search import RandomSearchConfig, RandomSearchState
+    from repro.search.registry import SearcherOptions
     from repro.search.result import Candidate, SearchResult, TracePoint
     from repro.search.supernet import SupernetConfig
+    from repro.search.variants import DifferentiableSearchState
 
     return [
+        SearchBudget,
+        SearcherOptions,
         ERASConfig,
         ERASSearchState,
         ControllerConfig,
         SupernetConfig,
         AutoSFConfig,
+        AutoSFSearchState,
         RandomSearchConfig,
+        RandomSearchState,
         BayesSearchConfig,
+        BayesSearchState,
+        DifferentiableSearchState,
         TrainerConfig,
         Candidate,
         TracePoint,

@@ -1,5 +1,6 @@
-"""Tests of the runtime layer: cache semantics, worker-count determinism,
-checkpoint/resume equivalence, the SearchRunner pipeline and the CLI."""
+"""Tests of the runtime layer: cache semantics, worker-count determinism, the
+stepwise Searcher protocol (registry, budgets, checkpoint/resume equivalence for
+every registered algorithm), the SearchRunner pipeline and the CLI."""
 
 from __future__ import annotations
 
@@ -24,9 +25,37 @@ from repro.runtime.evaluation import (
     one_shot_shared_payload,
     score_candidate_one_shot,
 )
-from repro.search import ERASConfig, ERASSearcher, RandomSearchConfig, RandomSearcher
+from repro.search import (
+    ERASConfig,
+    ERASSearcher,
+    RandomSearchConfig,
+    RandomSearcher,
+    SearchBudget,
+    SearcherOptions,
+    available_searchers,
+    create_searcher,
+    register_searcher,
+    unregister_searcher,
+)
 from repro.search.supernet import SharedEmbeddingSupernet, SupernetConfig
 from repro.models.trainer import TrainerConfig
+
+#: Every algorithm this repo ships; the registry tests assert the two stay in sync,
+#: so adding a searcher without protocol test coverage fails loudly.
+BUILTIN_SEARCHERS = ("eras", "eras_n1", "eras_diff", "autosf", "random", "bayes")
+
+
+def _tiny_searcher_options() -> SearcherOptions:
+    """Budgets small enough to run every registered searcher in a unit test."""
+    return SearcherOptions(
+        num_groups=2,
+        search_epochs=2,
+        num_candidates=4,
+        derive_samples=4,
+        dim=16,
+        seed=0,
+        proxy_epochs=2,
+    )
 
 _CALLS = []
 
@@ -267,6 +296,151 @@ class TestCheckpoint:
         ]
 
 
+# ---------------------------------------------------------------------------- registry
+class TestSearcherRegistry:
+    def test_builtins_registered(self):
+        assert set(available_searchers()) == set(BUILTIN_SEARCHERS)
+
+    def test_unknown_name_raises_listing_available(self):
+        with pytest.raises(ValueError) as excinfo:
+            create_searcher("gradient-descent")
+        message = str(excinfo.value)
+        for name in BUILTIN_SEARCHERS:
+            assert name in message
+
+    def test_runconfig_rejects_unknown_searcher_listing_available(self):
+        """The old trailing-else fell through to Bayes; now the name must be registered."""
+        with pytest.raises(ValueError) as excinfo:
+            RunConfig(searcher="hillclimb")
+        message = str(excinfo.value)
+        for name in BUILTIN_SEARCHERS:
+            assert name in message
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_searcher("eras", lambda options, pool: None)
+
+    def test_third_party_registration_reaches_runconfig(self):
+        register_searcher(
+            "thirdparty-test",
+            lambda options, pool: RandomSearcher(
+                RandomSearchConfig(num_candidates=2, seed=options.seed), pool=pool
+            ),
+        )
+        try:
+            assert "thirdparty-test" in available_searchers()
+            config = RunConfig(searcher="thirdparty-test", train_final=False)
+            searcher = SearchRunner(config).build_searcher()
+            assert isinstance(searcher, RandomSearcher)
+        finally:
+            unregister_searcher("thirdparty-test")
+        assert "thirdparty-test" not in available_searchers()
+
+
+# ---------------------------------------------------------------------------- protocol
+class TestStepwiseProtocol:
+    """The satellite property test: for EVERY registered searcher, the stepwise loop
+    equals the one-call search, and kill-at-step-k + checkpoint + resume (through a
+    2-worker pool where the algorithm evaluates through pools) reproduces the
+    uninterrupted SearchResult exactly."""
+
+    @staticmethod
+    def _assert_same_result(result, expected):
+        assert result.searcher == expected.searcher
+        assert result.best_candidate.signature() == expected.best_candidate.signature()
+        assert result.best_valid_mrr == expected.best_valid_mrr
+        assert result.evaluations == expected.evaluations
+        assert np.array_equal(result.best_assignment, expected.best_assignment)
+
+    @pytest.mark.parametrize("name", BUILTIN_SEARCHERS)
+    def test_stepwise_loop_matches_one_call_search(self, name, tiny_graph):
+        monolithic = create_searcher(name, _tiny_searcher_options()).search(tiny_graph)
+
+        searcher = create_searcher(name, _tiny_searcher_options())
+        state = searcher.init_state(tiny_graph)
+        assert state.steps_completed == 0 and state.evaluations == 0
+        while not searcher.is_complete(state):
+            searcher.run_step(state)
+        stepwise = searcher.finalize(state)
+        self._assert_same_result(stepwise, monolithic)
+        assert "budget" not in stepwise.extras
+
+    @pytest.mark.parametrize("name", BUILTIN_SEARCHERS)
+    def test_kill_and_resume_is_bit_identical(self, name, tiny_graph, tmp_path):
+        # The stepwise loop doubles as the uninterrupted reference (its equivalence to
+        # one-call search() is proven by test_stepwise_loop_matches_one_call_search).
+        total_steps = 0
+        probe = create_searcher(name, _tiny_searcher_options())
+        probe_state = probe.init_state(tiny_graph)
+        while not probe.is_complete(probe_state):
+            probe.run_step(probe_state)
+            total_steps += 1
+        uninterrupted = probe.finalize(probe_state)
+
+        # Kill at step k (mid-search where the schedule allows), checkpoint to JSON...
+        kill_at = max(1, total_steps // 2)
+        first = create_searcher(name, _tiny_searcher_options())
+        state = first.init_state(tiny_graph)
+        for _ in range(kill_at):
+            first.run_step(state)
+        path = tmp_path / f"{name}.json"
+        save_search_checkpoint(path, first, state)
+
+        # ... and resume with a FRESH searcher over a 2-worker pool (pools apply to
+        # every algorithm but eras_diff, which accepts and ignores one).
+        second = create_searcher(
+            name, _tiny_searcher_options(), pool=EvaluationPool(n_workers=2, cache=EvalCache())
+        )
+        resumed = load_search_checkpoint(path, second, tiny_graph)
+        assert resumed.steps_completed == kill_at
+        result = second.drive(resumed)
+        self._assert_same_result(result, uninterrupted)
+
+    @pytest.mark.parametrize("name", BUILTIN_SEARCHERS)
+    def test_checkpoint_rejects_other_searcher(self, name, tiny_graph, tmp_path):
+        searcher = create_searcher(name, _tiny_searcher_options())
+        state = searcher.init_state(tiny_graph)
+        searcher.run_step(state)
+        path = tmp_path / "checkpoint.json"
+        save_search_checkpoint(path, searcher, state)
+        other_name = "random" if name != "random" else "bayes"
+        other = create_searcher(other_name, _tiny_searcher_options())
+        with pytest.raises(CheckpointError):
+            load_search_checkpoint(path, other, tiny_graph)
+
+
+# ---------------------------------------------------------------------------- budgets
+class TestSearchBudget:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SearchBudget(max_steps=0)
+        with pytest.raises(ValueError):
+            SearchBudget(max_evaluations=0)
+        with pytest.raises(ValueError):
+            SearchBudget(max_seconds=0.0)
+
+    def test_max_steps_stops_after_k_steps(self, tiny_graph):
+        searcher = create_searcher("eras", _tiny_searcher_options())
+        result = searcher.search(tiny_graph, budget=SearchBudget(max_steps=1))
+        budget = result.extras["budget"]
+        assert budget["steps_completed"] == 1
+        assert "step budget" in budget["stopped"]
+        assert len([p for p in result.trace if p.note.startswith("epoch")]) == 1
+
+    def test_max_evaluations_stops_early(self, tiny_graph):
+        searcher = create_searcher("random", _tiny_searcher_options())
+        result = searcher.search(tiny_graph, budget=SearchBudget(max_evaluations=1))
+        assert result.evaluations == 1
+        assert "evaluation budget" in result.extras["budget"]["stopped"]
+
+    def test_max_seconds_still_runs_first_step(self, tiny_graph):
+        searcher = create_searcher("bayes", _tiny_searcher_options())
+        result = searcher.search(tiny_graph, budget=SearchBudget(max_seconds=1e-9))
+        assert "wall-clock budget" in result.extras["budget"]["stopped"]
+        assert result.extras["budget"]["steps_completed"] == 1
+        assert result.evaluations >= 1
+
+
 # ---------------------------------------------------------------------------- runner
 def _tiny_run_config(**overrides) -> RunConfig:
     defaults = dict(
@@ -324,6 +498,31 @@ class TestSearchRunner:
         assert second.best_candidate.signature() == first.best_candidate.signature()
         assert second.best_valid_mrr == first.best_valid_mrr
 
+    def test_checkpoint_path_supported_for_non_eras_searchers(self, tmp_path):
+        """The old runner warned and DROPPED --checkpoint for non-ERAS searchers; now
+        every registered algorithm checkpoints through the same protocol envelope."""
+        checkpoint = tmp_path / "random-search.json"
+        config = _tiny_run_config(
+            searcher="random",
+            num_candidates=3,
+            proxy_epochs=2,
+            train_final=False,
+            checkpoint_path=str(checkpoint),
+        )
+        first = SearchRunner(config).run().search_result
+        assert checkpoint.exists()
+        second = SearchRunner(config).run().search_result
+        assert second.best_candidate.signature() == first.best_candidate.signature()
+        assert second.best_valid_mrr == first.best_valid_mrr
+        assert second.evaluations == first.evaluations
+
+    def test_runner_enforces_budget(self):
+        config = _tiny_run_config(train_final=False, search_epochs=3, budget_steps=1)
+        result = SearchRunner(config).run().search_result
+        assert result.extras["budget"]["steps_completed"] == 1
+        with pytest.raises(ValueError):
+            _tiny_run_config(budget_steps=0)
+
 
 # ---------------------------------------------------------------------------- CLI
 class TestCLI:
@@ -358,6 +557,30 @@ class TestCLI:
         from repro.runtime.cli import subcommand_parsers
 
         assert set(subcommand_parsers()) == {"search", "train", "serve", "bench"}
+
+    def test_list_searchers_prints_registry(self, capsys):
+        from repro.runtime.cli import main
+
+        assert main(["search", "--list-searchers"]) == 0
+        printed = capsys.readouterr().out.split()
+        assert set(printed) == set(BUILTIN_SEARCHERS)
+
+    def test_search_parser_accepts_registry_names_and_budgets(self):
+        from repro.runtime.cli import build_parser
+
+        args = build_parser().parse_args(
+            [
+                "search",
+                "--searcher", "eras_diff",
+                "--budget-steps", "2",
+                "--budget-evals", "5",
+                "--budget-seconds", "1.5",
+                "--proxy-epochs", "2",
+            ]
+        )
+        assert args.searcher == "eras_diff"
+        assert (args.budget_steps, args.budget_evals, args.budget_seconds) == (2, 5, 1.5)
+        assert args.proxy_epochs == 2
 
     def test_search_publish_requires_registry(self, capsys):
         from repro.runtime.cli import main

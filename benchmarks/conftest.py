@@ -12,8 +12,6 @@ Every benchmark prints its table/figure with ``-s``; run e.g.::
 
 from __future__ import annotations
 
-import dataclasses
-
 import pytest
 
 from repro.bench import bench_graph, quick_eras_config

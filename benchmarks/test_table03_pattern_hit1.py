@@ -6,7 +6,6 @@ relation-pattern level.  The bench trains each hand-designed scoring function on
 wn18rr-like and fb15k237-like benchmarks and reports pattern-level Hit@1.
 """
 
-import pytest
 
 from repro.bench import TableReport, train_structure
 from repro.eval import PatternLevelEvaluator

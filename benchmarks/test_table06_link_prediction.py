@@ -6,7 +6,6 @@ as its task-aware variant.  Absolute values differ from the paper because the da
 scaled-down synthetic stand-ins (see DESIGN.md).
 """
 
-import pytest
 
 from repro.bench import TableReport, retrain_searched, train_structure
 from repro.eval import RankingEvaluator

@@ -1,0 +1,184 @@
+#!/usr/bin/env python
+"""Compare fresh ``BENCH_*.json`` timings against the committed baselines.
+
+The repository root holds one committed ``BENCH_<workload>.json`` per workload -- the
+regression baselines.  Benchmark runs (pytest ``benchmarks/`` or ``python -m repro
+bench``) write fresh files into an output directory (default ``./bench-out/``).  This
+script pairs the two and applies a noise-tolerant gate to every wall-clock field:
+
+- a fresh timing more than ``--fail-ratio`` (default 2.5x) slower than its baseline
+  **fails** the run;
+- slower than ``--warn-ratio`` (default 1.5x) but under the fail ratio only warns;
+- sub-``--min-seconds`` fresh timings are skipped entirely (at that granularity CI
+  jitter dwarfs any real regression), and tiny baselines are clamped before the
+  ratio so a 2 ms -> 6 ms wobble can never fail the build.
+
+Throughput fields (``*_per_second``), counters and flags are ignored -- this gate is
+about wall clock only; correctness flags have their own pytest gates.  Hosts differ
+(the committed baselines record their host block), so treat FAIL as "investigate",
+not proof of a regression on your machine.
+
+Usage (what the CI ``benchmarks`` job runs after the harness)::
+
+    python scripts/check_bench_regression.py --fresh bench-out --baseline . \
+        --workloads ranking search
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, Iterator, List, Tuple
+
+
+def load_bench(path: Path) -> Dict[str, object]:
+    """Parse one ``BENCH_*.json`` file (the ``write_bench_json`` layout)."""
+    with path.open("r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def timing_entries(workload: str, results: object) -> Iterator[Tuple[str, float]]:
+    """Yield ``(label, seconds)`` for every wall-clock field of a results payload.
+
+    A dict payload yields its ``*_seconds`` fields directly; a list payload (one row
+    per searcher, as ``BENCH_search.json`` uses) yields each row's fields labelled by
+    the row's ``searcher`` (or its index).
+    """
+    if isinstance(results, dict):
+        for key, value in sorted(results.items()):
+            if key.endswith("_seconds") and isinstance(value, (int, float)):
+                yield f"{workload}.{key}", float(value)
+    elif isinstance(results, list):
+        for index, row in enumerate(results):
+            if not isinstance(row, dict):
+                continue
+            label = row.get("searcher", row.get("dataset", index))
+            for key, value in sorted(row.items()):
+                if key.endswith("_seconds") and isinstance(value, (int, float)):
+                    yield f"{workload}[{label}].{key}", float(value)
+
+
+def compare_workload(
+    workload: str,
+    fresh_dir: Path,
+    baseline_dir: Path,
+    fail_ratio: float,
+    warn_ratio: float,
+    min_seconds: float,
+) -> Tuple[List[str], List[str], List[str]]:
+    """Compare one workload; returns (report lines, warnings, failures)."""
+    lines: List[str] = []
+    warnings: List[str] = []
+    failures: List[str] = []
+    fresh_path = fresh_dir / f"BENCH_{workload}.json"
+    baseline_path = baseline_dir / f"BENCH_{workload}.json"
+    if not baseline_path.is_file():
+        warnings.append(f"{workload}: no committed baseline at {baseline_path}; skipping")
+        return lines, warnings, failures
+    if not fresh_path.is_file():
+        failures.append(
+            f"{workload}: expected a fresh result at {fresh_path} -- did the benchmark "
+            "harness run (and write into the same --fresh directory)?"
+        )
+        return lines, warnings, failures
+
+    fresh = load_bench(fresh_path)
+    baseline = load_bench(baseline_path)
+    fresh_host = fresh.get("host", {})
+    baseline_host = baseline.get("host", {})
+    if fresh_host.get("cpu_count") != baseline_host.get("cpu_count"):
+        lines.append(
+            f"  note: host differs from baseline (cpu_count {fresh_host.get('cpu_count')} "
+            f"vs {baseline_host.get('cpu_count')}); ratios compare across hosts"
+        )
+
+    baseline_times = dict(timing_entries(workload, baseline.get("results")))
+    for label, fresh_seconds in timing_entries(workload, fresh.get("results")):
+        base_seconds = baseline_times.get(label)
+        if base_seconds is None:
+            lines.append(f"  NEW   {label}: {fresh_seconds:.4f}s (no baseline field)")
+            continue
+        if fresh_seconds < min_seconds:
+            lines.append(f"  skip  {label}: {fresh_seconds:.4f}s (below the {min_seconds}s noise floor)")
+            continue
+        # Clamp tiny baselines so millisecond wobble cannot produce silly ratios.
+        ratio = fresh_seconds / max(base_seconds, min_seconds / 2.0)
+        verdict = "ok   "
+        if ratio > fail_ratio:
+            verdict = "FAIL "
+            failures.append(
+                f"{label}: {fresh_seconds:.4f}s is {ratio:.2f}x the baseline "
+                f"{base_seconds:.4f}s (fail threshold {fail_ratio}x)"
+            )
+        elif ratio > warn_ratio:
+            verdict = "warn "
+            warnings.append(
+                f"{label}: {fresh_seconds:.4f}s is {ratio:.2f}x the baseline "
+                f"{base_seconds:.4f}s (warn threshold {warn_ratio}x)"
+            )
+        lines.append(
+            f"  {verdict} {label}: fresh {fresh_seconds:.4f}s vs baseline "
+            f"{base_seconds:.4f}s ({ratio:.2f}x)"
+        )
+    return lines, warnings, failures
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fresh", type=Path, default=Path("bench-out"),
+        help="directory holding the freshly produced BENCH_*.json files (default: bench-out)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=Path("."),
+        help="directory holding the committed baseline BENCH_*.json files (default: .)",
+    )
+    parser.add_argument(
+        "--workloads", nargs="+", default=["ranking", "search"], metavar="NAME",
+        help="workload names to compare, i.e. the <name> of BENCH_<name>.json "
+        "(default: ranking search)",
+    )
+    parser.add_argument(
+        "--fail-ratio", type=float, default=2.5,
+        help="fresh/baseline ratio above which the check fails (default: 2.5)",
+    )
+    parser.add_argument(
+        "--warn-ratio", type=float, default=1.5,
+        help="fresh/baseline ratio above which the check warns (default: 1.5)",
+    )
+    parser.add_argument(
+        "--min-seconds", type=float, default=0.05,
+        help="skip fresh timings below this many seconds -- CI jitter territory "
+        "(default: 0.05)",
+    )
+    args = parser.parse_args(argv)
+
+    all_warnings: List[str] = []
+    all_failures: List[str] = []
+    for workload in args.workloads:
+        print(f"{workload}:")
+        lines, warnings, failures = compare_workload(
+            workload, args.fresh, args.baseline, args.fail_ratio, args.warn_ratio, args.min_seconds
+        )
+        for line in lines:
+            print(line)
+        all_warnings.extend(warnings)
+        all_failures.extend(failures)
+
+    if all_warnings:
+        print(f"\n{len(all_warnings)} warning(s):")
+        for warning in all_warnings:
+            print(f"  warn: {warning}")
+    if all_failures:
+        print(f"\n{len(all_failures)} regression(s) above the fail threshold:")
+        for failure in all_failures:
+            print(f"  FAIL: {failure}")
+        return 1
+    print("\nbench regression gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

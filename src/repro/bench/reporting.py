@@ -102,13 +102,17 @@ def write_bench_json(name: str, results: Union[Dict[str, object], List[Dict[str,
                      directory: Optional[Union[str, Path]] = None) -> Path:
     """Persist one benchmark's result rows as ``BENCH_<name>.json``.
 
-    This is the repo's perf trajectory: each benchmark run emits its timing rows next
-    to the working directory (or into ``$BENCH_OUTPUT_DIR``), CI uploads the files as
-    build artifacts, and successive runs can be compared commit over commit.  The file
-    holds the result payload plus minimal host context (CPU count, platform, Python)
-    so numbers from different machines are never compared blindly.
+    This is the repo's perf trajectory: each benchmark run emits its timing rows into
+    an output directory (``directory`` argument, else ``$BENCH_OUTPUT_DIR``, else
+    ``./bench-out/``), CI uploads the files as build artifacts, and successive runs
+    can be compared commit over commit.  Fresh results deliberately do **not** land
+    in the repository root: the committed root-level ``BENCH_*.json`` files are the
+    host-pinned regression baselines that ``scripts/check_bench_regression.py``
+    compares fresh runs against, so they must never be overwritten by a run.  The
+    file holds the result payload plus minimal host context (CPU count, platform,
+    Python) so numbers from different machines are never compared blindly.
     """
-    directory = Path(directory or os.environ.get("BENCH_OUTPUT_DIR", "."))
+    directory = Path(directory or os.environ.get("BENCH_OUTPUT_DIR", "bench-out"))
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / f"BENCH_{name}.json"
     record = {

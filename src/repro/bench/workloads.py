@@ -7,7 +7,7 @@ Benchmarks can pass ``scale`` / budget overrides to trade fidelity for speed.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 

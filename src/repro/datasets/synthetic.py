@@ -14,7 +14,7 @@ are the highest-scoring (head, tail) pairs under this latent model.  The resulti
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np

@@ -13,9 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, List, Optional, Tuple
-
-import numpy as np
+from typing import Dict, List, Optional
 
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.triples import TripleSet

@@ -140,7 +140,6 @@ class KGEModel(Module):
         head, relation, tail = self.embed_triples(triples)
         if self.num_groups == 1:
             return self.scorers[0].score(head, relation, tail)
-        scores = np.zeros(len(triples), dtype=np.float64)
         pieces: List[tuple[np.ndarray, Tensor]] = []
         for group, rows in enumerate(self._group_slices(triples[:, 1])):
             if rows.size == 0:

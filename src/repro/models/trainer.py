@@ -19,7 +19,7 @@ from repro.kg.sampling import BatchIterator
 from repro.models.kge import KGEModel
 from repro.models.regularizers import n3_regularization
 from repro.nn.optim import Adagrad, Adam, Optimizer, SGD
-from repro.utils.rng import SeedLike, new_rng
+from repro.utils.rng import new_rng
 
 
 @dataclass

@@ -11,6 +11,10 @@ This package is the chassis around the reproduction's library code:
 - :mod:`repro.runtime.runner` -- :class:`RunConfig` / :class:`SearchRunner`, the
   facade owning dataset loading, the budgeted stepwise search driver, final
   re-training, evaluation and publishing into the serving registry.
+- :mod:`repro.runtime.orchestrator` -- :class:`SweepConfig` / :class:`SweepOrchestrator`,
+  the sharded multi-run layer: a (searcher x seed x dataset x budget) grid executed on
+  a fault-tolerant work-stealing worker pool with per-shard checkpoint/resume and an
+  aggregated fair-comparison report.
 - :mod:`repro.runtime.profiling` -- timing workloads shared by the benchmark harness
   and ``python -m repro bench``.
 - :mod:`repro.runtime.cli` -- the argparse layer behind ``python -m repro``.
@@ -33,6 +37,14 @@ from repro.runtime.checkpoint import (
     save_search_result,
 )
 from repro.runtime.runner import RunConfig, RunReport, SearchRunner
+from repro.runtime.orchestrator import (
+    ShardSpec,
+    SweepConfig,
+    SweepError,
+    SweepOrchestrator,
+    SweepReport,
+    strip_timing,
+)
 
 __all__ = [
     "EvalCache",
@@ -47,4 +59,10 @@ __all__ = [
     "RunConfig",
     "RunReport",
     "SearchRunner",
+    "ShardSpec",
+    "SweepConfig",
+    "SweepError",
+    "SweepOrchestrator",
+    "SweepReport",
+    "strip_timing",
 ]

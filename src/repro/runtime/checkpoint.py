@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import os
 from pathlib import Path
 from typing import Dict
 
@@ -82,7 +83,9 @@ def save_search_checkpoint(path: PathLike, searcher: Searcher, state: SearchStat
         "state": searcher.state_dict(state),
     }
     path = Path(path)
-    scratch = path.with_name(path.name + ".tmp")
+    # PID-suffixed scratch so concurrent writers (e.g. a duplicated sweep shard) can
+    # never promote each other's half-written file; the rename itself is atomic.
+    scratch = path.with_name(f"{path.name}.{os.getpid()}.tmp")
     save_json(payload, scratch)
     scratch.replace(path)
     return path

@@ -1,17 +1,22 @@
 """The argparse layer behind ``python -m repro``.
 
-Four subcommands drive the :class:`~repro.runtime.runner.SearchRunner` facade and the
-serving subsystem:
+Five subcommands drive the :class:`~repro.runtime.runner.SearchRunner` facade, the
+sweep orchestrator and the serving subsystem:
 
 - ``search`` -- run any registered scoring-function search (``--list-searchers``),
   optionally under a budget (``--budget-steps/evals/seconds``), with step-level
   checkpoint/resume, and re-train / evaluate / publish the winner.
+- ``sweep``  -- run a sharded (searcher x seed x dataset) grid on a fault-tolerant
+  worker pool (:mod:`repro.runtime.orchestrator`), resumable with ``--resume``, and
+  aggregate a per-searcher fair-comparison report.
 - ``train``  -- train a classic structure or a saved search result from scratch and
   evaluate it.
 - ``serve``  -- answer link-prediction queries against a model stored in the artifact
   registry.
 - ``bench``  -- run the runtime timing workloads (derive-phase scaling, serving
-  latency, filtered-ranking throughput, per-searcher step latency).
+  latency, filtered-ranking throughput, per-searcher step latency, sweep
+  orchestration), writing ``BENCH_*.json`` files into ``--out`` (default
+  ``./bench-out/``) so the committed baselines in the repository root stay intact.
 
 Every invocation documented in ``docs/CLI.md`` is checked against these parsers by
 ``tests/test_docs.py``, so the documentation cannot drift from the implementation.
@@ -45,6 +50,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", metavar="command")
     _add_search_parser(subparsers)
+    _add_sweep_parser(subparsers)
     _add_train_parser(subparsers)
     _add_serve_parser(subparsers)
     _add_bench_parser(subparsers)
@@ -148,6 +154,106 @@ def _add_search_parser(subparsers) -> None:
     parser.set_defaults(handler=cmd_search)
 
 
+def _add_sweep_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "sweep",
+        help="run a sharded (searcher x seed x dataset) grid and aggregate a fair comparison",
+        description="Expand a grid of (searcher, seed, dataset) combinations into shards, "
+        "run them on a bounded fault-tolerant worker pool (crashed shards are requeued and "
+        "resume from their checkpoints), and aggregate per-searcher mean/std metrics into "
+        "report.json / report.md inside the sweep directory.",
+    )
+    parser.add_argument(
+        "--sweep-dir", metavar="PATH", default=None,
+        help="directory receiving the manifest, shard checkpoints/results and the report "
+        "(required unless --resume)",
+    )
+    parser.add_argument(
+        "--resume", metavar="PATH", default=None,
+        help="resume the sweep in this directory: finished shards are skipped, partial "
+        "shards continue from their checkpoints (the grid comes from the manifest, so "
+        "no grid flags are needed)",
+    )
+    parser.add_argument(
+        "--searchers", nargs="+", choices=available_searchers(), default=["eras"],
+        metavar="NAME",
+        help="grid axis: searcher names from the plugin registry (default: eras)",
+    )
+    parser.add_argument(
+        "--seeds", nargs="+", type=int, default=[0], metavar="SEED",
+        help="grid axis: one shard per search seed (default: 0)",
+    )
+    parser.add_argument(
+        "--datasets", nargs="+", choices=BENCHMARK_NAMES, default=["wn18rr_like"],
+        metavar="NAME",
+        help="grid axis: synthetic benchmarks to sweep over (default: wn18rr_like)",
+    )
+    parser.add_argument("--scale", type=float, default=1.0, help="dataset scale factor (default: 1.0)")
+    parser.add_argument("--data-seed", type=int, default=0, help="dataset generator seed (default: 0)")
+    parser.add_argument(
+        "--max-workers", type=int, default=2,
+        help="shard worker processes; 1 = serial in-process, 0 = all cores (default: 2)",
+    )
+    parser.add_argument(
+        "--max-shard-retries", type=int, default=1,
+        help="retry a crashed or failed shard this many times (resuming from its "
+        "checkpoint) before reporting it failed (default: 1)",
+    )
+    parser.add_argument("--groups", type=int, default=3, help="N, relation groups for ERAS (default: 3)")
+    parser.add_argument("--blocks", type=int, default=4, help="M, structure block count (default: 4)")
+    parser.add_argument("--epochs", type=int, default=15, help="ERAS search epochs per shard (default: 15)")
+    parser.add_argument(
+        "--candidates", type=int, default=8,
+        help="candidate budget of the random/bayes shards (default: 8)",
+    )
+    parser.add_argument(
+        "--derive-samples", type=int, default=16,
+        help="K, candidates sampled in the ERAS derive phase (default: 16)",
+    )
+    parser.add_argument("--dim", type=int, default=48, help="embedding dimension (default: 48)")
+    parser.add_argument(
+        "--proxy-epochs", type=int, default=None,
+        help="per-candidate training epochs of the autosf/random/bayes proxy "
+        "(default: each algorithm's benchmark budget)",
+    )
+    parser.add_argument(
+        "--budget-steps", type=int, default=None,
+        help="uniform per-shard step budget (default: unlimited)",
+    )
+    parser.add_argument(
+        "--budget-evals", type=int, default=None,
+        help="uniform per-shard candidate-evaluation budget (default: unlimited)",
+    )
+    parser.add_argument(
+        "--budget-seconds", type=float, default=None,
+        help="uniform per-shard wall-clock budget; makes shard outcomes host-dependent "
+        "(default: unlimited)",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=1,
+        help="write each shard's checkpoint every this many steps (default: 1)",
+    )
+    parser.add_argument(
+        "--no-train", action="store_true",
+        help="search-only shards: skip the final re-training/evaluation and aggregate "
+        "the searchers' validation-proxy MRR",
+    )
+    parser.add_argument("--train-epochs", type=int, default=30, help="final training epochs (default: 30)")
+    parser.add_argument(
+        "--no-rerank", action="store_true",
+        help="skip re-ranking each shard's top candidates before the final training",
+    )
+    parser.add_argument(
+        "--eval-split", choices=("valid", "test"), default="test",
+        help="split of the final evaluation (default: test)",
+    )
+    parser.add_argument(
+        "--registry", metavar="PATH", default=None,
+        help="publish every trained shard winner into this model artifact registry",
+    )
+    parser.set_defaults(handler=cmd_sweep)
+
+
 def _add_train_parser(subparsers) -> None:
     parser = subparsers.add_parser(
         "train",
@@ -213,10 +319,11 @@ def _add_bench_parser(subparsers) -> None:
         "cached derive-phase scoring, 'serving' measures the prediction service's "
         "latency and throughput, 'ranking' times vectorized filtered ranking against "
         "the retained naive reference, 'search' times one budgeted step of every "
-        "registered searcher and writes BENCH_search.json.",
+        "registered searcher and writes BENCH_search.json, 'sweep' times serial vs "
+        "pooled execution of a sweep grid and writes BENCH_sweep.json.",
     )
     parser.add_argument(
-        "--workload", choices=("derive", "serving", "ranking", "search"), default="derive",
+        "--workload", choices=("derive", "serving", "ranking", "search", "sweep"), default="derive",
         help="which workload to run (default: derive)",
     )
     _add_dataset_arguments(parser, default="fb15k_like")
@@ -227,6 +334,12 @@ def _add_bench_parser(subparsers) -> None:
     parser.add_argument("--top-k", type=int, default=10, help="completions per serving query (default: 10)")
     parser.add_argument("--seed", type=int, default=0, help="workload seed (default: 0)")
     parser.add_argument("--output", metavar="PATH", default=None, help="write the result row as JSON")
+    parser.add_argument(
+        "--out", metavar="DIR", default=None,
+        help="directory receiving the BENCH_*.json perf-trajectory files "
+        "(default: $BENCH_OUTPUT_DIR or ./bench-out/; the committed repository-root "
+        "copies are the regression baselines and are never overwritten)",
+    )
     parser.set_defaults(handler=cmd_bench)
 
 
@@ -295,6 +408,91 @@ def cmd_search(args: argparse.Namespace) -> int:
         save_search_result(result, args.output)
         print(f"search result written to {args.output}")
     print(json.dumps(report.summary(), indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """``python -m repro sweep``: sharded grid execution + aggregated comparison."""
+    from repro.runtime.orchestrator import SweepConfig, SweepError, SweepOrchestrator
+    from repro.search.base import SearchBudget
+
+    try:
+        if args.resume:
+            if args.sweep_dir:
+                print("pass either --sweep-dir (fresh sweep) or --resume, not both", file=sys.stderr)
+                return 2
+            # A resumed sweep runs under the manifest's configuration, full stop --
+            # silently ignoring grid/shard flags would let a user believe they
+            # extended the grid.  Reject anything that differs from its default.
+            overridden = [
+                option
+                for option, action in subcommand_parsers()["sweep"]._option_string_actions.items()
+                if option.startswith("--")
+                and action.dest not in ("resume", "sweep_dir", "help")
+                and getattr(args, action.dest) != action.default
+            ]
+            if overridden:
+                print(
+                    f"--resume runs the sweep exactly as its manifest describes; drop "
+                    f"{', '.join(sorted(set(overridden)))} (to change the grid, start a "
+                    "fresh sweep directory)",
+                    file=sys.stderr,
+                )
+                return 2
+            orchestrator = SweepOrchestrator.from_directory(args.resume)
+            report = orchestrator.run(resume=True)
+        else:
+            if not args.sweep_dir:
+                print("a fresh sweep needs --sweep-dir (or --resume an existing one)", file=sys.stderr)
+                return 2
+            budget = None
+            if (
+                args.budget_steps is not None
+                or args.budget_evals is not None
+                or args.budget_seconds is not None
+            ):
+                budget = SearchBudget(
+                    max_steps=args.budget_steps,
+                    max_evaluations=args.budget_evals,
+                    max_seconds=args.budget_seconds,
+                )
+            config = SweepConfig(
+                searchers=tuple(args.searchers),
+                seeds=tuple(args.seeds),
+                datasets=tuple(args.datasets),
+                budgets=(budget,),
+                scale=args.scale,
+                data_seed=args.data_seed,
+                num_groups=args.groups,
+                num_blocks=args.blocks,
+                search_epochs=args.epochs,
+                num_candidates=args.candidates,
+                derive_samples=args.derive_samples,
+                dim=args.dim,
+                proxy_epochs=args.proxy_epochs,
+                train_final=not args.no_train,
+                train_epochs=args.train_epochs,
+                rerank=not args.no_rerank,
+                eval_split=args.eval_split,
+                registry_root=args.registry,
+                max_workers=args.max_workers,
+                checkpoint_every=args.checkpoint_every,
+                max_shard_retries=args.max_shard_retries,
+            )
+            report = SweepOrchestrator(config, args.sweep_dir).run()
+    except SweepError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+
+    print(report.markdown_path.read_text(encoding="utf-8"))
+    print(f"aggregated report written to {report.path} (markdown: {report.markdown_path})")
+    if not report.ok:
+        print(
+            f"{len(report.failed)} shard(s) failed: {', '.join(report.failed)}; "
+            f"re-run with --resume {report.path.parent} to retry them",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -446,11 +644,16 @@ def _parse_query(text: str, engine, k: int):
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    """``python -m repro bench``: derive-phase or serving timing workloads."""
+    """``python -m repro bench``: runtime timing workloads (derive/serving/ranking/search/sweep)."""
     from repro.bench.reporting import TableReport, write_bench_json
     from repro.bench.workloads import train_structure
     from repro.datasets import load_benchmark
-    from repro.runtime.profiling import time_derive_phase, time_filtered_ranking, time_search_steps
+    from repro.runtime.profiling import (
+        time_derive_phase,
+        time_filtered_ranking,
+        time_search_steps,
+        time_sweep,
+    )
     from repro.scoring.classics import named_structure
     from repro.serve.engine import LinkPredictionEngine, LinkQuery
     from repro.serve.service import PredictionService
@@ -476,6 +679,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print(report.render())
         if not row["ranks_match"]:
             print("vectorized ranks diverge from the naive reference", file=sys.stderr)
+            write_bench_json(args.workload, row, directory=args.out)
             return 1
     elif args.workload == "search":
         rows = time_search_steps(graph, workers=args.workers, dim=min(args.dim, 32), seed=args.seed)
@@ -483,13 +687,29 @@ def cmd_bench(args: argparse.Namespace) -> int:
         for searcher_row in rows:
             report.add_row(**searcher_row)
         print(report.render())
-        path = write_bench_json("search", rows)
+        path = write_bench_json("search", rows, directory=args.out)
         print(f"perf trajectory written to {path}")
         # One row per searcher, so --output writes the list (unlike the single-row workloads).
         if args.output:
             save_json(rows, args.output)
             print(f"result rows written to {args.output}")
         return 0
+    elif args.workload == "sweep":
+        row = time_sweep(
+            dataset=args.dataset,
+            scale=args.scale,
+            workers=args.workers,
+            dim=min(args.dim, 32),
+            data_seed=args.data_seed,
+        )
+        report = TableReport("sweep workload: serial vs pooled shard execution")
+        report.add_row(**row)
+        print(report.render())
+        path = write_bench_json("sweep", row, directory=args.out)
+        print(f"perf trajectory written to {path}")
+        if not row["reports_match"]:
+            print("pooled sweep report diverges from the serial report", file=sys.stderr)
+            return 1
     else:
         model, _ = train_structure(graph, named_structure("distmult"), dim=min(args.dim, 32), epochs=8, seed=args.seed)
         engine = LinkPredictionEngine.from_graph(model, graph)
@@ -501,6 +721,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print(service.stats_table().render())
         print(service.cache_table().render())
         row = service.stats.as_row()
+    # Every workload contributes to the perf trajectory in --out, so regenerating a
+    # baseline is the same one-liner regardless of workload.
+    path = write_bench_json(args.workload, row, directory=args.out)
+    print(f"perf trajectory written to {path}")
     if args.output:
         save_json(row, args.output)
         print(f"result row written to {args.output}")

@@ -21,6 +21,15 @@ evaluation pool, and the row records what one step of it costs.  ``python -m rep
 bench --workload search`` and ``benchmarks/test_search_step_latency.py`` report these
 rows and persist them as ``BENCH_search.json``.
 
+:func:`time_sweep` measures the sharded sweep orchestrator
+(:mod:`repro.runtime.orchestrator`): the same (searcher x seed) grid is run once
+serially in-process and once on a bounded worker pool, and the row reports both wall
+clocks, the summed per-shard wall clock (the "serial sum" a naive loop would pay),
+the orchestrator's own dispatch/aggregation overhead and a ``reports_match`` flag
+asserting the two runs' timing-stripped reports are bit-identical.  ``python -m repro
+bench --workload sweep`` and ``benchmarks/test_sweep_orchestrator.py`` report this
+row and persist it as ``BENCH_sweep.json``.
+
 :func:`time_filtered_ranking` measures the repository's hottest path -- filtered
 ranking evaluation as a search exercises it (one fresh evaluator per candidate, the
 same validation sample re-ranked every time) -- under the retained naive reference
@@ -39,6 +48,7 @@ drift apart.
 from __future__ import annotations
 
 import time
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -184,6 +194,95 @@ def time_search_steps(
             }
         )
     return rows
+
+
+def time_sweep(
+    dataset: str = "wn18rr_like",
+    searchers: Sequence[str] = ("eras", "random"),
+    seeds: Sequence[int] = (0, 1),
+    scale: float = 0.5,
+    workers: int = 2,
+    dim: int = 32,
+    budget_steps: int = 1,
+    proxy_epochs: int = 2,
+    data_seed: int = 0,
+) -> Dict[str, object]:
+    """Serial vs pooled execution of one sweep grid through the orchestrator.
+
+    The identical ``(searcher x seed)`` grid runs twice in throw-away sweep
+    directories: once with ``max_workers=1`` (in-process, the serial reference) and
+    once on a ``workers``-process pool with work-stealing dispatch.  Shards are
+    search-only (``train_final=False``) under a small uniform step budget, so the
+    row measures orchestration, not training.  ``reports_match`` asserts the two
+    timing-stripped reports are bit-identical -- the sweep-level determinism
+    guarantee behind crash recovery and ``--max-workers``.
+    """
+    import shutil
+    import tempfile
+
+    from repro.datasets import load_benchmark
+    from repro.search.base import SearchBudget
+    from repro.runtime.orchestrator import SweepConfig, SweepOrchestrator, strip_timing
+
+    def build_config(max_workers: int) -> SweepConfig:
+        return SweepConfig(
+            searchers=tuple(searchers),
+            seeds=tuple(int(seed) for seed in seeds),
+            datasets=(dataset,),
+            budgets=(SearchBudget(max_steps=budget_steps),),
+            scale=scale,
+            data_seed=data_seed,
+            num_groups=2,
+            search_epochs=budget_steps,
+            num_candidates=4,
+            derive_samples=8,
+            dim=dim,
+            proxy_epochs=proxy_epochs,
+            train_final=False,
+            max_workers=max_workers,
+        )
+
+    def shard_wall_sum(report) -> float:
+        per_searcher = report.payload["timing"]["per_searcher"]
+        return float(sum(entry["total_shard_wall_seconds"] for entry in per_searcher.values()))
+
+    # Warm the dataset memo before either timer: otherwise the serial run (which goes
+    # first) pays the one-time synthetic generation that forked pool workers inherit
+    # for free, and the serial-vs-pool comparison is biased in the pool's favor.
+    load_benchmark(dataset, scale=scale, seed=data_seed)
+
+    scratch = Path(tempfile.mkdtemp(prefix="repro-sweep-bench-"))
+    try:
+        started = time.perf_counter()
+        serial_report = SweepOrchestrator(build_config(max_workers=1), scratch / "serial").run()
+        serial_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        pool_report = SweepOrchestrator(build_config(max_workers=workers), scratch / "pool").run()
+        pool_seconds = time.perf_counter() - started
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+    serial_sum = shard_wall_sum(serial_report)
+    num_shards = len(serial_report.payload["shards"])
+    return {
+        "dataset": dataset,
+        "shards": num_shards,
+        "workers": workers,
+        "budget": f"max_steps={budget_steps}",
+        "serial_wall_seconds": round(serial_seconds, 4),
+        "serial_shard_seconds_sum": round(serial_sum, 4),
+        "pool_wall_seconds": round(pool_seconds, 4),
+        "pool_shard_seconds_sum": round(shard_wall_sum(pool_report), 4),
+        "parallel_speedup": round(serial_seconds / max(pool_seconds, 1e-9), 2),
+        "shards_per_second": round(num_shards / max(pool_seconds, 1e-9), 3),
+        "orchestrator_overhead_seconds": round(max(serial_seconds - serial_sum, 0.0), 4),
+        "reports_match": bool(
+            strip_timing(serial_report.payload) == strip_timing(pool_report.payload)
+            and serial_report.ok
+            and pool_report.ok
+        ),
+    }
 
 
 def _ranking_workload_models(graph: KnowledgeGraph, num_models: int, dim: int, seed: int) -> List[KGEModel]:

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.datasets import load_benchmark
 from repro.eval.ranking import RankingEvaluator, RankingMetrics
@@ -217,14 +217,47 @@ class RunReport:
         return to_jsonable(summary)
 
 
-class SearchRunner:
-    """Owns dataset, pool, searcher, training, evaluation and publishing for one run."""
+# Process-wide evaluator memo keyed by graph identity.  Many runners evaluating on the
+# same (registry-memoised) graph -- e.g. every shard a sweep worker executes on one
+# dataset -- share a single RankingEvaluator, so the per-split flat filter arrays are
+# built once per worker process instead of once per shard.  Holding the graph itself
+# keeps the id() key alive, so a match can never be a recycled object.  The memo is
+# bounded (insertion-order eviction): a sweep worker touches a handful of datasets,
+# and an unbounded cache would pin every graph a long-lived process ever evaluated.
+_EVALUATOR_MEMO: Dict[int, Tuple[KnowledgeGraph, RankingEvaluator]] = {}
+_EVALUATOR_MEMO_SIZE = 4
 
-    def __init__(self, config: RunConfig, pool: Optional[EvaluationPool] = None) -> None:
+
+def shared_evaluator(graph: KnowledgeGraph) -> RankingEvaluator:
+    """The process-wide memoised :class:`~repro.eval.ranking.RankingEvaluator` of ``graph``."""
+    entry = _EVALUATOR_MEMO.get(id(graph))
+    if entry is None or entry[0] is not graph:
+        while len(_EVALUATOR_MEMO) >= _EVALUATOR_MEMO_SIZE:
+            _EVALUATOR_MEMO.pop(next(iter(_EVALUATOR_MEMO)))
+        entry = (graph, RankingEvaluator(graph))
+        _EVALUATOR_MEMO[id(graph)] = entry
+    return entry[1]
+
+
+class SearchRunner:
+    """Owns dataset, pool, searcher, training, evaluation and publishing for one run.
+
+    Every stage is independently callable -- :meth:`search`, :meth:`train`,
+    :meth:`evaluate`, :meth:`publish` -- which is what lets the sweep orchestrator
+    (:mod:`repro.runtime.orchestrator`) drive one runner per shard without repeating
+    the dataset or evaluator setup: pass a pre-loaded ``graph`` to share it across
+    runners, and the evaluator is memoised per graph process-wide.
+    """
+
+    def __init__(
+        self,
+        config: RunConfig,
+        pool: Optional[EvaluationPool] = None,
+        graph: Optional[KnowledgeGraph] = None,
+    ) -> None:
         self.config = config
         self.pool = pool if pool is not None else EvaluationPool(n_workers=config.workers, cache=EvalCache())
-        self._graph: Optional[KnowledgeGraph] = None
-        self._evaluator: Optional[RankingEvaluator] = None
+        self._graph: Optional[KnowledgeGraph] = graph
 
     # ------------------------------------------------------------------ components
     @property
@@ -254,16 +287,27 @@ class SearchRunner:
         return create_searcher(config.searcher, options, pool=self.pool)
 
     # ------------------------------------------------------------------ stages
-    def search(self) -> SearchResult:
-        """Run (or resume) the configured search under the configured budget."""
+    def search(self, on_step: Optional[Callable[[SearchState], None]] = None) -> SearchResult:
+        """Run (or resume) the configured search under the configured budget.
+
+        ``on_step`` is invoked after every completed step (and, on the checkpointed
+        path, after the step's checkpoint write) -- the sweep orchestrator hooks its
+        fault-injection and progress reporting here.
+        """
         searcher = self.build_searcher()
         budget = self.config.search_budget()
         if self.config.checkpoint_path:
-            return self._run_checkpointed(searcher, Path(self.config.checkpoint_path), budget)
-        return searcher.search(self.graph, budget=budget)
+            return self._run_checkpointed(
+                searcher, Path(self.config.checkpoint_path), budget, on_step=on_step
+            )
+        return searcher.drive(searcher.init_state(self.graph), budget=budget, on_step=on_step)
 
     def _run_checkpointed(
-        self, searcher: Searcher, path: Path, budget: Optional[SearchBudget] = None
+        self,
+        searcher: Searcher,
+        path: Path,
+        budget: Optional[SearchBudget] = None,
+        on_step: Optional[Callable[[SearchState], None]] = None,
     ) -> SearchResult:
         """Drive the stepwise loop, persisting the state every ``checkpoint_every`` steps.
 
@@ -284,6 +328,8 @@ class SearchRunner:
                 or searcher.is_complete(current)
             ):
                 save_search_checkpoint(path, searcher, current)
+            if on_step is not None:
+                on_step(current)
 
         return searcher.drive(state, budget=budget, on_step=checkpoint_step)
 
@@ -308,13 +354,12 @@ class SearchRunner:
     def evaluate(self, model: KGEModel) -> RankingMetrics:
         """Filtered ranking metrics of ``model`` on the configured split.
 
-        The evaluator is memoised (it shares the graph's cached filter index and its
-        own per-split flat filter arrays), so evaluating many models per run pays the
-        filter setup once.
+        The evaluator is memoised per graph process-wide (:func:`shared_evaluator`):
+        it shares the graph's cached filter index and its own per-split flat filter
+        arrays, so evaluating many models -- or many runners on the same graph, as a
+        sweep worker does -- pays the filter setup once.
         """
-        if self._evaluator is None:
-            self._evaluator = RankingEvaluator(self.graph)
-        return self._evaluator.evaluate(model, split=self.config.eval_split)
+        return shared_evaluator(self.graph).evaluate(model, split=self.config.eval_split)
 
     def publish(
         self,

@@ -154,7 +154,6 @@ class BayesSearcher(Searcher):
     def run_step(self, state: BayesSearchState) -> None:
         """Step 0 trains the warm-up batch in parallel; every later step makes one
         TPE suggestion (falling back to uniform sampling under two observations)."""
-        config = self.config
         started = time.perf_counter()
         if state.steps_completed == 0:
             # Warm-up: the initial uniformly random candidates are mutually independent,

@@ -87,7 +87,6 @@ class EMRelationClustering:
         return embeddings[chosen].copy()
 
     def _centroids(self, embeddings: np.ndarray, assignment: np.ndarray) -> np.ndarray:
-        groups = max(self.num_groups, int(assignment.max(initial=0)) + 1)
         centroids = np.zeros((self.num_groups, embeddings.shape[1]))
         for group in range(self.num_groups):
             members = embeddings[assignment == group]
@@ -95,7 +94,6 @@ class EMRelationClustering:
                 centroids[group] = members.mean(axis=0)
             else:
                 centroids[group] = embeddings[self._rng.integers(0, embeddings.shape[0])]
-        del groups
         return centroids
 
     def _fix_empty_groups(self, embeddings: np.ndarray, assignment: np.ndarray) -> np.ndarray:

@@ -9,7 +9,7 @@ average baseline updates the controller towards candidates with a high one-shot 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -17,7 +17,7 @@ from repro.autodiff import Tensor, functional as F
 from repro.nn import Adam, Embedding, Linear, LSTMCell, Module
 from repro.search.result import Candidate
 from repro.search.space import RelationAwareSearchSpace
-from repro.utils.rng import SeedLike, new_rng, spawn_rng
+from repro.utils.rng import new_rng, spawn_rng
 
 
 @dataclass

@@ -10,7 +10,7 @@ operation set ``O`` of size ``2M + 1``; the space size is ``(2M+1)^(N*M^2)`` ver
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Sequence
 
 import numpy as np
 

@@ -43,7 +43,7 @@ from repro.search.clustering import EMRelationClustering
 from repro.search.eras import ERASConfig, ERASSearcher
 from repro.search.result import Candidate, SearchResult, TracePoint
 from repro.search.space import RelationAwareSearchSpace
-from repro.search.supernet import SharedEmbeddingSupernet, SupernetConfig
+from repro.search.supernet import SharedEmbeddingSupernet
 from repro.utils.rng import new_rng
 
 __all__ = [
@@ -246,7 +246,6 @@ class ERASDifferentiableSearcher(Searcher):
         """Cross-entropy of the mixture-weighted scores on one batch."""
         model = supernet.model
         probabilities = architecture.probabilities()
-        space = RelationAwareSearchSpace(architecture.num_blocks, architecture.num_groups)
         # Build, per group, the expected structure as a dense weighting of signed ops and
         # evaluate it directly: expected score = sum_v sum_k p_vk * sign_k <h_i, r_b(k), t_j>.
         head, relation, tail = model.embed_triples(batch)
@@ -284,7 +283,6 @@ class ERASDifferentiableSearcher(Searcher):
             total_loss = loss if total_loss is None else total_loss + loss
         if total_loss is None:
             raise RuntimeError("empty batch in mixture loss")
-        del space
         return total_loss
 
     # -------------------------------------------------------------- protocol

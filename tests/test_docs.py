@@ -17,10 +17,9 @@ from __future__ import annotations
 import dataclasses
 import importlib
 import pkgutil
-import re
 import shlex
 from pathlib import Path
-from typing import Dict, Iterator, List, Tuple
+from typing import Iterator, List, Tuple
 
 import pytest
 
@@ -45,6 +44,7 @@ def test_every_module_has_a_docstring(module_name):
 
 def _audited_dataclasses():
     from repro.models.trainer import TrainerConfig
+    from repro.runtime.orchestrator import ShardSpec, SweepConfig, SweepReport
     from repro.runtime.runner import RunConfig, RunReport
     from repro.search.autosf import AutoSFConfig, AutoSFSearchState
     from repro.search.base import SearchBudget
@@ -77,6 +77,9 @@ def _audited_dataclasses():
         SearchResult,
         RunConfig,
         RunReport,
+        SweepConfig,
+        ShardSpec,
+        SweepReport,
     ]
 
 
@@ -135,7 +138,7 @@ def _documented_invocations() -> List[Tuple[str, str, List[str]]]:
 
 def test_docs_reference_at_least_one_invocation_per_subcommand():
     commands = {tokens[0] for _, _, tokens in _documented_invocations() if tokens and not tokens[0].startswith("-")}
-    assert {"search", "train", "serve", "bench"} <= commands, (
+    assert {"search", "sweep", "train", "serve", "bench"} <= commands, (
         f"docs must show every subcommand at least once, found only {sorted(commands)}"
     )
 
@@ -168,5 +171,5 @@ def test_cli_help_mentions_every_subcommand():
     from repro.runtime.cli import build_parser
 
     help_text = build_parser().format_help()
-    for command in ("search", "train", "serve", "bench"):
+    for command in ("search", "sweep", "train", "serve", "bench"):
         assert command in help_text

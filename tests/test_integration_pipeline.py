@@ -4,8 +4,6 @@ This mirrors the quickstart example and exercises every layer of the library tog
 the tiny fixture graph.
 """
 
-import dataclasses
-
 import numpy as np
 
 from repro.bench import TableReport

@@ -6,7 +6,6 @@ import pytest
 from repro.kg import (
     BatchIterator,
     FilterIndex,
-    KnowledgeGraph,
     NegativeSampler,
     TripleSet,
     load_tsv_dataset,

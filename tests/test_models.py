@@ -5,7 +5,7 @@ import pytest
 
 from repro.autodiff import Tensor
 from repro.models import KGEModel, Trainer, TrainerConfig, l2_regularization, n3_regularization
-from repro.scoring import BlockStructure, TransEScorer, named_structure
+from repro.scoring import TransEScorer, named_structure
 
 
 class TestKGEModel:

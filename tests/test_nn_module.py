@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.autodiff import Tensor
-from repro.nn import Embedding, Linear, Module, Parameter
+from repro.nn import Linear, Module, Parameter
 
 
 class TwoLayer(Module):

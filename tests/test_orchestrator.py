@@ -1,0 +1,364 @@
+"""Tests of the sweep orchestrator: grid expansion (dedup, empty-grid errors, config
+round-trips), serial vs pooled determinism, worker-crash requeue, kill + resume
+bit-identity, and the ``python -m repro sweep`` CLI wiring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import (
+    ShardSpec,
+    SweepConfig,
+    SweepError,
+    SweepOrchestrator,
+    strip_timing,
+)
+from repro.runtime.orchestrator import (
+    KILL_ENV_VAR,
+    sweep_config_from_jsonable,
+    sweep_config_to_jsonable,
+)
+from repro.search.base import SearchBudget
+from repro.utils.serialization import load_json
+
+
+def _sweep_config(**overrides) -> SweepConfig:
+    """A grid small enough to sweep inside a unit test (search-only shards)."""
+    defaults = dict(
+        searchers=("eras", "random"),
+        seeds=(0, 1),
+        datasets=("wn18rr_like",),
+        budgets=(SearchBudget(max_steps=1),),
+        scale=0.4,
+        num_groups=2,
+        search_epochs=1,
+        num_candidates=3,
+        derive_samples=4,
+        dim=16,
+        proxy_epochs=2,
+        train_final=False,
+        max_workers=1,
+    )
+    defaults.update(overrides)
+    return SweepConfig(**defaults)
+
+
+# ---------------------------------------------------------------------------- config/grid
+class TestSweepConfig:
+    def test_empty_grid_rejected(self):
+        for axis in ("searchers", "seeds", "datasets", "budgets"):
+            with pytest.raises(SweepError, match="empty sweep grid"):
+                _sweep_config(**{axis: ()})
+
+    def test_unknown_searcher_rejected_listing_available(self):
+        with pytest.raises(SweepError, match="eras"):
+            _sweep_config(searchers=("gradient-descent",))
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SweepError, match="wn18rr_like"):
+            _sweep_config(datasets=("freebase",))
+
+    def test_invalid_shard_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            _sweep_config(dim=0)
+        with pytest.raises(SweepError):
+            _sweep_config(max_workers=-1)
+        with pytest.raises(SweepError):
+            _sweep_config(max_shard_retries=-1)
+
+    def test_duplicate_shards_deduplicated(self):
+        config = _sweep_config(searchers=("eras", "eras", "random"), seeds=(0, 0, 1))
+        shards = config.expand_shards()
+        assert len(shards) == 4  # {eras, random} x {0, 1}
+        assert len({shard.shard_id for shard in shards}) == len(shards)
+
+    def test_expansion_order_is_deterministic(self):
+        first = [s.shard_id for s in _sweep_config().expand_shards()]
+        second = [s.shard_id for s in _sweep_config().expand_shards()]
+        assert first == second
+        assert first[0] == "eras-wn18rr_like-seed0-b0"
+
+    def test_config_json_round_trip(self):
+        config = _sweep_config(budgets=(None, SearchBudget(max_evaluations=5)))
+        rebuilt = sweep_config_from_jsonable(sweep_config_to_jsonable(config))
+        assert rebuilt == config
+
+    def test_shard_spec_round_trip(self):
+        spec = ShardSpec(
+            searcher="eras", seed=3, dataset="fb15k_like", budget_index=1,
+            budget=SearchBudget(max_steps=2),
+        )
+        assert ShardSpec.from_jsonable(spec.to_jsonable()) == spec
+
+    def test_strip_timing_removes_nested_keys(self):
+        payload = {
+            "timing": {"wall_seconds": 1.0},
+            "search": {"search_seconds": 2.0, "trace": [{"elapsed_seconds": 0.1, "note": "x"}]},
+            "attempt": 2,
+            "kept": 1,
+        }
+        assert strip_timing(payload) == {"search": {"trace": [{"note": "x"}]}, "kept": 1}
+
+
+# ---------------------------------------------------------------------------- serial runs
+class TestSweepRun:
+    def test_serial_sweep_completes_and_aggregates(self, tmp_path):
+        sweep_dir = tmp_path / "sweep"
+        report = SweepOrchestrator(_sweep_config(), sweep_dir).run()
+        assert report.ok
+        assert (sweep_dir / "sweep.json").is_file()
+        assert report.path.is_file() and report.markdown_path.is_file()
+        by_name = {entry["searcher"]: entry for entry in report.payload["per_searcher"]}
+        assert set(by_name) == {"eras", "random"}
+        assert all(entry["shards"] == 2 for entry in by_name.values())
+        assert all(entry["std_valid_mrr"] >= 0.0 for entry in by_name.values())
+        for shard_id in report.payload["shards"]:
+            shard_dir = sweep_dir / "shards" / shard_id
+            assert (shard_dir / "result.json").is_file()
+            assert (shard_dir / "checkpoint.json").is_file()
+        assert "| eras |" in report.markdown_path.read_text()
+
+    def test_started_directory_requires_resume(self, tmp_path):
+        sweep_dir = tmp_path / "sweep"
+        SweepOrchestrator(_sweep_config(), sweep_dir).run()
+        with pytest.raises(SweepError, match="resume"):
+            SweepOrchestrator(_sweep_config(), sweep_dir).run()
+
+    def test_config_mismatch_rejected(self, tmp_path):
+        sweep_dir = tmp_path / "sweep"
+        SweepOrchestrator(_sweep_config(), sweep_dir).run()
+        other = _sweep_config(seeds=(0, 2))
+        with pytest.raises(SweepError, match="different"):
+            SweepOrchestrator(other, sweep_dir).run(resume=True)
+
+    def test_resume_skips_completed_shards(self, tmp_path):
+        sweep_dir = tmp_path / "sweep"
+        first = SweepOrchestrator(_sweep_config(), sweep_dir).run()
+        resumed = SweepOrchestrator.from_directory(sweep_dir).run(resume=True)
+        assert strip_timing(resumed.payload) == strip_timing(first.payload)
+        # Resumed-from-complete keeps the original attempt counters (nothing re-ran).
+        assert resumed.payload["shards"] == first.payload["shards"]
+
+    def test_train_final_aggregates_eval_metrics(self, tmp_path):
+        config = _sweep_config(
+            searchers=("eras",), seeds=(0,), train_final=True, train_epochs=2, rerank=False
+        )
+        report = SweepOrchestrator(config, tmp_path / "sweep").run()
+        entry = report.payload["per_searcher"][0]
+        assert 0.0 <= entry["mean_eval_mrr"] <= 1.0
+        assert entry["std_eval_mrr"] == 0.0  # single shard
+        assert "mean_eval_hit1" in entry
+        assert "test MRR" in report.markdown_path.read_text()
+
+    def test_valid_eval_split_keeps_proxy_and_final_metrics_distinct(self, tmp_path):
+        """eval_split='valid' must not clobber the search proxy's mean/std_valid_mrr."""
+        config = _sweep_config(
+            searchers=("eras",), seeds=(0,), train_final=True, train_epochs=2,
+            rerank=False, eval_split="valid",
+        )
+        report = SweepOrchestrator(config, tmp_path / "sweep").run()
+        entry = report.payload["per_searcher"][0]
+        shard = next(iter(report.payload["shards"]))
+        proxy_mrr = load_json(
+            tmp_path / "sweep" / "shards" / shard / "result.json"
+        )["search"]["best_valid_mrr"]
+        assert entry["mean_valid_mrr"] == round(proxy_mrr, 6)  # still the proxy value
+        assert "mean_eval_mrr" in entry  # the final model's valid-split MRR, separately
+
+
+class _FlakyOnceSearcher:
+    """Registry factory helper: a random searcher whose first-ever ``run_step`` raises.
+
+    The "has it failed yet" bit lives in a marker file (path via the
+    ``REPRO_TEST_FLAKY_MARKER`` env var), so the transient failure is visible across
+    the orchestrator's worker processes: attempt 1 raises a Python-level exception,
+    every later attempt (in any process) succeeds.
+    """
+
+    @staticmethod
+    def build(options, pool):
+        import dataclasses as _dc
+
+        from repro.bench.workloads import quick_random_config
+        from repro.search.random_search import RandomSearcher
+
+        class FlakyRandom(RandomSearcher):
+            def run_step(self, state):
+                import os as _os
+
+                marker = _os.environ["REPRO_TEST_FLAKY_MARKER"]
+                if not _os.path.exists(marker):
+                    with open(marker, "w", encoding="utf-8") as handle:
+                        handle.write("failed once")
+                    raise RuntimeError("transient shard failure (injected)")
+                super().run_step(state)
+
+        config = _dc.replace(
+            quick_random_config(num_candidates=options.num_candidates, seed=options.seed),
+            embedding_dim=options.dim,
+        )
+        trainer = _dc.replace(config.trainer, epochs=options.proxy_epochs or 2)
+        return FlakyRandom(_dc.replace(config, trainer=trainer), pool=pool)
+
+
+class _AlwaysFailSearcher:
+    """Registry factory helper: every ``run_step`` raises, deterministically."""
+
+    @staticmethod
+    def build(options, pool):
+        flaky = _FlakyOnceSearcher.build(options, pool)
+
+        def explode(state):
+            raise RuntimeError("deterministic shard failure (injected)")
+
+        flaky.run_step = explode
+        return flaky
+
+
+# ---------------------------------------------------------------------------- fault tolerance
+class TestFaultTolerance:
+    """The satellite property: an injected worker kill mid-step must never change the
+    aggregated deterministic report -- whether the orchestrator self-heals by
+    requeueing within one run, or the operator re-runs with resume."""
+
+    KILLED_SHARD = "eras-wn18rr_like-seed0-b0"
+
+    def _pool_config(self, **overrides) -> SweepConfig:
+        return _sweep_config(
+            budgets=(SearchBudget(max_steps=2),), search_epochs=2, max_workers=2, **overrides
+        )
+
+    def test_worker_crash_is_requeued_and_bit_identical(self, tmp_path, monkeypatch):
+        clean = SweepOrchestrator(self._pool_config(), tmp_path / "clean").run()
+
+        monkeypatch.setenv(KILL_ENV_VAR, f"{self.KILLED_SHARD}@1")
+        healed_dir = tmp_path / "healed"
+        healed = SweepOrchestrator(self._pool_config(max_shard_retries=1), healed_dir).run()
+
+        assert (healed_dir / "shards" / self.KILLED_SHARD / "kill.fired").is_file()
+        assert healed.ok
+        assert healed.payload["shards"][self.KILLED_SHARD]["attempt"] == 2
+        assert strip_timing(healed.payload) == strip_timing(clean.payload)
+
+    def test_retries_exhausted_then_resume_is_bit_identical(self, tmp_path, monkeypatch):
+        clean = SweepOrchestrator(self._pool_config(), tmp_path / "clean").run()
+
+        monkeypatch.setenv(KILL_ENV_VAR, f"{self.KILLED_SHARD}@1")
+        sweep_dir = tmp_path / "killed"
+        first = SweepOrchestrator(self._pool_config(max_shard_retries=0), sweep_dir).run()
+        assert not first.ok and first.failed == (self.KILLED_SHARD,)
+        assert first.payload["shards"][self.KILLED_SHARD]["status"] == "failed"
+        # The killed shard checkpointed step 1 before dying, so resume continues it.
+        assert (sweep_dir / "shards" / self.KILLED_SHARD / "checkpoint.json").is_file()
+
+        resumed = SweepOrchestrator.from_directory(sweep_dir).run(resume=True)
+        assert resumed.ok
+        assert strip_timing(resumed.payload) == strip_timing(clean.payload)
+
+    def test_resume_without_manifest_is_rejected(self, tmp_path):
+        """run(resume=True) on a manifest-less directory must not silently start fresh."""
+        with pytest.raises(SweepError, match="cannot resume"):
+            SweepOrchestrator(_sweep_config(), tmp_path / "absent").run(resume=True)
+        assert not (tmp_path / "absent").exists()  # and it must not create one either
+
+    @pytest.mark.parametrize("max_workers", [1, 2])
+    def test_python_level_failure_retried_identically_across_worker_counts(
+        self, tmp_path, monkeypatch, max_workers
+    ):
+        """A transient in-shard exception gets the same max_shard_retries+1 attempt
+        budget whether shards run in-process or on the pool."""
+        from repro.search import register_searcher, unregister_searcher
+
+        register_searcher("flaky-once-test", _FlakyOnceSearcher.build)
+        try:
+            marker = tmp_path / f"flaky-{max_workers}.marker"
+            monkeypatch.setenv("REPRO_TEST_FLAKY_MARKER", str(marker))
+            config = _sweep_config(
+                searchers=("flaky-once-test",), seeds=(0,),
+                max_workers=max_workers, max_shard_retries=1,
+            )
+            report = SweepOrchestrator(config, tmp_path / f"sweep{max_workers}").run()
+            assert report.ok
+            assert marker.exists()  # the first attempt really did raise
+        finally:
+            unregister_searcher("flaky-once-test")
+
+    def test_failure_report_identical_across_worker_counts(self, tmp_path):
+        """A deterministically failing sweep writes the same report (error strings
+        included) for any --max-workers, like a successful one does."""
+        from repro.search import register_searcher, unregister_searcher
+
+        register_searcher("alwaysfail-test", _AlwaysFailSearcher.build)
+        try:
+            reports = []
+            for max_workers in (1, 2):
+                config = _sweep_config(
+                    searchers=("alwaysfail-test", "random"), seeds=(0,),
+                    max_workers=max_workers, max_shard_retries=1,
+                )
+                reports.append(SweepOrchestrator(config, tmp_path / f"w{max_workers}").run())
+            assert reports[0].failed == reports[1].failed == ("alwaysfail-test-wn18rr_like-seed0-b0",)
+            assert strip_timing(reports[0].payload) == strip_timing(reports[1].payload)
+            failed_entry = reports[0].payload["shards"]["alwaysfail-test-wn18rr_like-seed0-b0"]
+            assert "deterministic shard failure" in failed_entry["error"]
+        finally:
+            unregister_searcher("alwaysfail-test")
+
+
+# ---------------------------------------------------------------------------- CLI
+class TestSweepCLI:
+    SWEEP_FLAGS = [
+        "--searchers", "eras", "random",
+        "--seeds", "0",
+        "--datasets", "wn18rr_like",
+        "--scale", "0.4",
+        "--groups", "2",
+        "--epochs", "1",
+        "--derive-samples", "4",
+        "--dim", "16",
+        "--proxy-epochs", "2",
+        "--budget-steps", "1",
+        "--no-train",
+        "--max-workers", "1",
+    ]
+
+    def test_sweep_and_resume_round_trip(self, tmp_path, capsys):
+        from repro.runtime.cli import main
+
+        sweep_dir = tmp_path / "sweep"
+        assert main(["sweep", "--sweep-dir", str(sweep_dir), *self.SWEEP_FLAGS]) == 0
+        out = capsys.readouterr().out
+        assert "Sweep report" in out and "report.json" in out
+        assert (sweep_dir / "report.md").is_file()
+
+        assert main(["sweep", "--resume", str(sweep_dir)]) == 0
+        assert "2/2 shards completed" in capsys.readouterr().out
+
+    def test_fresh_sweep_requires_directory(self, capsys):
+        from repro.runtime.cli import main
+
+        assert main(["sweep", "--no-train"]) == 2
+        assert "--sweep-dir" in capsys.readouterr().err
+
+    def test_dir_and_resume_are_mutually_exclusive(self, tmp_path, capsys):
+        from repro.runtime.cli import main
+
+        code = main(["sweep", "--sweep-dir", str(tmp_path / "a"), "--resume", str(tmp_path / "b")])
+        assert code == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_resume_of_missing_directory_fails(self, tmp_path, capsys):
+        from repro.runtime.cli import main
+
+        assert main(["sweep", "--resume", str(tmp_path / "absent")]) == 2
+        assert "manifest" in capsys.readouterr().err
+
+    def test_resume_rejects_grid_flags(self, tmp_path, capsys):
+        """--resume runs the manifest's grid; extra grid flags must error, not be ignored."""
+        from repro.runtime.cli import main
+
+        sweep_dir = tmp_path / "sweep"
+        assert main(["sweep", "--sweep-dir", str(sweep_dir), *self.SWEEP_FLAGS]) == 0
+        capsys.readouterr()
+        assert main(["sweep", "--resume", str(sweep_dir), "--seeds", "0", "1", "2"]) == 2
+        assert "--seeds" in capsys.readouterr().err

@@ -122,7 +122,6 @@ class TestCsrFilterIndex:
 
     def test_flat_filter_unknown_keys_are_empty(self):
         graph = random_graph(11)
-        csr = FilterIndex.from_graph(graph)
         probe = np.array([[graph.num_entities - 1, graph.num_relations - 1, 0]], dtype=np.int64)
         # Force a key that cannot exist by using an otherwise-unused relation id.
         empty_graph_index = FilterIndex([TripleSet.empty()])

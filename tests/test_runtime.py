@@ -556,7 +556,7 @@ class TestCLI:
     def test_subcommand_parsers_exposed(self):
         from repro.runtime.cli import subcommand_parsers
 
-        assert set(subcommand_parsers()) == {"search", "train", "serve", "bench"}
+        assert set(subcommand_parsers()) == {"search", "sweep", "train", "serve", "bench"}
 
     def test_list_searchers_prints_registry(self, capsys):
         from repro.runtime.cli import main

@@ -183,17 +183,14 @@ class TestController:
         controller = ArchitectureController(space, ControllerConfig(seed=0, learning_rate=0.1))
         updater = ReinforceUpdater(controller)
         rng = np.random.default_rng(0)
-        target_tokens = None
         for _ in range(30):
             samples = controller.sample(4, rng=rng)
             # Reward samples that choose the zero op at position 0.
             rewards = [1.0 if s.tokens[0] == 0 else 0.0 for s in samples]
             updater.update(samples, rewards)
-            target_tokens = samples[0].tokens
         frequencies = np.mean([controller.sample_one(rng=rng).tokens[0] == 0 for _ in range(30)])
         assert frequencies > 0.5
         assert updater.baseline is not None
-        del target_tokens
 
     def test_reinforce_update_validation(self):
         space = RelationAwareSearchSpace(num_blocks=2, num_groups=1)

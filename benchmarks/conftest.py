@@ -56,6 +56,30 @@ def eras_results_cache():
     return run
 
 
+@pytest.fixture(scope="session", autouse=True)
+def shm_leak_guard():
+    """Assert zero leaked ``repro_shm_*`` segments after the benchmark session.
+
+    Mirrors the guard in ``tests/conftest.py``: warm pools are shut down, every
+    bundle this process still owns is unpublished, and ``/dev/shm`` must hold
+    nothing that was not already there when the session started.
+    """
+    import gc
+
+    from repro.runtime import shm
+    from repro.runtime.evaluation import release_one_shot_model
+    from repro.runtime.pool import shutdown_warm_pools
+
+    baseline = set(shm.leaked_segments())
+    yield
+    shutdown_warm_pools()
+    release_one_shot_model()
+    gc.collect()
+    shm.unpublish_all()
+    leaked = [name for name in shm.leaked_segments() if name not in baseline]
+    assert leaked == [], f"shared-memory segments leaked by the benchmark session: {leaked}"
+
+
 def run_once(benchmark, fn):
     """Run ``fn`` exactly once under pytest-benchmark timing.
 

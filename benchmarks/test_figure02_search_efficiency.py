@@ -89,12 +89,14 @@ def test_derive_phase_runtime_timing(benchmark):
     # the anchor pass and of converged controllers resampling the same structures, and
     # it holds on any machine.
     assert row["cached_seconds"] < 0.5 * row["serial_seconds"]
-    # Process parallelism pays a fixed fork/IPC tax, so on any hardware it must at
-    # least stay in the same ballpark as the serial loop (2x is a sanity bound against
+    # The warm pool ships payloads through shared memory and keeps workers alive, so
+    # even with every process pinned to one core the steady-state parallel pass must
+    # stay in the same ballpark as the serial loop (2x is a sanity bound against
     # pathological overhead, with headroom for noisy shared runners)...
     assert row["parallel_seconds"] < 2.0 * row["serial_seconds"]
     # ...and a strict wall-clock win needs real spare cores: single-CPU containers
     # share one core between the fork workers, and 2-vCPU CI runners are too noisy for
-    # a strict inequality to be a reliable gate.
+    # a strict inequality to be a reliable gate (benchmarks/test_shared_memory_pool.py
+    # applies the >=2-core parallel_speedup > 1.5 acceptance gate).
     if (os.cpu_count() or 1) >= 4:
         assert row["parallel_seconds"] < row["serial_seconds"]

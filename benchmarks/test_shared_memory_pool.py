@@ -1,0 +1,84 @@
+"""Shared-memory pool benchmarks: the multi-core baseline rows of the parallel runtime.
+
+Two workloads gate the PR's tentpole claims:
+
+- :func:`repro.runtime.profiling.time_shm_transport` prices moving a whole graph
+  bundle (splits + CSR filter index) into shared memory against the pickle
+  round-trip the pre-shm pool paid per dispatch, and measures worker-side attach
+  latency cold (first ``shm_open`` + ``mmap``) vs warm (refcounted memo hit).
+  Written as ``BENCH_shm.json`` -- the same row ``python -m repro bench --workload
+  shm`` produces.
+- :func:`repro.runtime.profiling.time_derive_phase` (also run by
+  ``benchmarks/test_figure02_search_efficiency.py``) supplies the warm-vs-cold pool
+  latency and ``parallel_speedup`` fields asserted here under multi-core gates.
+
+Correctness flags (``views_match``, ``segments_released``, ``scores_match``) are
+hard failures on any host; strict wall-clock wins are gated on available cores,
+following the repo's convention for speedup assertions on shared CI runners.
+"""
+
+import os
+
+from repro.bench import TableReport, write_bench_json
+from repro.datasets import load_benchmark
+from repro.runtime.profiling import time_derive_phase, time_shm_transport
+
+from benchmarks.conftest import run_once
+
+TRANSPORT_DATASET = "fb15k_like"
+DERIVE_DATASET = "fb15k_like"
+
+
+def _transport_row():
+    graph = load_benchmark(TRANSPORT_DATASET, scale=1.0, seed=0)
+    return time_shm_transport(graph, workers=2, seed=0)
+
+
+def test_shm_transport_fidelity_and_latency(benchmark):
+    """Publish/attach a full graph bundle: byte-fidelity, cleanup and warm attach wins."""
+    row = run_once(benchmark, _transport_row)
+    report = TableReport("Shared-memory transport: publish/attach vs pickle round-trip")
+    report.add_row(**row)
+    report.show()
+    path = write_bench_json("shm", row)
+    print(f"perf trajectory written to {path}")
+    # Hard correctness gates, host-independent: every worker saw byte-identical
+    # views, and unpublishing left /dev/shm clean.
+    assert row["views_match"]
+    assert row["segments_released"]
+    # The handle that crosses the queue is tiny compared to the payload it replaces.
+    assert row["bundle_bytes"] > 100 * 1024  # the workload is big enough to matter
+    # A warm (memoised) attach can never be slower than the cold shm_open+mmap path.
+    assert row["warm_attach_seconds"] <= row["cold_attach_seconds"]
+
+
+def _derive_row():
+    graph = load_benchmark(DERIVE_DATASET, scale=1.0, seed=0)
+    return time_derive_phase(graph, num_candidates=64, workers=2, dim=64, seed=0)
+
+
+def test_warm_pool_beats_cold_and_serial(benchmark):
+    """Warm-vs-cold worker latency and the ISSUE's parallel_speedup acceptance gate."""
+    row = run_once(benchmark, _derive_row)
+    report = TableReport("Warm pool: cold spawn+install pass vs steady-state pass")
+    report.add_row(**row)
+    report.show()
+    path = write_bench_json("derive", row)
+    print(f"perf trajectory written to {path}")
+    # Bit-identity across serial, cold-pool, warm-pool and cached passes -- the
+    # determinism contract this whole PR preserves.
+    assert row["scores_match"]
+    # The steady-state (warm) pass must beat the pass that pays worker spawn,
+    # shm attach and payload install; that is the point of persistent workers.
+    assert row["parallel_seconds"] < row["cold_parallel_seconds"]
+    # The payload handle crossing the queue is orders of magnitude smaller than the
+    # pickled supernet state the pre-shm pool shipped per map call.
+    assert row["handle_bytes"] * 10 < row["payload_pickle_bytes"]
+    # ROADMAP acceptance: on hosts with real spare cores the warm pool must deliver
+    # a strict parallel win over the serial loop.  Single-core containers share one
+    # CPU between fork workers, so the strict gate needs >= 2 cores.
+    if (os.cpu_count() or 1) >= 2:
+        assert row["parallel_speedup"] > 1.5, (
+            f"parallel_speedup {row['parallel_speedup']} <= 1.5 on a "
+            f"{os.cpu_count()}-core host: the warm pool is losing to serial"
+        )

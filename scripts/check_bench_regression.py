@@ -13,10 +13,16 @@ script pairs the two and applies a noise-tolerant gate to every wall-clock field
   jitter dwarfs any real regression), and tiny baselines are clamped before the
   ratio so a 2 ms -> 6 ms wobble can never fail the build.
 
+Speedup fields (``*_speedup``) are **higher-is-better** and gate inverted: a fresh
+speedup more than ``--fail-ratio`` *below* its baseline fails, more than
+``--warn-ratio`` below warns.  Speedup rows whose underlying timings sit below the
+noise floor are skipped by the same ``--min-seconds`` rule applied to the row's
+wall-clock fields.
+
 Throughput fields (``*_per_second``), counters and flags are ignored -- this gate is
-about wall clock only; correctness flags have their own pytest gates.  Hosts differ
-(the committed baselines record their host block), so treat FAIL as "investigate",
-not proof of a regression on your machine.
+about wall clock (and its speedup ratios) only; correctness flags have their own
+pytest gates.  Hosts differ (the committed baselines record their host block), so
+treat FAIL as "investigate", not proof of a regression on your machine.
 
 Usage (what the CI ``benchmarks`` job runs after the harness)::
 
@@ -39,16 +45,17 @@ def load_bench(path: Path) -> Dict[str, object]:
         return json.load(handle)
 
 
-def timing_entries(workload: str, results: object) -> Iterator[Tuple[str, float]]:
-    """Yield ``(label, seconds)`` for every wall-clock field of a results payload.
+def timing_entries(workload: str, results: object, suffix: str = "_seconds") -> Iterator[Tuple[str, float]]:
+    """Yield ``(label, value)`` for every ``suffix`` field of a results payload.
 
-    A dict payload yields its ``*_seconds`` fields directly; a list payload (one row
-    per searcher, as ``BENCH_search.json`` uses) yields each row's fields labelled by
-    the row's ``searcher`` (or its index).
+    A dict payload yields its matching fields directly; a list payload (one row per
+    searcher, as ``BENCH_search.json`` uses) yields each row's fields labelled by the
+    row's ``searcher`` (or its index).  The default suffix selects the wall-clock
+    fields; ``"_speedup"`` selects the higher-is-better speedup fields.
     """
     if isinstance(results, dict):
         for key, value in sorted(results.items()):
-            if key.endswith("_seconds") and isinstance(value, (int, float)):
+            if key.endswith(suffix) and isinstance(value, (int, float)):
                 yield f"{workload}.{key}", float(value)
     elif isinstance(results, list):
         for index, row in enumerate(results):
@@ -56,7 +63,7 @@ def timing_entries(workload: str, results: object) -> Iterator[Tuple[str, float]
                 continue
             label = row.get("searcher", row.get("dataset", index))
             for key, value in sorted(row.items()):
-                if key.endswith("_seconds") and isinstance(value, (int, float)):
+                if key.endswith(suffix) and isinstance(value, (int, float)):
                     yield f"{workload}[{label}].{key}", float(value)
 
 
@@ -95,7 +102,8 @@ def compare_workload(
         )
 
     baseline_times = dict(timing_entries(workload, baseline.get("results")))
-    for label, fresh_seconds in timing_entries(workload, fresh.get("results")):
+    fresh_times = dict(timing_entries(workload, fresh.get("results")))
+    for label, fresh_seconds in fresh_times.items():
         base_seconds = baseline_times.get(label)
         if base_seconds is None:
             lines.append(f"  NEW   {label}: {fresh_seconds:.4f}s (no baseline field)")
@@ -121,6 +129,42 @@ def compare_workload(
         lines.append(
             f"  {verdict} {label}: fresh {fresh_seconds:.4f}s vs baseline "
             f"{base_seconds:.4f}s ({ratio:.2f}x)"
+        )
+
+    # Speedup fields are higher-is-better: gate on how far the fresh value fell
+    # BELOW its baseline.  Rows whose wall clocks sit entirely under the noise floor
+    # are skipped -- a speedup ratio of two sub-jitter timings means nothing.
+    baseline_speedups = dict(timing_entries(workload, baseline.get("results"), suffix="_speedup"))
+    for label, fresh_speedup in timing_entries(workload, fresh.get("results"), suffix="_speedup"):
+        base_speedup = baseline_speedups.get(label)
+        if base_speedup is None:
+            lines.append(f"  NEW   {label}: {fresh_speedup:.2f}x (no baseline field)")
+            continue
+        row_prefix = label.rsplit(".", 1)[0]
+        row_clocks = [
+            seconds for clock_label, seconds in fresh_times.items()
+            if clock_label.rsplit(".", 1)[0] == row_prefix
+        ]
+        if row_clocks and max(row_clocks) < min_seconds:
+            lines.append(f"  skip  {label}: underlying timings below the {min_seconds}s noise floor")
+            continue
+        ratio = max(base_speedup, 0.01) / max(fresh_speedup, 0.01)
+        verdict = "ok   "
+        if ratio > fail_ratio:
+            verdict = "FAIL "
+            failures.append(
+                f"{label}: speedup {fresh_speedup:.2f}x is {ratio:.2f}x below the baseline "
+                f"{base_speedup:.2f}x (fail threshold {fail_ratio}x)"
+            )
+        elif ratio > warn_ratio:
+            verdict = "warn "
+            warnings.append(
+                f"{label}: speedup {fresh_speedup:.2f}x is {ratio:.2f}x below the baseline "
+                f"{base_speedup:.2f}x (warn threshold {warn_ratio}x)"
+            )
+        lines.append(
+            f"  {verdict} {label}: fresh {fresh_speedup:.2f}x vs baseline "
+            f"{base_speedup:.2f}x speedup"
         )
     return lines, warnings, failures
 

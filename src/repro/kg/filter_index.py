@@ -125,6 +125,66 @@ class FilterIndex:
         """
         return graph.filter_index()
 
+    #: Keys of the serialised CSR buffers, prefixed so they can share a flat array
+    #: namespace with the graph splits inside one shared-memory bundle.
+    CSR_KEYS = (
+        "fi_triples",
+        "fi_tail_keys",
+        "fi_tail_ptr",
+        "fi_tail_vals",
+        "fi_head_keys",
+        "fi_head_ptr",
+        "fi_head_vals",
+        "fi_triple_keys",
+    )
+
+    def csr_arrays(self) -> "dict[str, np.ndarray]":
+        """The finished CSR buffers as a flat dict of contiguous int64 arrays.
+
+        Together with the ``(num_entities, num_relations)`` bounds these capture the
+        entire index, so :meth:`from_csr_arrays` can rebuild it in another process
+        without redoing the dedup/lexsort work -- the buffers can live in shared
+        memory and be consumed zero-copy.
+        """
+        buffers = (
+            self._triples,
+            self._tail_keys,
+            self._tail_ptr,
+            self._tail_vals,
+            self._head_keys,
+            self._head_ptr,
+            self._head_vals,
+            self._triple_keys,
+        )
+        return {key: np.ascontiguousarray(buf) for key, buf in zip(self.CSR_KEYS, buffers)}
+
+    @classmethod
+    def from_csr_arrays(
+        cls, arrays: "dict[str, np.ndarray]", num_entities: int, num_relations: int
+    ) -> "FilterIndex":
+        """Rebuild an index directly from :meth:`csr_arrays` buffers (no sorting).
+
+        The arrays are adopted as-is (typically read-only shared-memory views); the
+        id-domain bounds must match the publishing index, since the key encoding
+        depends on them.
+        """
+        index = cls.__new__(cls)
+        index._num_entities = int(num_entities)
+        index._num_relations = int(num_relations)
+        (
+            index._triples,
+            index._tail_keys,
+            index._tail_ptr,
+            index._tail_vals,
+            index._head_keys,
+            index._head_ptr,
+            index._head_vals,
+            index._triple_keys,
+        ) = (arrays[key] for key in cls.CSR_KEYS)
+        index._flat_cache = OrderedDict()
+        index._flat_cache_max = 32
+        return index
+
     @staticmethod
     def _group(sorted_keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """Unique keys of a sorted key array plus CSR offset pointers."""

@@ -6,6 +6,12 @@ This package is the chassis around the reproduction's library code:
   evaluations out over ``multiprocessing`` workers (deterministic in-process fallback
   for ``n_workers=1``) behind a structure-keyed :class:`EvalCache`, used by every
   searcher in :mod:`repro.search`.
+- :mod:`repro.runtime.shm` -- zero-copy payload transport: big read-only arrays
+  (triples, embedding state, CSR filter-index buffers) published once per content
+  digest into named shared-memory segments with refcounted attach/release.
+- :mod:`repro.runtime.pool` -- the persistent :class:`~repro.runtime.pool.WarmPool`
+  behind parallel maps: workers that survive across map calls and searches, payloads
+  installed once per key, batched dispatch, crash detection with respawn.
 - :mod:`repro.runtime.checkpoint` -- protocol-level JSON checkpoint/resume of any
   registered searcher's state between steps, plus search-result round-tripping.
 - :mod:`repro.runtime.runner` -- :class:`RunConfig` / :class:`SearchRunner`, the
@@ -29,6 +35,7 @@ from repro.runtime.evaluation import (
     score_candidate_one_shot,
     train_candidate_standalone,
 )
+from repro.runtime.pool import WarmPool, WarmPoolError, get_warm_pool, shutdown_warm_pools
 from repro.runtime.checkpoint import (
     CheckpointError,
     load_search_checkpoint,
@@ -51,6 +58,10 @@ __all__ = [
     "EvaluationPool",
     "score_candidate_one_shot",
     "train_candidate_standalone",
+    "WarmPool",
+    "WarmPoolError",
+    "get_warm_pool",
+    "shutdown_warm_pools",
     "CheckpointError",
     "save_search_checkpoint",
     "load_search_checkpoint",

@@ -320,10 +320,12 @@ def _add_bench_parser(subparsers) -> None:
         "latency and throughput, 'ranking' times vectorized filtered ranking against "
         "the retained naive reference, 'search' times one budgeted step of every "
         "registered searcher and writes BENCH_search.json, 'sweep' times serial vs "
-        "pooled execution of a sweep grid and writes BENCH_sweep.json.",
+        "pooled execution of a sweep grid and writes BENCH_sweep.json, 'shm' times "
+        "shared-memory publish/attach against the pickle round-trip and writes "
+        "BENCH_shm.json.",
     )
     parser.add_argument(
-        "--workload", choices=("derive", "serving", "ranking", "search", "sweep"), default="derive",
+        "--workload", choices=("derive", "serving", "ranking", "search", "sweep", "shm"), default="derive",
         help="which workload to run (default: derive)",
     )
     _add_dataset_arguments(parser, default="fb15k_like")
@@ -652,6 +654,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         time_derive_phase,
         time_filtered_ranking,
         time_search_steps,
+        time_shm_transport,
         time_sweep,
     )
     from repro.scoring.classics import named_structure
@@ -709,6 +712,16 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print(f"perf trajectory written to {path}")
         if not row["reports_match"]:
             print("pooled sweep report diverges from the serial report", file=sys.stderr)
+            return 1
+    elif args.workload == "shm":
+        row = time_shm_transport(graph, workers=args.workers, seed=args.seed)
+        report = TableReport("shared-memory transport: publish/attach vs pickle round-trip")
+        report.add_row(**row)
+        print(report.render())
+        path = write_bench_json("shm", row, directory=args.out)
+        print(f"perf trajectory written to {path}")
+        if not (row["views_match"] and row["segments_released"]):
+            print("shared-memory transport failed fidelity or cleanup checks", file=sys.stderr)
             return 1
     else:
         model, _ = train_structure(graph, named_structure("distmult"), dim=min(args.dim, 32), epochs=8, seed=args.seed)

@@ -18,17 +18,27 @@ candidate of a search does not depend on the degree of parallelism (enforced by
 ``tests/test_runtime.py``).
 
 Worker functions must be module-level (picklable by reference) and take
-``(shared, payload)``: ``shared`` is sent to each worker once per :meth:`~EvaluationPool.map`
-call via the pool initializer, per-candidate ``payload`` objects travel through the task
-queue and should stay small (structure entry matrices, seeds).
+``(shared, payload)``: per-candidate ``payload`` objects travel through the task queue
+and should stay small (structure entry matrices, seeds), while ``shared`` is
+*installed* into each worker of the process-wide warm pool
+(:mod:`repro.runtime.pool`) at most once per ``payload_key``.  The payload builders
+here keep the expensive parts -- embedding state, validation split, the whole graph
+with its CSR filter index -- out of the shared dict entirely, publishing them into
+shared-memory segments (:mod:`repro.runtime.shm`) so the installed dict is a few
+hundred bytes of handle and the arrays cross process boundaries zero-copy.  The
+in-process fallback reads the very same shared dict: the publisher's
+:func:`~repro.runtime.shm.attach_arrays` short-circuits to its own views, so both
+paths literally score the same bytes.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import multiprocessing
 import os
-from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+import secrets
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -38,6 +48,9 @@ from repro.models.trainer import Trainer, TrainerConfig
 from repro.scoring.structure import BlockStructure
 from repro.search.result import Candidate
 from repro.search.supernet import SharedEmbeddingSupernet, one_shot_mrr
+
+from repro.runtime import shm
+from repro.runtime.pool import get_warm_pool
 
 _MISS = object()
 
@@ -106,42 +119,44 @@ class EvalCache:
 
 
 # ---------------------------------------------------------------------------- pool
-# Worker-process globals installed by the pool initializer; with the default ``fork``
-# start method they are inherited by reference, with ``spawn`` they are pickled, which
-# is why worker functions must be module-level.
-_WORKER_FN: Optional[Callable] = None
-_WORKER_SHARED: object = None
-
-
-def _initialize_worker(fn: Callable, shared: object) -> None:
-    global _WORKER_FN, _WORKER_SHARED
-    _WORKER_FN = fn
-    _WORKER_SHARED = shared
-
-
-def _run_job(payload: object) -> float:
-    return _WORKER_FN(_WORKER_SHARED, payload)
-
-
 def default_workers() -> int:
     """Worker count used when a caller asks for "all cores" (``workers=0``)."""
     return max(1, os.cpu_count() or 1)
+
+
+def _payload_key(fn: Callable, shared: object) -> str:
+    """Install key of a ``(fn, shared)`` pair in the warm pool.
+
+    Payload dicts built by :func:`one_shot_shared_payload` /
+    :func:`standalone_shared_payload` carry an explicit ``payload_key``, which is what
+    makes install-once-per-graph-digest work: every map call (and every searcher in a
+    warm process) with the same key reuses the copy already sitting in the workers.
+    Anonymous shared objects get a fresh key per call -- they are installed each time,
+    exactly the old per-map cost, so ad-hoc callers lose nothing.
+    """
+    name = f"{fn.__module__}.{fn.__qualname__}"
+    if isinstance(shared, dict) and "payload_key" in shared:
+        return f"{name}|{shared['payload_key']}"
+    if shared is None:
+        return f"{name}|none"
+    return f"{name}|anon-{secrets.token_hex(8)}"
 
 
 class EvaluationPool:
     """Fans candidate evaluations out over processes, deduplicated through a cache.
 
     ``n_workers=1`` (the default) evaluates in-process in submission order;
-    ``n_workers>1`` spins up a ``multiprocessing`` pool per :meth:`map` call (the
-    shared payload changes between calls, e.g. the supernet embeddings move every
-    epoch).  Results always come back in submission order, and both paths execute the
-    identical worker function, so parallelism never changes a search outcome.
+    ``n_workers>1`` routes through the process-wide persistent
+    :class:`~repro.runtime.pool.WarmPool` for this worker count.  Results always come
+    back in submission order, and both paths execute the identical worker function,
+    so parallelism never changes a search outcome.
 
-    The pool-per-call design trades a fixed fork cost (~tens of milliseconds per call
-    on POSIX) for simplicity and a fresh shared payload each time; it is negligible
-    against the multi-second trainings of the stand-alone searchers and the one map
-    call per derive phase.  A persistent pool would only pay off for sub-millisecond
-    evaluations, which are cheaper to run in-process anyway.
+    The warm pool spawns its workers on the first parallel map and keeps them across
+    map calls, searches and sweep shards; the shared payload reaches each worker at
+    most once per ``payload_key`` (for the shm-backed payloads built in this module,
+    that message is a handful of segment names).  Per map call the parallel path
+    therefore pays queue traffic only -- no fork, no payload pickling -- which is what
+    turned the committed ``parallel_speedup`` baselines from < 1 into a win.
     """
 
     def __init__(
@@ -156,8 +171,8 @@ class EvaluationPool:
             raise ValueError(f"n_workers must be positive (or 0 for all cores), got {n_workers}")
         self.n_workers = n_workers
         self.cache = cache
-        # ``fork`` makes the shared payload free to transfer on POSIX; fall back to the
-        # platform default (``spawn``) where fork is unavailable.
+        # ``fork`` makes worker spawns (and any non-shm payload parts) free to
+        # transfer on POSIX; fall back to the platform default where unavailable.
         if start_method is None:
             start_method = "fork" if "fork" in multiprocessing.get_all_start_methods() else None
         self._start_method = start_method
@@ -219,16 +234,8 @@ class EvaluationPool:
             return []
         if self.n_workers == 1 or len(payloads) == 1:
             return [fn(shared, payload) for payload in payloads]
-        context = (
-            multiprocessing.get_context(self._start_method)
-            if self._start_method
-            else multiprocessing.get_context()
-        )
-        processes = min(self.n_workers, len(payloads))
-        with context.Pool(
-            processes=processes, initializer=_initialize_worker, initargs=(fn, shared)
-        ) as pool:
-            return pool.map(_run_job, payloads)
+        warm = get_warm_pool(self.n_workers, start_method=self._start_method)
+        return warm.run(_payload_key(fn, shared), fn, shared, payloads)
 
     def __repr__(self) -> str:
         return f"EvaluationPool(n_workers={self.n_workers}, cache={self.cache!r})"
@@ -256,16 +263,47 @@ def _structures_from_payload(payload: Dict[str, object]) -> List[BlockStructure]
     return [BlockStructure(np.asarray(entries, dtype=np.int64)) for entries in payload["structures"]]
 
 
+#: Tokens of the one-shot bundles this process has published and not yet released;
+#: :func:`release_one_shot_model` unlinks them.
+_ONE_SHOT_TOKENS: Set[str] = set()
+
+
 def one_shot_shared_payload(supernet: SharedEmbeddingSupernet) -> Dict[str, object]:
-    """Everything a worker needs to rebuild the supernet's model: shared once per map."""
+    """Everything a worker needs to rebuild the supernet's model, installed once.
+
+    The heavy parts -- the full embedding state and the validation split -- go into a
+    shared-memory bundle; the returned dict carries the picklable handle plus scalars,
+    so installing it into a warm worker costs a few hundred bytes no matter the
+    embedding dimension.  Each call publishes a fresh bundle (the supernet moves every
+    epoch); :func:`release_one_shot_model` unlinks the published segments.
+    """
+    state = supernet.model.state_dict()
+    arrays: Dict[str, np.ndarray] = {f"state::{key}": value for key, value in state.items()}
+    arrays["valid"] = np.asarray(supernet.graph.valid.array)
+    handle = shm.publish_arrays(arrays)
+    _ONE_SHOT_TOKENS.add(handle.token)
     return {
         "num_entities": supernet.graph.num_entities,
         "num_relations": supernet.graph.num_relations,
         "dim": supernet.config.dim,
-        "state": supernet.model.state_dict(),
         "assignment": supernet.assignment.copy(),
-        "valid": np.asarray(supernet.graph.valid.array),
+        "state_keys": sorted(state),
+        "handle": handle,
+        "payload_key": handle.token,
     }
+
+
+def _one_shot_arrays(shared: Dict[str, object]) -> Tuple[Dict[str, np.ndarray], np.ndarray]:
+    """The ``(state_dict, valid_triples)`` arrays behind a one-shot shared payload.
+
+    Resolves the shm handle of the payload builder above (zero-copy views; the
+    publisher short-circuits to its own views), and still accepts the pre-shm dict
+    shape (inline ``state`` / ``valid``) so hand-built payloads keep working.
+    """
+    if "handle" in shared:
+        views = shm.attach_arrays(shared["handle"])
+        return {key: views[f"state::{key}"] for key in shared["state_keys"]}, views["valid"]
+    return shared["state"], np.asarray(shared["valid"], dtype=np.int64)
 
 
 # Reconstructed model of the most recent one-shot shared payload.  The payload object
@@ -273,13 +311,21 @@ def one_shot_shared_payload(supernet: SharedEmbeddingSupernet) -> Dict[str, obje
 # lifetime), so rebuilding the embedding tables once and swapping scorers per candidate
 # mirrors the supernet's own cheap ``set_scorers`` path.  Keyed by identity; holding the
 # payload itself keeps the key alive, so an ``is`` match can never be a recycled object.
-_ONE_SHOT_MODEL: Tuple[Optional[Dict[str, object]], Optional[KGEModel]] = (None, None)
+_ONE_SHOT_MODEL: Tuple[Optional[Dict[str, object]], Optional[KGEModel], Optional[np.ndarray]] = (
+    None,
+    None,
+    None,
+)
 
 
-def _one_shot_model(shared: Dict[str, object]) -> KGEModel:
+def _one_shot_model(shared: Dict[str, object]) -> Tuple[KGEModel, np.ndarray]:
     global _ONE_SHOT_MODEL
     if _ONE_SHOT_MODEL[0] is shared:
-        return _ONE_SHOT_MODEL[1]
+        return _ONE_SHOT_MODEL[1], _ONE_SHOT_MODEL[2]
+    previous = _ONE_SHOT_MODEL[0]
+    if previous is not None and "handle" in previous:
+        shm.release_arrays(previous["handle"])  # drop this process's attachment refcount
+    state, valid = _one_shot_arrays(shared)
     model = KGEModel(
         num_entities=int(shared["num_entities"]),
         num_relations=int(shared["num_relations"]),
@@ -288,20 +334,28 @@ def _one_shot_model(shared: Dict[str, object]) -> KGEModel:
         assignment=np.zeros(int(shared["num_relations"]), dtype=np.int64),
         seed=0,
     )
-    model.load_state_dict(shared["state"])
-    _ONE_SHOT_MODEL = (shared, model)
-    return model
+    model.load_state_dict(state)
+    valid = np.asarray(valid, dtype=np.int64)
+    _ONE_SHOT_MODEL = (shared, model, valid)
+    return model, valid
 
 
 def release_one_shot_model() -> None:
-    """Drop the memoised one-shot model and its shared payload.
+    """Drop the memoised one-shot model and unlink the published payload segments.
 
     Call when a derive phase is done: with ``n_workers=1`` the memo lives in the
     calling process and would otherwise pin a full embedding table plus the validation
-    split until the next search overwrites it.
+    split until the next search overwrites it; the publisher additionally unlinks the
+    shared-memory bundles it created for the phase.
     """
     global _ONE_SHOT_MODEL
-    _ONE_SHOT_MODEL = (None, None)
+    previous = _ONE_SHOT_MODEL[0]
+    if previous is not None and "handle" in previous:
+        shm.release_arrays(previous["handle"])
+    _ONE_SHOT_MODEL = (None, None, None)
+    for token in sorted(_ONE_SHOT_TOKENS):
+        shm.unpublish(token)
+    _ONE_SHOT_TOKENS.clear()
 
 
 def score_candidate_one_shot(shared: Dict[str, object], payload: Dict[str, object]) -> float:
@@ -312,18 +366,35 @@ def score_candidate_one_shot(shared: Dict[str, object], payload: Dict[str, objec
     structures and scores the full validation split -- the exact computation of
     :meth:`~repro.search.supernet.SharedEmbeddingSupernet.one_shot_validation_mrr`.
     """
-    model = _one_shot_model(shared)
+    model, valid = _one_shot_model(shared)
     model.set_scorers(
         _structures_from_payload(payload), assignment=np.asarray(shared["assignment"], dtype=np.int64)
     )
-    return one_shot_mrr(model, np.asarray(shared["valid"], dtype=np.int64))
+    return one_shot_mrr(model, valid)
 
 
 def standalone_shared_payload(
     graph: KnowledgeGraph, trainer: TrainerConfig, dim: int
 ) -> Dict[str, object]:
-    """Shared payload of the stand-alone trainers (AutoSF / random / Bayes search)."""
-    return {"graph": graph, "trainer": trainer, "dim": int(dim)}
+    """Shared payload of the stand-alone trainers (AutoSF / random / Bayes search).
+
+    The graph travels as a :class:`~repro.runtime.shm.SharedGraphPayload` published
+    once per content digest -- every searcher, map call and in-process sweep shard on
+    the same dataset reuses the same segments, and the ``payload_key`` (digest plus a
+    hash of the training budget) lets warm workers keep their resolved graph across
+    all of them.
+    """
+    payload: Dict[str, object] = {"trainer": trainer, "dim": int(dim)}
+    if shm.HAVE_SHARED_MEMORY:
+        graph_payload = shm.publish_graph(graph)
+        budget = hashlib.sha256(
+            repr((dataclasses.astuple(trainer), int(dim))).encode()
+        ).hexdigest()[:8]
+        payload["graph_payload"] = graph_payload
+        payload["payload_key"] = f"standalone-{graph_payload.token}-{budget}"
+    else:  # pragma: no cover - platforms without shared memory
+        payload["graph"] = graph
+    return payload
 
 
 def standalone_cache_key(
@@ -345,15 +416,16 @@ def train_candidate_standalone(shared: Dict[str, object], payload: Dict[str, obj
     The payload's ``seed`` controls the model initialisation, so a searcher that seeds
     each candidate differently (random search) stays bit-identical across worker counts.
     """
+    graph = shared["graph"] if "graph" in shared else shared["graph_payload"].resolve()
     structures = _structures_from_payload(payload)
     assignment = payload.get("assignment")
     model = KGEModel(
-        num_entities=shared["graph"].num_entities,
-        num_relations=shared["graph"].num_relations,
+        num_entities=graph.num_entities,
+        num_relations=graph.num_relations,
         dim=int(shared["dim"]),
         scorers=structures,
         assignment=None if assignment is None else np.asarray(assignment, dtype=np.int64),
         seed=int(payload["seed"]),
     )
-    result = Trainer(shared["trainer"]).fit(model, shared["graph"])
+    result = Trainer(shared["trainer"]).fit(model, graph)
     return float(result.best_valid_mrr)

@@ -35,9 +35,12 @@ fairly.  This module provides that layer on top of the PR-4 stepwise
   ``tests/test_orchestrator.py``).
 
 Workers execute shards with ``RunConfig(workers=1)`` -- sweep-level parallelism
-replaces shard-level parallelism, so the pool is never oversubscribed -- and the
-dataset registry's per-process memoisation gives every worker one parsed graph per
-dataset no matter how many shards it executes on it.
+replaces shard-level parallelism, so the pool is never oversubscribed.  Before the
+pool spawns, the orchestrator publishes every dataset of the grid into shared memory
+(:func:`repro.runtime.shm.publish_graph`: splits plus the pre-built CSR filter
+index); workers receive the picklable handles and attach zero-copy views, so no
+worker ever regenerates, re-parses or re-indexes a dataset -- one graph per digest in
+physical memory no matter how many workers or shards touch it.
 """
 
 from __future__ import annotations
@@ -529,14 +532,21 @@ def _maybe_inject_kill(shard_id: str, shard_dir: Path, steps_completed: int) -> 
 
 
 def run_shard(
-    config: SweepConfig, shard: ShardSpec, sweep_dir: PathLike, attempt: int = 1
+    config: SweepConfig,
+    shard: ShardSpec,
+    sweep_dir: PathLike,
+    attempt: int = 1,
+    graph=None,
 ) -> Dict[str, object]:
     """Execute (or resume) one shard and write its ``result.json``; returns the payload.
 
     The shard checkpoints between steps through the universal format-v2 envelope, so
     a crashed attempt resumes from its last completed step.  The result file is
     written atomically (write-then-rename), which is what lets ``resume`` trust any
-    existing, parseable ``result.json``.
+    existing, parseable ``result.json``.  ``graph`` optionally injects a pre-loaded
+    :class:`~repro.kg.graph.KnowledgeGraph` for the shard's dataset (the pool path
+    resolves it from the orchestrator's shared-memory publication); None loads it
+    through the dataset registry as before.
     """
     from repro.runtime.checkpoint import search_result_to_jsonable
 
@@ -552,7 +562,7 @@ def run_shard(
         except OSError:
             pass
     run_config = config.shard_run_config(shard, checkpoint_path=str(shard_dir / "checkpoint.json"))
-    runner = SearchRunner(run_config)
+    runner = SearchRunner(run_config, graph=graph)
 
     started = time.perf_counter()
     search_result = runner.search(
@@ -594,7 +604,7 @@ def run_shard(
     return load_json(path)
 
 
-def _pool_worker(worker_id, tasks, events, config_payload, sweep_dir) -> None:
+def _pool_worker(worker_id, tasks, events, config_payload, sweep_dir, graph_handles=None) -> None:
     """Worker-process loop: steal pending shards off the shared queue until sentinel.
 
     Crash semantics are the point: this function posts ``claimed`` *before* executing
@@ -602,8 +612,14 @@ def _pool_worker(worker_id, tasks, events, config_payload, sweep_dir) -> None:
     shard to requeue.  A Python-level exception is not a crash -- it is reported as a
     ``failed`` event (the orchestrator applies the same retry budget it uses for
     crashes) and the worker keeps serving shards.
+
+    ``graph_handles`` maps dataset name to the orchestrator's
+    :class:`~repro.runtime.shm.SharedGraphPayload`; each resolves (once per worker,
+    memoised per digest) to a zero-copy view of the parent's published graph, so the
+    worker never regenerates a dataset regardless of how many shards it executes.
     """
     config = sweep_config_from_jsonable(config_payload)
+    graph_handles = graph_handles or {}
     while True:
         task = tasks.get()
         if task is None:
@@ -612,7 +628,9 @@ def _pool_worker(worker_id, tasks, events, config_payload, sweep_dir) -> None:
         shard = ShardSpec.from_jsonable(task["shard"])
         events.put({"kind": "claimed", "worker": worker_id, "shard": shard.shard_id})
         try:
-            run_shard(config, shard, sweep_dir, attempt=task["attempt"])
+            handle = graph_handles.get(shard.dataset)
+            graph = handle.resolve() if handle is not None else None
+            run_shard(config, shard, sweep_dir, attempt=task["attempt"], graph=graph)
         except Exception as error:  # noqa: BLE001 -- a shard failure must not kill the pool
             events.put(
                 {
@@ -793,6 +811,9 @@ class SweepOrchestrator:
         """Bounded worker pool with work-stealing dispatch and crash requeue."""
         import multiprocessing
 
+        from repro.datasets import load_benchmark
+        from repro.runtime import shm
+
         # ``fork`` keeps parent-process state (dataset memos, third-party searcher
         # registrations) visible to the workers for free; fall back to the platform
         # default where fork does not exist.
@@ -801,6 +822,23 @@ class SweepOrchestrator:
         tasks = context.Queue()
         events = context.Queue()
         config_payload = sweep_config_to_jsonable(self.config)
+
+        # Publish every dataset of the pending grid into shared memory once; the
+        # workers get the picklable handles and attach zero-copy views (including the
+        # pre-built CSR filter index), so a respawned worker warms up by attaching
+        # instead of regenerating.  Tokens this call newly published are unlinked when
+        # the pool drains; a SIGKILLed orchestrator leaves the cleanup to its resource
+        # tracker.
+        graph_handles = {}
+        published_tokens: List[str] = []
+        if shm.HAVE_SHARED_MEMORY:
+            for dataset in dict.fromkeys(shard.dataset for shard in pending):
+                graph = load_benchmark(dataset, scale=self.config.scale, seed=self.config.data_seed)
+                already_owned = shm.graph_digest(graph) in shm.owned_tokens()
+                payload = shm.publish_graph(graph)
+                graph_handles[dataset] = payload
+                if not already_owned:
+                    published_tokens.append(payload.token)
 
         attempts: Dict[str, int] = {}
         spec_by_id = {shard.shard_id: shard for shard in pending}
@@ -825,7 +863,7 @@ class SweepOrchestrator:
                 )
             worker = context.Process(
                 target=_pool_worker,
-                args=(next_worker_id, tasks, events, config_payload, str(self.sweep_dir)),
+                args=(next_worker_id, tasks, events, config_payload, str(self.sweep_dir), graph_handles),
                 daemon=True,
             )
             worker.start()
@@ -923,3 +961,8 @@ class SweepOrchestrator:
                 worker.join()
         tasks.close()
         events.close()
+        # The workers are gone; unlink the graph segments this sweep published.  (If
+        # the sweep aborts before this point the atexit hook of repro.runtime.shm
+        # unlinks them at interpreter exit instead.)
+        for token in published_tokens:
+            shm.unpublish(token)

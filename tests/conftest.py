@@ -58,3 +58,29 @@ def trained_tiny_model(tiny_graph):
 def rng():
     """A fresh deterministic random generator per test."""
     return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def shm_leak_guard():
+    """Fail the session if any ``repro_shm_*`` segment outlives the full test run.
+
+    Baseline-diffed against the segments present at session start, so a concurrently
+    running repro process on the same host can never false-positive the check.  The
+    teardown first shuts the warm pools and unpublishes everything this process still
+    owns -- exactly what a clean interpreter exit does via ``atexit`` -- then asserts
+    ``/dev/shm`` holds nothing new.
+    """
+    import gc
+
+    from repro.runtime import shm
+    from repro.runtime.evaluation import release_one_shot_model
+    from repro.runtime.pool import shutdown_warm_pools
+
+    baseline = set(shm.leaked_segments())
+    yield
+    shutdown_warm_pools()
+    release_one_shot_model()
+    gc.collect()
+    shm.unpublish_all()
+    leaked = [name for name in shm.leaked_segments() if name not in baseline]
+    assert leaked == [], f"shared-memory segments leaked by the test session: {leaked}"

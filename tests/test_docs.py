@@ -56,8 +56,11 @@ def _audited_dataclasses():
     from repro.search.result import Candidate, SearchResult, TracePoint
     from repro.search.supernet import SupernetConfig
     from repro.search.variants import DifferentiableSearchState
+    from repro.runtime.shm import BundleHandle, SegmentSpec
 
     return [
+        SegmentSpec,
+        BundleHandle,
         SearchBudget,
         SearcherOptions,
         ERASConfig,

@@ -365,8 +365,9 @@ class TestStepwiseProtocol:
         self._assert_same_result(stepwise, monolithic)
         assert "budget" not in stepwise.extras
 
+    @pytest.mark.parametrize("workers", [2, 4], ids=["pool2", "pool4"])
     @pytest.mark.parametrize("name", BUILTIN_SEARCHERS)
-    def test_kill_and_resume_is_bit_identical(self, name, tiny_graph, tmp_path):
+    def test_kill_and_resume_is_bit_identical(self, name, workers, tiny_graph, tmp_path):
         # The stepwise loop doubles as the uninterrupted reference (its equivalence to
         # one-call search() is proven by test_stepwise_loop_matches_one_call_search).
         total_steps = 0
@@ -386,10 +387,11 @@ class TestStepwiseProtocol:
         path = tmp_path / f"{name}.json"
         save_search_checkpoint(path, first, state)
 
-        # ... and resume with a FRESH searcher over a 2-worker pool (pools apply to
-        # every algorithm but eras_diff, which accepts and ignores one).
+        # ... and resume with a FRESH searcher over a shm-backed warm pool of every
+        # supported size (pools apply to every algorithm but eras_diff, which accepts
+        # and ignores one).
         second = create_searcher(
-            name, _tiny_searcher_options(), pool=EvaluationPool(n_workers=2, cache=EvalCache())
+            name, _tiny_searcher_options(), pool=EvaluationPool(n_workers=workers, cache=EvalCache())
         )
         resumed = load_search_checkpoint(path, second, tiny_graph)
         assert resumed.steps_completed == kill_at
@@ -407,6 +409,75 @@ class TestStepwiseProtocol:
         other = create_searcher(other_name, _tiny_searcher_options())
         with pytest.raises(CheckpointError):
             load_search_checkpoint(path, other, tiny_graph)
+
+
+# ---------------------------------------------------------------------------- pool matrix
+def _strip_wall_clock(obj):
+    """Checkpoint envelopes minus wall-clock fields (``*seconds``), recursively.
+
+    Elapsed-time counters are the only legitimately non-deterministic state a searcher
+    carries; everything else in the envelope must be bit-identical across pool sizes.
+    """
+    if isinstance(obj, dict):
+        return {key: _strip_wall_clock(value) for key, value in obj.items() if not key.endswith("seconds")}
+    if isinstance(obj, list):
+        return [_strip_wall_clock(value) for value in obj]
+    return obj
+
+
+@pytest.mark.shm
+class TestPoolSizeDeterminismMatrix:
+    """The ISSUE's determinism suite: every registered searcher, run serially and over
+    shm-backed warm pools of 2 and 4 workers, must produce bit-identical SearchResults;
+    mid-search checkpoint envelopes must be bit-identical whenever the runs record the
+    same progress, and a pooled run's envelope must always resume (with a fresh serial
+    searcher) to the exact reference result."""
+
+    @staticmethod
+    def _run_with_checkpoint(name, workers, graph, path):
+        pool = EvaluationPool(n_workers=workers, cache=EvalCache())
+        searcher = create_searcher(name, _tiny_searcher_options(), pool=pool)
+        state = searcher.init_state(graph)
+        envelope = None
+        progress = None
+        while not searcher.is_complete(state):
+            searcher.run_step(state)
+            if envelope is None:  # checkpoint once, right after the first step
+                save_search_checkpoint(path, searcher, state)
+                envelope = _strip_wall_clock(json.loads(path.read_text()))
+                progress = (state.steps_completed, state.evaluations)
+        return searcher.finalize(state), envelope, progress
+
+    @pytest.mark.parametrize("name", BUILTIN_SEARCHERS)
+    def test_results_and_envelopes_identical_across_pool_sizes(self, name, tiny_graph, tmp_path):
+        reference_result, reference_envelope, reference_progress = self._run_with_checkpoint(
+            name, 1, tiny_graph, tmp_path / f"{name}-serial.json"
+        )
+        assert reference_envelope is not None
+        for workers in (2, 4):
+            path = tmp_path / f"{name}-pool{workers}.json"
+            result, envelope, progress = self._run_with_checkpoint(name, workers, tiny_graph, path)
+            assert result.best_candidate.signature() == reference_result.best_candidate.signature()
+            assert result.best_valid_mrr == reference_result.best_valid_mrr
+            assert result.evaluations == reference_result.evaluations
+            assert np.array_equal(result.best_assignment, reference_result.best_assignment)
+            assert [point.note for point in result.trace] == [point.note for point in reference_result.trace]
+            if progress == reference_progress:
+                # Same step granularity (the eras family steps by epoch regardless of
+                # pool size): the envelopes must be bit-identical.
+                assert envelope == reference_envelope, (
+                    f"{name} checkpoint envelope diverges between serial and {workers}-worker runs"
+                )
+            # Searchers that batch candidates per worker (random/autosf/bayes) reach
+            # different step boundaries per pool size, so their envelopes are compared
+            # through semantics instead: the pooled checkpoint, resumed with a FRESH
+            # serial searcher, must land on the exact same result.
+            resumer = create_searcher(name, _tiny_searcher_options())
+            resumed = load_search_checkpoint(path, resumer, tiny_graph)
+            resumed_result = resumer.drive(resumed)
+            assert resumed_result.best_candidate.signature() == reference_result.best_candidate.signature()
+            assert resumed_result.best_valid_mrr == reference_result.best_valid_mrr
+            assert resumed_result.evaluations == reference_result.evaluations
 
 
 # ---------------------------------------------------------------------------- budgets

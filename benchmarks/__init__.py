@@ -1,0 +1,2 @@
+"""Benchmark harness package; the marker lets pytest import benchmark modules as
+``benchmarks.<name>`` so basenames may repeat across ``tests/`` and ``benchmarks/``."""

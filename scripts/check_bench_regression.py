@@ -19,6 +19,12 @@ speedup more than ``--fail-ratio`` *below* its baseline fails, more than
 noise floor are skipped by the same ``--min-seconds`` rule applied to the row's
 wall-clock fields.
 
+Latency percentile fields (``*p50_ms`` / ``*p95_ms``, as ``BENCH_http.json`` and the
+serving workloads emit) are **lower-is-better** like the wall-clock fields and gated
+the same noise-floor-aware way, with ``--min-seconds`` converted to milliseconds:
+fresh percentiles under the floor are skipped and tiny baselines are clamped before
+the ratio, so serving latencies are enforced rather than merely recorded.
+
 Throughput fields (``*_per_second``), counters and flags are ignored -- this gate is
 about wall clock (and its speedup ratios) only; correctness flags have their own
 pytest gates.  Hosts differ (the committed baselines record their host block), so
@@ -130,6 +136,40 @@ def compare_workload(
             f"  {verdict} {label}: fresh {fresh_seconds:.4f}s vs baseline "
             f"{base_seconds:.4f}s ({ratio:.2f}x)"
         )
+
+    # Latency percentiles are lower-is-better in milliseconds: same gate as the
+    # wall-clock fields, with the noise floor converted to ms.  Only the p50/p95
+    # fields are enforced; mean/p99/max stay informational (p99 of a small request
+    # sample is dominated by a single straggler, which is jitter, not regression).
+    min_ms = min_seconds * 1000.0
+    for suffix in ("p50_ms", "p95_ms"):
+        baseline_latencies = dict(timing_entries(workload, baseline.get("results"), suffix=suffix))
+        for label, fresh_ms in timing_entries(workload, fresh.get("results"), suffix=suffix):
+            base_ms = baseline_latencies.get(label)
+            if base_ms is None:
+                lines.append(f"  NEW   {label}: {fresh_ms:.3f}ms (no baseline field)")
+                continue
+            if fresh_ms < min_ms:
+                lines.append(f"  skip  {label}: {fresh_ms:.3f}ms (below the {min_ms:.0f}ms noise floor)")
+                continue
+            ratio = fresh_ms / max(base_ms, min_ms / 2.0)
+            verdict = "ok   "
+            if ratio > fail_ratio:
+                verdict = "FAIL "
+                failures.append(
+                    f"{label}: {fresh_ms:.3f}ms is {ratio:.2f}x the baseline "
+                    f"{base_ms:.3f}ms (fail threshold {fail_ratio}x)"
+                )
+            elif ratio > warn_ratio:
+                verdict = "warn "
+                warnings.append(
+                    f"{label}: {fresh_ms:.3f}ms is {ratio:.2f}x the baseline "
+                    f"{base_ms:.3f}ms (warn threshold {warn_ratio}x)"
+                )
+            lines.append(
+                f"  {verdict} {label}: fresh {fresh_ms:.3f}ms vs baseline "
+                f"{base_ms:.3f}ms ({ratio:.2f}x)"
+            )
 
     # Speedup fields are higher-is-better: gate on how far the fresh value fell
     # BELOW its baseline.  Rows whose wall clocks sit entirely under the noise floor

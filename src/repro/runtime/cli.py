@@ -308,6 +308,41 @@ def _add_serve_parser(subparsers) -> None:
     )
     parser.add_argument("--top-k", type=int, default=5, help="completions per query (default: 5)")
     parser.add_argument("--seed", type=int, default=0, help="seed of the demo queries (default: 0)")
+    parser.add_argument(
+        "--http", action="store_true",
+        help="serve over HTTP instead of answering --query/--demo and exiting: "
+        "POST /v1/predict plus /healthz, /readyz, /metrics and /v1/reload, with "
+        "admission control, per-request deadlines, graceful drain on SIGTERM and "
+        "hot-reload of new registry versions (disabled when --version pins one)",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="HTTP bind address (default: 127.0.0.1)")
+    parser.add_argument(
+        "--port", type=int, default=8080,
+        help="HTTP port; 0 picks an ephemeral port (default: 8080)",
+    )
+    parser.add_argument(
+        "--max-queue-depth", type=int, default=256,
+        help="admitted requests waiting for scoring before new ones are shed with "
+        "503 + Retry-After (default: 256)",
+    )
+    parser.add_argument(
+        "--deadline-ms", type=float, default=5000.0,
+        help="default per-request deadline in milliseconds; expired requests get 504 "
+        "and never occupy a batch slot (default: 5000)",
+    )
+    parser.add_argument(
+        "--flush-interval-ms", type=float, default=5.0,
+        help="how long the batch loop waits for stragglers before scoring a partial "
+        "micro-batch (default: 5)",
+    )
+    parser.add_argument(
+        "--reload-poll-s", type=float, default=2.0,
+        help="seconds between registry polls for a newer model version (default: 2)",
+    )
+    parser.add_argument(
+        "--no-reload", action="store_true",
+        help="never hot-reload, even when --version is not pinned",
+    )
     parser.set_defaults(handler=cmd_serve)
 
 
@@ -569,8 +604,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve.service import PredictionService
     from repro.utils.rng import new_rng
 
-    if not args.query and not args.demo:
-        print("nothing to do: pass --query and/or --demo N", file=sys.stderr)
+    if args.http and (args.query or args.demo):
+        print("--http runs a server; drop --query/--demo", file=sys.stderr)
+        return 2
+    if not args.http and not args.query and not args.demo:
+        print("nothing to do: pass --query and/or --demo N, or --http", file=sys.stderr)
         return 2
     registry = ModelArtifactRegistry(args.registry)
     graph = (
@@ -578,6 +616,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         if args.dataset
         else None
     )
+    if args.http:
+        return _serve_http(args, registry, graph)
     engine = LinkPredictionEngine.from_artifact(registry, name=args.model, version=args.version, graph=graph)
     service = PredictionService(engine)
 
@@ -594,6 +634,34 @@ def cmd_serve(args: argparse.Namespace) -> int:
     print()
     print(service.stats_table().render())
     print(service.cache_table().render())
+    return 0
+
+
+def _serve_http(args: argparse.Namespace, registry, graph) -> int:
+    """The ``serve --http`` branch: run the asyncio front-end until SIGTERM/SIGINT."""
+    import asyncio
+
+    from repro.serve.frontend import FrontendConfig, ReloadConfig, ServingFrontend
+    from repro.serve.http import HttpFrontendServer
+
+    config = FrontendConfig(
+        max_queue_depth=args.max_queue_depth,
+        default_deadline_s=args.deadline_ms / 1000.0,
+        max_deadline_s=max(args.deadline_ms / 1000.0, 30.0),
+        flush_interval_s=args.flush_interval_ms / 1000.0,
+    )
+    frontend = ServingFrontend.from_registry(
+        registry,
+        args.model,
+        version=args.version,
+        graph=graph,
+        config=config,
+        reload_config=ReloadConfig(poll_interval_s=0.0 if args.no_reload else args.reload_poll_s),
+    )
+    if args.no_reload:
+        frontend.reloader = None
+    server = HttpFrontendServer(frontend, host=args.host, port=args.port)
+    asyncio.run(server.run())
     return 0
 
 

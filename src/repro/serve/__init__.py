@@ -12,6 +12,13 @@ package turns that artifact into a queryable service:
 - :mod:`repro.serve.service` -- :class:`PredictionService`, a request/response facade
   with micro-batching and latency/throughput statistics reported through
   :mod:`repro.bench.reporting`.
+- :mod:`repro.serve.frontend` -- :class:`ServingFrontend`, the robustness layer:
+  bounded admission queue with load shedding, per-request deadlines, time-based
+  micro-batch flushing, graceful drain, and validated hot-reload with rollback via
+  :class:`EngineReloader`.
+- :mod:`repro.serve.http` -- :class:`HttpFrontendServer`, a stdlib-only asyncio
+  HTTP/1.1 transport (``/v1/predict``, ``/healthz``, ``/readyz``, ``/metrics``,
+  ``/v1/reload``) behind ``python -m repro serve --http``.
 """
 
 from repro.serve.artifacts import (
@@ -22,6 +29,17 @@ from repro.serve.artifacts import (
     save_model_artifact,
 )
 from repro.serve.engine import LinkPredictionEngine, LinkQuery, TopKResult
+from repro.serve.frontend import (
+    DeadlineExceededError,
+    DrainingError,
+    EngineReloader,
+    FrontendConfig,
+    FrontendError,
+    OverloadedError,
+    ReloadConfig,
+    ServingFrontend,
+)
+from repro.serve.http import BackgroundHttpServer, HttpFrontendServer
 from repro.serve.service import (
     PredictionService,
     ServiceConfig,
@@ -40,4 +58,14 @@ __all__ = [
     "PredictionService",
     "ServiceConfig",
     "ServiceStats",
+    "ServingFrontend",
+    "FrontendConfig",
+    "FrontendError",
+    "OverloadedError",
+    "DrainingError",
+    "DeadlineExceededError",
+    "EngineReloader",
+    "ReloadConfig",
+    "HttpFrontendServer",
+    "BackgroundHttpServer",
 ]

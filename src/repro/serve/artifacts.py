@@ -44,6 +44,26 @@ MANIFEST_FILENAME = "manifest.json"
 WEIGHTS_FILENAME = "weights.npz"
 _ASSIGNMENT_KEY = "__assignment__"
 
+# Complete version directories are exactly ``v<N>``; writers stage into
+# ``.tmp-v<N>-<pid>`` scratch directories and rename into place, so anything matching
+# the scratch pattern is either an in-progress save or debris of a crashed writer.
+_VERSION_DIR_PATTERN = re.compile(r"v(\d+)")
+_SCRATCH_DIR_PATTERN = re.compile(r"\.tmp-v(\d+)-(\d+)")
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether a process with this pid currently exists (signal-0 probe)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        # The pid exists but belongs to another user; treat it as alive.
+        return True
+    return True
+
 
 class ArtifactError(RuntimeError):
     """A model artifact is missing, malformed or fails integrity checks."""
@@ -324,14 +344,21 @@ class ModelArtifactRegistry:
         )
 
     def _version_dirs(self, name: str) -> List[Tuple[int, Path]]:
-        """All ``v<N>`` directories of ``name``, complete or not."""
+        """All ``v<N>`` directories of ``name``, complete or not.
+
+        ``.tmp-v<N>-<pid>`` scratch directories — in-progress saves, or stale debris
+        of a writer that crashed before its rename — never match, so readers stay
+        correct alongside crashed (or still-running) writers; :meth:`prune_scratch`
+        reclaims the dead ones.
+        """
         model_dir = self.root / name
         if not model_dir.is_dir():
             return []
         found = []
         for child in model_dir.iterdir():
-            if child.is_dir() and child.name.startswith("v") and child.name[1:].isdigit():
-                found.append((int(child.name[1:]), child))
+            match = _VERSION_DIR_PATTERN.fullmatch(child.name)
+            if child.is_dir() and match:
+                found.append((int(match.group(1)), child))
         return found
 
     def _next_version(self, name: str) -> int:
@@ -348,12 +375,48 @@ class ModelArtifactRegistry:
     def delete(self, name: str, version: int) -> None:
         """Remove one stored version (for pruning rolled-back models)."""
         ref = self.resolve(name, version)
-        for child in sorted(ref.path.rglob("*"), reverse=True):
+        self._remove_tree(ref.path)
+
+    def prune_scratch(self, name: Optional[str] = None) -> List[Path]:
+        """Remove orphaned ``.tmp-v<N>-<pid>`` scratch directories; returns what was removed.
+
+        A writer that crashes between :func:`save_model_artifact` and its rename
+        leaves a scratch directory behind.  Readers already ignore it (see
+        :meth:`_version_dirs`), but the disk space is never reclaimed — this sweeps
+        every scratch directory whose recorded pid is no longer alive.  Scratch
+        directories of live writers (including this process) are left untouched, so
+        pruning is safe to run concurrently with saves.
+        """
+        if name is not None:
+            self._validate_name(name)
+            model_dirs = [self.root / name]
+        elif self.root.is_dir():
+            model_dirs = [child for child in self.root.iterdir() if child.is_dir()]
+        else:
+            model_dirs = []
+        removed: List[Path] = []
+        for model_dir in model_dirs:
+            if not model_dir.is_dir():
+                continue
+            for child in model_dir.iterdir():
+                match = _SCRATCH_DIR_PATTERN.fullmatch(child.name)
+                if not match or not child.is_dir():
+                    continue
+                pid = int(match.group(2))
+                if pid == os.getpid() or _pid_alive(pid):
+                    continue
+                self._remove_tree(child)
+                removed.append(child)
+        return sorted(removed)
+
+    @staticmethod
+    def _remove_tree(path: Path) -> None:
+        for child in sorted(path.rglob("*"), reverse=True):
             if child.is_file():
                 child.unlink()
             else:
                 child.rmdir()
-        ref.path.rmdir()
+        path.rmdir()
 
     @staticmethod
     def _validate_name(name: str) -> None:

@@ -1,0 +1,389 @@
+"""Stdlib-only asyncio HTTP server over :class:`~repro.serve.frontend.ServingFrontend`.
+
+The transport is deliberately small — HTTP/1.1 with keep-alive over
+:func:`asyncio.start_server`, no third-party dependencies — because the robustness
+story lives in the front-end.  This module maps it onto the wire:
+
+==========================  =======================================================
+Endpoint                    Behaviour
+==========================  =======================================================
+``POST /v1/predict``        JSON ``{"relation": R, "head"|"tail": E, "k"?,
+                            "deadline_ms"?}`` → top-k completions, or ``503`` +
+                            ``Retry-After`` when shedding, ``504`` on deadline
+                            expiry, ``400`` for malformed queries.
+``GET /healthz``            Liveness: ``200`` whenever the process can answer.
+``GET /readyz``             Readiness: ``200`` only while the model is loaded and
+                            the queue is below the high-water mark, else ``503``.
+``GET /metrics``            JSON queue/counter/latency/reload state.
+``POST /v1/reload``         Run one reload check now; returns the outcome.
+==========================  =======================================================
+
+``SIGTERM``/``SIGINT`` trigger graceful drain: the listener closes, accepted requests
+are answered, then the process exits.  :class:`BackgroundHttpServer` runs the whole
+stack on a daemon thread for tests and benchmarks that need a real localhost server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from repro.serve.engine import LinkQuery
+from repro.serve.frontend import (
+    DeadlineExceededError,
+    DrainingError,
+    OverloadedError,
+    ServingFrontend,
+)
+
+MAX_HEADER_BYTES = 16384
+MAX_BODY_BYTES = 1_048_576
+# How often an idle keep-alive connection re-checks whether the server is stopping.
+_IDLE_POLL_S = 0.25
+_HEADER_TIMEOUT_S = 5.0
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class _BadRequest(Exception):
+    """A request that cannot be parsed (answered with 400/413, connection closed)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class HttpFrontendServer:
+    """Asyncio HTTP/1.1 server translating requests into front-end calls."""
+
+    def __init__(self, frontend: ServingFrontend, host: str = "127.0.0.1", port: int = 8080) -> None:
+        self.frontend = frontend
+        self.host = host
+        self.port = port
+        self.address: Optional[Tuple[str, int]] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._stopping = False
+        self._connections: set = set()
+
+    # ------------------------------------------------------------------ lifecycle
+    async def start(self, install_signals: bool = True) -> None:
+        """Bind the listener (port 0 picks an ephemeral port) and start serving."""
+        loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self._stopping = False
+        await self.frontend.start()
+        self._server = await asyncio.start_server(self._on_client, host=self.host, port=self.port)
+        sockname = self._server.sockets[0].getsockname()
+        self.address = (sockname[0], sockname[1])
+        if install_signals:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(signum, self.request_stop)
+                except (NotImplementedError, RuntimeError):
+                    break
+        print(
+            f"serving on http://{self.address[0]}:{self.address[1]} "
+            f"(model {self.frontend.model_name}/v{self.frontend.version})",
+            flush=True,
+        )
+
+    def request_stop(self) -> None:
+        """Begin graceful shutdown (signal-handler safe)."""
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    async def run(self, install_signals: bool = True) -> None:
+        """Serve until SIGTERM/SIGINT (or :meth:`request_stop`), then drain and exit."""
+        await self.start(install_signals=install_signals)
+        await self._stop_event.wait()
+        await self.shutdown()
+
+    async def shutdown(self) -> None:
+        """Graceful drain: close the listener, answer accepted requests, close conns."""
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self.frontend.drain()
+        if self._connections:
+            await asyncio.wait(self._connections, timeout=5.0)
+        for task in list(self._connections):
+            task.cancel()
+        print(
+            f"drained: {self.frontend.completed} completed, {self.frontend.shed} shed, "
+            f"{self.frontend.deadline_timeouts} deadline-expired",
+            flush=True,
+        )
+
+    # ------------------------------------------------------------------ connections
+    def _on_client(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        task = asyncio.get_running_loop().create_task(self._handle_connection(reader, writer))
+        self._connections.add(task)
+        task.add_done_callback(self._connections.discard)
+
+    async def _handle_connection(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except _BadRequest as error:
+                    await self._respond(writer, error.status, {"error": str(error)}, close=True)
+                    break
+                if request is None:
+                    break
+                method, path, headers, body = request
+                status, payload, extra_headers = await self._dispatch(method, path, body)
+                close = (
+                    self._stopping
+                    or headers.get("connection", "").lower() == "close"
+                    or "Connection" in extra_headers
+                )
+                await self._respond(writer, status, payload, extra_headers, close=close)
+                if close:
+                    break
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+        """One parsed request, or ``None`` when the connection should close.
+
+        Between requests the read polls so an idle keep-alive connection notices
+        shutdown within ``_IDLE_POLL_S``; a request whose bytes already arrived is
+        still parsed and answered (it gets the draining 503 rather than a dead socket).
+        """
+        while True:
+            try:
+                line = await asyncio.wait_for(reader.readline(), timeout=_IDLE_POLL_S)
+                break
+            except asyncio.TimeoutError:
+                if self._stopping:
+                    return None
+        if not line:
+            return None
+        try:
+            method, path, _version = line.decode("ascii").split()
+        except ValueError:
+            raise _BadRequest(400, "malformed request line") from None
+        headers: Dict[str, str] = {}
+        total = len(line)
+        while True:
+            header_line = await asyncio.wait_for(reader.readline(), timeout=_HEADER_TIMEOUT_S)
+            total += len(header_line)
+            if total > MAX_HEADER_BYTES:
+                raise _BadRequest(400, "headers too large")
+            if header_line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = header_line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        body = b""
+        length = headers.get("content-length")
+        if length is not None:
+            try:
+                length = int(length)
+            except ValueError:
+                raise _BadRequest(400, "malformed Content-Length") from None
+            if length > MAX_BODY_BYTES:
+                raise _BadRequest(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+            if length:
+                body = await asyncio.wait_for(reader.readexactly(length), timeout=_HEADER_TIMEOUT_S)
+        return method.upper(), path, headers, body
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Dict[str, object],
+        extra_headers: Optional[Dict[str, str]] = None,
+        close: bool = False,
+    ) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        headers = {
+            "Content-Type": "application/json",
+            "Content-Length": str(len(body)),
+            "Connection": "close" if close else "keep-alive",
+        }
+        headers.update(extra_headers or {})
+        lines = [f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}"]
+        lines += [f"{name}: {value}" for name, value in headers.items()]
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + body)
+        await writer.drain()
+
+    # ------------------------------------------------------------------ routing
+    async def _dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Dict[str, object], Dict[str, str]]:
+        if path == "/healthz":
+            if method != "GET":
+                return 405, {"error": "method not allowed"}, {"Allow": "GET"}
+            return 200, {"status": "ok"}, {}
+        if path == "/readyz":
+            if method != "GET":
+                return 405, {"error": "method not allowed"}, {"Allow": "GET"}
+            ready, reason = self.frontend.ready()
+            return (200 if ready else 503), {"ready": ready, "reason": reason}, {}
+        if path == "/metrics":
+            if method != "GET":
+                return 405, {"error": "method not allowed"}, {"Allow": "GET"}
+            return 200, self.frontend.metrics(), {}
+        if path == "/v1/predict":
+            if method != "POST":
+                return 405, {"error": "method not allowed"}, {"Allow": "POST"}
+            return await self._predict(body)
+        if path == "/v1/reload":
+            if method != "POST":
+                return 405, {"error": "method not allowed"}, {"Allow": "POST"}
+            if self.frontend.reloader is None:
+                return 409, {"error": "hot-reload is disabled (no registry reloader)"}, {}
+            outcome = await self.frontend.reload_now()
+            return 200, {"outcome": outcome, **self.frontend.reloader.stats()}, {}
+        return 404, {"error": f"no route for {path}"}, {}
+
+    async def _predict(self, body: bytes) -> Tuple[int, Dict[str, object], Dict[str, str]]:
+        try:
+            document = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            return 400, {"error": f"request body is not valid JSON: {error}"}, {}
+        if not isinstance(document, dict):
+            return 400, {"error": "request body must be a JSON object"}, {}
+        deadline_s: Optional[float] = None
+        try:
+            if "deadline_ms" in document:
+                deadline_s = float(document["deadline_ms"]) / 1000.0
+            query = LinkQuery(
+                relation=int(document["relation"]),
+                head=int(document["head"]) if document.get("head") is not None else None,
+                tail=int(document["tail"]) if document.get("tail") is not None else None,
+                k=int(document.get("k", 10)),
+            )
+        except KeyError as error:
+            return 400, {"error": f"missing field {error.args[0]!r}"}, {}
+        except (TypeError, ValueError) as error:
+            return 400, {"error": str(error)}, {}
+        try:
+            result = await self.frontend.handle(query, deadline_s=deadline_s)
+        except OverloadedError as error:
+            return 503, {"error": str(error)}, {"Retry-After": f"{error.retry_after_s:g}"}
+        except DrainingError as error:
+            return 503, {"error": str(error)}, {"Connection": "close"}
+        except DeadlineExceededError as error:
+            return 504, {"error": str(error)}, {}
+        except ValueError as error:
+            return 400, {"error": str(error)}, {}
+        except Exception as error:  # noqa: BLE001 - a scoring failure must not kill the conn
+            return 500, {"error": f"{type(error).__name__}: {error}"}, {}
+        payload = {
+            "model": {"name": self.frontend.model_name, "version": self.frontend.version},
+            "relation": query.relation,
+            "direction": query.direction,
+            "k": query.k,
+            "results": [
+                {
+                    "entity": int(entity),
+                    "score": float(score),
+                    "label": result.labels[index] if result.labels is not None else str(int(entity)),
+                }
+                for index, (entity, score) in enumerate(result.pairs())
+            ],
+        }
+        return 200, payload, {}
+
+
+class BackgroundHttpServer:
+    """Run an :class:`HttpFrontendServer` on a daemon thread (tests / benchmarks).
+
+    Usage::
+
+        with BackgroundHttpServer(frontend) as server:
+            host, port = server.address
+            ... real HTTP clients against http://host:port ...
+    """
+
+    def __init__(self, frontend: ServingFrontend, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.frontend = frontend
+        self.host = host
+        self.port = port
+        self.server: Optional[HttpFrontendServer] = None
+        self.address: Optional[Tuple[str, int]] = None
+        self.loop: Optional[asyncio.AbstractEventLoop] = None
+        self.error: Optional[BaseException] = None
+        self._ready = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def __enter__(self) -> "BackgroundHttpServer":
+        self._thread = threading.Thread(target=self._run, name="http-server", daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=30.0):
+            raise RuntimeError("HTTP server did not start within 30 s")
+        if self.error is not None:
+            raise RuntimeError(f"HTTP server failed to start: {self.error!r}")
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        try:
+            self.loop = asyncio.get_running_loop()
+            self.server = HttpFrontendServer(self.frontend, host=self.host, port=self.port)
+            await self.server.start(install_signals=False)
+            self.address = self.server.address
+        except BaseException as error:  # noqa: BLE001 - surfaced to the spawning thread
+            self.error = error
+            self._ready.set()
+            return
+        self._ready.set()
+        await self.server._stop_event.wait()
+        await self.server.shutdown()
+
+    def stop(self) -> None:
+        """Request graceful shutdown and wait for the server thread to finish."""
+        if self.loop is not None and self.server is not None and self._thread.is_alive():
+            self.loop.call_soon_threadsafe(self.server.request_stop)
+        if self._thread is not None:
+            self._thread.join(timeout=30.0)
+
+    def call(self, coro) -> object:
+        """Run a coroutine on the server's event loop and return its result."""
+        return asyncio.run_coroutine_threadsafe(coro, self.loop).result(timeout=60.0)
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """The frontend's metrics, fetched safely from the server's loop."""
+        async def _get() -> Dict[str, object]:
+            return self.frontend.metrics()
+
+        return self.call(_get())
+
+
+def parse_address(banner_lines: List[str]) -> Tuple[str, int]:
+    """Extract ``(host, port)`` from the server's startup banner (subprocess tests)."""
+    for line in banner_lines:
+        if line.startswith("serving on http://"):
+            hostport = line.split("http://", 1)[1].split()[0]
+            host, _, port = hostport.rpartition(":")
+            return host, int(port)
+    raise ValueError("no 'serving on http://...' banner found")

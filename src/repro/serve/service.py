@@ -22,13 +22,27 @@ from repro.serve.engine import LinkPredictionEngine, LinkQuery, TopKResult
 
 @dataclass
 class ServiceConfig:
-    """Tunables of the serving facade."""
+    """Tunables of the serving facade.
+
+    ``max_batch_size`` (default 64, positive) bounds how many buffered queries one
+    micro-batch may hold; the buffer auto-flushes when it fills.  ``default_k``
+    (default 10, positive) is the top-k used by :meth:`PredictionService.query` when
+    the caller passes none.  ``max_unclaimed_results`` (default 65536, at least
+    ``max_batch_size``) bounds the unredeemed-result map; older results are evicted
+    oldest-first beyond it, so callers that submit but never call ``result()`` cannot
+    grow the service's memory forever.  ``flush_interval_s`` (default ``None`` =
+    size-only flushing, else a positive number of seconds) is the maximum age a
+    partially-filled micro-batch may reach before :meth:`PredictionService.flush_if_due`
+    flushes it — the knob a time-based serving loop uses so trickle traffic below
+    ``max_batch_size`` never waits forever on a full batch.
+    """
 
     max_batch_size: int = 64
     default_k: int = 10
     # Unredeemed results are evicted oldest-first beyond this bound, so callers that
     # submit but never call result() cannot grow the service's memory forever.
     max_unclaimed_results: int = 65536
+    flush_interval_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.max_batch_size <= 0:
@@ -40,6 +54,8 @@ class ServiceConfig:
                 "max_unclaimed_results must be at least max_batch_size, otherwise a "
                 "single flush could evict its own results"
             )
+        if self.flush_interval_s is not None and self.flush_interval_s <= 0:
+            raise ValueError("flush_interval_s must be positive (or None to disable)")
 
 
 # How many of the most recent per-query latencies the stats keep for the percentile
@@ -110,6 +126,9 @@ class PredictionService:
         self._pending: List[tuple[int, LinkQuery]] = []
         self._results: Dict[int, TopKResult] = {}
         self._next_ticket = 0
+        # Monotonic timestamp of the oldest query waiting in the buffer (None when
+        # empty); pending_age() / flush_if_due() derive batch age from it.
+        self._oldest_pending_at: Optional[float] = None
 
     # ------------------------------------------------------------------ asynchronous-style API
     def submit(self, query: LinkQuery) -> int:
@@ -122,6 +141,8 @@ class PredictionService:
         self.engine.validate_query(query)
         ticket = self._next_ticket
         self._next_ticket += 1
+        if not self._pending:
+            self._oldest_pending_at = time.monotonic()
         self._pending.append((ticket, query))
         if len(self._pending) >= self.config.max_batch_size:
             self.flush()
@@ -132,12 +153,15 @@ class PredictionService:
         if not self._pending:
             return 0
         pending, self._pending = self._pending, []
+        oldest_at, self._oldest_pending_at = self._oldest_pending_at, None
         started = time.perf_counter()
         try:
             results = self.engine.predict([query for _, query in pending])
         except Exception:
-            # Put the batch back so well-formed tickets are not silently lost.
+            # Put the batch back so well-formed tickets are not silently lost (the
+            # restored buffer keeps its original age, so flush_if_due retries on time).
             self._pending = pending + self._pending
+            self._oldest_pending_at = oldest_at
             raise
         elapsed = time.perf_counter() - started
         self.stats.record_batch(len(pending), elapsed)
@@ -146,6 +170,22 @@ class PredictionService:
         while len(self._results) > self.config.max_unclaimed_results:
             self._results.pop(next(iter(self._results)))
         return len(pending)
+
+    def withdraw(self, ticket: int) -> bool:
+        """Remove a still-buffered query; returns whether the ticket was pending.
+
+        A serving loop uses this after a failed :meth:`flush` (which restores the batch
+        into the buffer) to take its own queries back out, so one poisoned batch cannot
+        re-break every following flush.  Withdrawing the oldest query deliberately keeps
+        the recorded buffer age — overestimating age only flushes earlier, never later.
+        """
+        for index, (pending_ticket, _) in enumerate(self._pending):
+            if pending_ticket == ticket:
+                del self._pending[index]
+                if not self._pending:
+                    self._oldest_pending_at = None
+                return True
+        return False
 
     def result(self, ticket: int) -> TopKResult:
         """Redeem a ticket (raises ``KeyError`` if the query has not been flushed yet)."""
@@ -160,6 +200,30 @@ class PredictionService:
     def pending_count(self) -> int:
         """How many submitted queries are waiting for the next flush."""
         return len(self._pending)
+
+    def pending_age(self) -> float:
+        """Seconds the *oldest* buffered query has been waiting (0.0 when empty).
+
+        A serving loop polls this to decide when a partially-filled micro-batch has
+        waited long enough — trickle traffic below ``max_batch_size`` would otherwise
+        sit in the buffer forever without an explicit :meth:`flush`.
+        """
+        if self._oldest_pending_at is None:
+            return 0.0
+        return max(0.0, time.monotonic() - self._oldest_pending_at)
+
+    def flush_if_due(self) -> int:
+        """Flush iff the buffer's age reached ``config.flush_interval_s``.
+
+        Returns how many queries were scored (0 when nothing was due).  With
+        ``flush_interval_s=None`` this never flushes — size-based flushing only.
+        """
+        interval = self.config.flush_interval_s
+        if interval is None or not self._pending:
+            return 0
+        if self.pending_age() < interval:
+            return 0
+        return self.flush()
 
     # ------------------------------------------------------------------ synchronous API
     def query(

@@ -1,0 +1,2 @@
+"""Unit/integration test package; the marker lets pytest import test modules as
+``tests.<name>`` so basenames may repeat across ``tests/`` and ``benchmarks/``."""

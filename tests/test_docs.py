@@ -57,8 +57,13 @@ def _audited_dataclasses():
     from repro.search.supernet import SupernetConfig
     from repro.search.variants import DifferentiableSearchState
     from repro.runtime.shm import BundleHandle, SegmentSpec
+    from repro.serve.frontend import FrontendConfig, ReloadConfig
+    from repro.serve.service import ServiceConfig
 
     return [
+        ServiceConfig,
+        FrontendConfig,
+        ReloadConfig,
         SegmentSpec,
         BundleHandle,
         SearchBudget,

@@ -144,11 +144,12 @@ class TestCorruptionHandling:
         with pytest.raises(ArtifactError, match="format version"):
             load_model_artifact(artifact_dir)
 
-    def test_missing_required_field(self, artifact_dir):
+    @pytest.mark.parametrize("field", ["model", "scorers", "weights_checksum"])
+    def test_missing_required_field(self, artifact_dir, field):
         manifest = json.loads((artifact_dir / "manifest.json").read_text(encoding="utf-8"))
-        del manifest["scorers"]
+        del manifest[field]
         (artifact_dir / "manifest.json").write_text(json.dumps(manifest), encoding="utf-8")
-        with pytest.raises(ArtifactError, match="missing the 'scorers'"):
+        with pytest.raises(ArtifactError, match=f"missing the '{field}'"):
             load_model_artifact(artifact_dir)
 
     def test_tampered_weights_fail_checksum(self, artifact_dir):
@@ -242,3 +243,62 @@ class TestRegistry:
         # Deleting every version removes the model from the catalogue.
         registry.delete("m", 2)
         assert registry.models() == []
+
+
+def _dead_pid():
+    """The pid of a process that definitely just exited."""
+    import subprocess
+    import sys
+
+    process = subprocess.Popen([sys.executable, "-c", "pass"])
+    process.wait()
+    return process.pid
+
+
+class TestCrashedWriterTolerance:
+    def _scratch(self, registry, name, version, pid, tiny_graph):
+        """A fully-written artifact stuck in its pre-rename scratch directory."""
+        scratch = registry.root / name / f".tmp-v{version}-{pid}"
+        save_model_artifact(_model(tiny_graph), scratch)
+        return scratch
+
+    def test_readers_skip_stale_scratch_dirs(self, tiny_graph, tmp_path):
+        """A crashed writer's scratch dir holds a *complete* artifact (manifest and
+        all) -- only the scratch naming pattern identifies it as not-yet-published."""
+        registry = ModelArtifactRegistry(tmp_path / "registry")
+        registry.save("m", _model(tiny_graph, seed=1))
+        self._scratch(registry, "m", 5, _dead_pid(), tiny_graph)
+        assert registry.versions("m") == [1]
+        assert registry.resolve("m").version == 1
+        assert registry.load("m")[0].num_entities == tiny_graph.num_entities
+        # version allocation ignores the scratch dir's target version too
+        assert registry.save("m", _model(tiny_graph, seed=2)).version == 2
+
+    def test_prune_scratch_removes_only_dead_writers(self, tiny_graph, tmp_path):
+        import os
+
+        registry = ModelArtifactRegistry(tmp_path / "registry")
+        registry.save("m", _model(tiny_graph, seed=1))
+        dead = self._scratch(registry, "m", 7, _dead_pid(), tiny_graph)
+        own = self._scratch(registry, "m", 8, os.getpid(), tiny_graph)  # in-progress save
+        removed = registry.prune_scratch("m")
+        assert removed == [dead]
+        assert not dead.exists()
+        assert own.exists()  # a live writer's scratch dir must never be reclaimed
+        assert registry.versions("m") == [1]
+
+    def test_prune_scratch_sweeps_every_model_without_name(self, tiny_graph, tmp_path):
+        registry = ModelArtifactRegistry(tmp_path / "registry")
+        registry.save("a", _model(tiny_graph, seed=1))
+        registry.save("b", _model(tiny_graph, seed=2))
+        pid = _dead_pid()
+        first = self._scratch(registry, "a", 3, pid, tiny_graph)
+        second = self._scratch(registry, "b", 9, pid, tiny_graph)
+        assert registry.prune_scratch() == sorted([first, second])
+        assert registry.prune_scratch() == []  # idempotent
+
+    def test_prune_scratch_ignores_unknown_and_empty(self, tmp_path):
+        registry = ModelArtifactRegistry(tmp_path / "registry")
+        assert registry.prune_scratch() == []
+        with pytest.raises(ArtifactError, match="invalid artifact name"):
+            registry.prune_scratch("../evil")

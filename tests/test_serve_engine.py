@@ -1,5 +1,7 @@
 """Tests for the link-prediction engine and the micro-batching service facade."""
 
+import time
+
 import numpy as np
 import pytest
 
@@ -277,3 +279,96 @@ class TestPredictionService:
             ServiceConfig(default_k=0)
         with pytest.raises(ValueError):
             ServiceConfig(max_unclaimed_results=0)
+        with pytest.raises(ValueError, match="flush_interval_s"):
+            ServiceConfig(flush_interval_s=0.0)
+        with pytest.raises(ValueError, match="flush_interval_s"):
+            ServiceConfig(flush_interval_s=-1.0)
+
+    def test_unclaimed_eviction_is_oldest_first(self, trained_tiny_model):
+        """Eviction must drop tickets in submission order, not arbitrarily."""
+        config = ServiceConfig(max_batch_size=2, max_unclaimed_results=2)
+        service = PredictionService(LinkPredictionEngine(trained_tiny_model, filtered=False), config)
+        tickets = []
+        for batch in range(3):  # three auto-flushed batches of 2 -> 6 results, bound 2
+            tickets += [service.submit(LinkQuery(relation=0, head=2 * batch + i, k=2)) for i in range(2)]
+        for evicted in tickets[:4]:
+            with pytest.raises(KeyError, match="no result"):
+                service.result(evicted)
+        for survivor in tickets[4:]:
+            assert len(service.result(survivor)) == 2
+
+
+class TestTimeBasedFlushing:
+    def test_pending_age_tracks_oldest_query(self, trained_tiny_model):
+        service = PredictionService(LinkPredictionEngine(trained_tiny_model, filtered=False))
+        assert service.pending_age() == 0.0
+        service.submit(LinkQuery(relation=0, head=0, k=2))
+        time.sleep(0.03)
+        first_age = service.pending_age()
+        assert first_age >= 0.03
+        # a second submit does not reset the age: it is the *oldest* query's age
+        service.submit(LinkQuery(relation=0, head=1, k=2))
+        assert service.pending_age() >= first_age
+        service.flush()
+        assert service.pending_age() == 0.0
+
+    def test_flush_if_due_only_after_interval(self, trained_tiny_model):
+        config = ServiceConfig(flush_interval_s=0.05)
+        service = PredictionService(LinkPredictionEngine(trained_tiny_model, filtered=False), config)
+        ticket = service.submit(LinkQuery(relation=0, head=0, k=2))
+        assert service.flush_if_due() == 0  # too young
+        assert service.pending_count == 1
+        time.sleep(0.06)
+        assert service.flush_if_due() == 1
+        assert len(service.result(ticket)) == 2
+        assert service.flush_if_due() == 0  # empty buffer: nothing due
+
+    def test_flush_if_due_disabled_without_interval(self, trained_tiny_model):
+        service = PredictionService(LinkPredictionEngine(trained_tiny_model, filtered=False))
+        service.submit(LinkQuery(relation=0, head=0, k=2))
+        time.sleep(0.02)
+        assert service.flush_if_due() == 0  # flush_interval_s=None -> size-based only
+        assert service.pending_count == 1
+
+    def test_withdraw_removes_pending_query(self, trained_tiny_model):
+        service = PredictionService(LinkPredictionEngine(trained_tiny_model, filtered=False))
+        first = service.submit(LinkQuery(relation=0, head=0, k=2))
+        second = service.submit(LinkQuery(relation=0, head=1, k=2))
+        assert service.withdraw(first) is True
+        assert service.withdraw(first) is False  # already gone
+        assert service.pending_count == 1
+        service.flush()
+        assert len(service.result(second)) == 2
+        with pytest.raises(KeyError):
+            service.result(first)
+        # withdrawing the last pending query resets the buffer age
+        third = service.submit(LinkQuery(relation=0, head=2, k=2))
+        service.withdraw(third)
+        assert service.pending_age() == 0.0
+
+    def test_failed_flush_restores_batch_and_age(self, trained_tiny_model):
+        class ExplodingEngine:
+            def __init__(self, inner):
+                self.inner = inner
+                self.explode = True
+
+            def validate_query(self, query):
+                self.inner.validate_query(query)
+
+            def predict(self, queries):
+                if self.explode:
+                    raise RuntimeError("transient scoring failure")
+                return self.inner.predict(queries)
+
+        engine = ExplodingEngine(LinkPredictionEngine(trained_tiny_model, filtered=False))
+        service = PredictionService(engine, ServiceConfig(flush_interval_s=0.01))
+        ticket = service.submit(LinkQuery(relation=0, head=0, k=2))
+        time.sleep(0.02)
+        with pytest.raises(RuntimeError, match="transient"):
+            service.flush()
+        # the batch is back in the buffer with its original age: still due
+        assert service.pending_count == 1
+        assert service.pending_age() >= 0.01
+        engine.explode = False
+        assert service.flush_if_due() == 1
+        assert len(service.result(ticket)) == 2

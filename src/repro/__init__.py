@@ -17,6 +17,8 @@ The package is organised as a stack of subsystems:
   together with AutoSF, random and Bayesian search baselines and the ablation variants.
 - :mod:`repro.bench` -- helpers used by the ``benchmarks/`` harness to regenerate every table
   and figure of the paper.
+- :mod:`repro.stream` -- live-graph streaming: validated :class:`~repro.stream.GraphDelta`
+  mutations producing versioned immutable snapshots with an incremental filter-index merge.
 - :mod:`repro.serve` -- the serving subsystem: a versioned model artifact registry and a
   batched link-prediction inference engine with micro-batching and result caches.
 - :mod:`repro.runtime` -- the runtime layer on top of everything: the parallel

@@ -22,6 +22,18 @@ training run and hundreds of times per search.  The pre-vectorization dict-of-se
 implementation is retained verbatim in :mod:`repro.eval.reference` as the ground truth
 for the property tests and the throughput gate in
 ``benchmarks/test_ranking_throughput.py``.
+
+Incremental merge
+-----------------
+:meth:`FilterIndex.apply_delta` produces the index of a *changed* triple union without
+rebuilding from scratch: the sorted delta keys are located with ``np.searchsorted`` and
+spliced into the existing encoded-key/value arrays in one pass per direction, then the
+CSR group pointers are recomputed in O(n) from the already-sorted keys.  The full
+``np.unique(axis=0)`` dedup and the ``np.lexsort`` over all triples -- the dominant
+rebuild costs -- are never paid, yet the result is bit-identical to constructing a
+fresh index over the updated triple sets (property-gated in
+``tests/test_stream_delta.py``).  This is the kernel behind the streaming delta
+subsystem in :mod:`repro.stream`.
 """
 
 from __future__ import annotations
@@ -92,6 +104,10 @@ class FilterIndex:
         combined = np.concatenate(arrays, axis=0) if arrays else np.zeros((0, 3), dtype=np.int64)
         if combined.size:
             combined = np.unique(combined, axis=0)
+        # Frozen at construction: every lookup array below is either a view of this
+        # buffer or derived from it, so an accidental in-place write would silently
+        # desync the CSR pointers.  Read-only flags turn that into a loud ValueError.
+        combined.setflags(write=False)
         self._triples = combined
         heads, relations, tails = combined[:, 0], combined[:, 1], combined[:, 2]
         observed_relations = int(relations.max()) + 1 if combined.size else 1
@@ -109,6 +125,7 @@ class FilterIndex:
         self._head_vals = heads[order]
         # Encoded full triples, sorted (monotone in the (h, r, t) lexsort), for contains().
         self._triple_keys = self._encode_hr(heads, relations) * self._num_entities + tails
+        self._freeze_buffers()
         # LRU memo of per-array FlatFilter pairs, keyed by a content digest of the
         # triple array (32 bytes per entry instead of pinning the raw split bytes).
         self._flat_cache: "OrderedDict[Tuple[str, int, bytes], FlatFilter]" = OrderedDict()
@@ -185,14 +202,151 @@ class FilterIndex:
         index._flat_cache_max = 32
         return index
 
+    # ------------------------------------------------------------------ incremental merge
+    def apply_delta(self, adds, removes) -> "FilterIndex":
+        """A new index over the updated triple union, merged without a full rebuild.
+
+        ``adds`` / ``removes`` are ``(k, 3)`` triple arrays (or :class:`TripleSet`\\ s)
+        describing the *net* change of the deduplicated union this index covers:
+        every add must be absent from the index, every remove present, ids must lie
+        inside the ``(num_entities, num_relations)`` key-encoding domain, and the two
+        sets must be disjoint -- violations raise ``ValueError`` and leave ``self``
+        untouched.  The merge locates the sorted delta keys with ``np.searchsorted``
+        and splices the value/key arrays in one pass per direction (O(n + k log k)),
+        then regroups the CSR pointers in O(n); the expensive ``np.unique(axis=0)``
+        dedup and full ``np.lexsort`` of a rebuild are never executed.  The returned
+        index is bit-identical to ``FilterIndex(new_sets, num_entities, num_relations)``
+        over the updated triple sets; ``self`` remains valid for the old union (old
+        snapshots keep serving during a swap).
+        """
+        adds = self._delta_array(adds, "adds")
+        removes = self._delta_array(removes, "removes")
+        num_entities, num_relations = self._num_entities, self._num_relations
+
+        # Tail-direction (and contains()) full keys: monotone in the (h, r, t) lexsort.
+        add_keys = self._encode_hr(adds[:, 0], adds[:, 1]) * num_entities + adds[:, 2]
+        remove_keys = self._encode_hr(removes[:, 0], removes[:, 1]) * num_entities + removes[:, 2]
+        order = np.argsort(add_keys, kind="stable")
+        adds, add_keys = adds[order], add_keys[order]
+        remove_keys = np.sort(remove_keys)
+        for name, keys in (("adds", add_keys), ("removes", remove_keys)):
+            if keys.size and np.any(keys[1:] == keys[:-1]):
+                raise ValueError(f"delta {name} contain duplicate triples")
+        if add_keys.size and remove_keys.size and np.intersect1d(add_keys, remove_keys).size:
+            raise ValueError("delta adds and removes overlap")
+
+        remove_at = np.searchsorted(self._triple_keys, remove_keys)
+        missing = (remove_at >= len(self._triple_keys)) | (
+            self._triple_keys[np.minimum(remove_at, max(len(self._triple_keys) - 1, 0))] != remove_keys
+        ) if remove_keys.size else np.zeros(0, dtype=bool)
+        if np.any(missing):
+            bad = remove_keys[missing][0]
+            raise ValueError(
+                f"cannot remove triple with encoded key {int(bad)}: not present in the index"
+            )
+        add_at = np.searchsorted(self._triple_keys, add_keys)
+        if add_keys.size:
+            clipped = np.minimum(add_at, max(len(self._triple_keys) - 1, 0))
+            present = (add_at < len(self._triple_keys)) & (self._triple_keys[clipped] == add_keys)
+            if np.any(present):
+                bad = add_keys[present][0]
+                raise ValueError(
+                    f"cannot add triple with encoded key {int(bad)}: already present in the index"
+                )
+
+        # Single-pass splice of the (h, r, t)-sorted triple/key arrays.
+        keep = np.ones(len(self._triples), dtype=bool)
+        keep[remove_at] = False
+        base_triples = self._triples[keep]
+        base_keys = self._triple_keys[keep]
+        insert_at = np.searchsorted(base_keys, add_keys)
+        new_triples = np.insert(base_triples, insert_at, adds, axis=0)
+        new_triple_keys = np.insert(base_keys, insert_at, add_keys)
+
+        # Head direction: reconstruct the per-element (r, t, h) sort keys from the CSR
+        # pair in O(n) -- no lexsort -- and splice the same way.
+        head_group = np.repeat(self._head_keys, np.diff(self._head_ptr))
+        head_full = head_group * num_entities + self._head_vals
+        remove_head_keys = np.sort(
+            self._encode_rt(removes[:, 1], removes[:, 2]) * num_entities + removes[:, 0]
+        )
+        add_head_keys = self._encode_rt(adds[:, 1], adds[:, 2]) * num_entities + adds[:, 0]
+        head_order = np.argsort(add_head_keys, kind="stable")
+        add_head_keys = add_head_keys[head_order]
+        head_keep = np.ones(len(head_full), dtype=bool)
+        head_keep[np.searchsorted(head_full, remove_head_keys)] = False
+        base_head_group = head_group[head_keep]
+        base_head_vals = self._head_vals[head_keep]
+        head_insert_at = np.searchsorted(head_full[head_keep], add_head_keys)
+        new_head_vals = np.insert(base_head_vals, head_insert_at, adds[head_order][:, 0])
+        new_head_group = np.insert(base_head_group, head_insert_at, add_head_keys // num_entities)
+
+        merged = self.__class__.__new__(self.__class__)
+        merged._num_entities = num_entities
+        merged._num_relations = num_relations
+        merged._triples = new_triples
+        merged._tail_keys, merged._tail_ptr = self._group(
+            merged._encode_hr(new_triples[:, 0], new_triples[:, 1])
+        )
+        merged._tail_vals = new_triples[:, 2]
+        merged._head_keys, merged._head_ptr = self._group(new_head_group)
+        merged._head_vals = new_head_vals
+        merged._triple_keys = new_triple_keys
+        merged._flat_cache = OrderedDict()
+        merged._flat_cache_max = self._flat_cache_max
+        merged._freeze_buffers()
+        return merged
+
+    def _delta_array(self, triples, name: str) -> np.ndarray:
+        """Normalise one delta side to a ``(k, 3)`` int64 array inside the key domain."""
+        array = np.asarray(triples.array if isinstance(triples, TripleSet) else triples, dtype=np.int64)
+        array = np.ascontiguousarray(array.reshape(-1, 3))
+        if array.size == 0:
+            return array
+        if array.min() < 0:
+            raise ValueError(f"delta {name} contain negative ids")
+        if int(max(array[:, 0].max(), array[:, 2].max())) >= self._num_entities:
+            raise ValueError(
+                f"delta {name} reference entity id >= num_entities={self._num_entities}"
+            )
+        if int(array[:, 1].max()) >= self._num_relations:
+            raise ValueError(
+                f"delta {name} reference relation id >= num_relations={self._num_relations}"
+            )
+        return array
+
     @staticmethod
     def _group(sorted_keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-        """Unique keys of a sorted key array plus CSR offset pointers."""
+        """Unique keys of a sorted key array plus CSR offset pointers.
+
+        The input is sorted by contract, so duplicates are adjacent and one O(n)
+        change-flag pass replaces ``np.unique``'s internal re-sort -- this is what
+        keeps :meth:`apply_delta` linear in the index size.
+        """
         if sorted_keys.size == 0:
             return _EMPTY, np.zeros(1, dtype=np.int64)
-        keys, starts = np.unique(sorted_keys, return_index=True)
+        change = np.empty(len(sorted_keys), dtype=bool)
+        change[0] = True
+        np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=change[1:])
+        starts = np.flatnonzero(change)
+        keys = np.ascontiguousarray(sorted_keys[starts])
         ptr = np.append(starts, len(sorted_keys)).astype(np.int64)
         return keys, ptr
+
+    def _freeze_buffers(self) -> None:
+        """Mark every CSR buffer read-only so accidental mutation fails loudly."""
+        for buffer in (
+            self._triples,
+            self._tail_keys,
+            self._tail_ptr,
+            self._tail_vals,
+            self._head_keys,
+            self._head_ptr,
+            self._head_vals,
+            self._triple_keys,
+        ):
+            if isinstance(buffer, np.ndarray) and buffer.flags.writeable:
+                buffer.setflags(write=False)
 
     def _encode_hr(self, heads, relations) -> np.ndarray:
         """Injective ``(h, r)`` key; out-of-domain ids yield -1, matching no stored key."""
@@ -259,6 +413,22 @@ class FilterIndex:
         key = (head * self._num_relations + relation) * self._num_entities + tail
         pos = int(np.searchsorted(self._triple_keys, key))
         return pos < len(self._triple_keys) and int(self._triple_keys[pos]) == key
+
+    def contains_batch(self, triples: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`contains` over a ``(n, 3)`` triple array (bool array)."""
+        triples = np.atleast_2d(np.asarray(triples, dtype=np.int64))
+        if triples.shape[0] == 0 or self._triple_keys.size == 0:
+            return np.zeros(triples.shape[0], dtype=bool)
+        heads, relations, tails = triples[:, 0], triples[:, 1], triples[:, 2]
+        in_domain = (
+            (heads >= 0) & (relations >= 0) & (tails >= 0)
+            & (relations < self._num_relations) & (tails < self._num_entities)
+        )
+        keys = np.where(
+            in_domain, (heads * self._num_relations + relations) * self._num_entities + tails, -1
+        )
+        pos = np.minimum(np.searchsorted(self._triple_keys, keys), len(self._triple_keys) - 1)
+        return in_domain & (self._triple_keys[pos] == keys)
 
     def __len__(self) -> int:
         return len(self._triples)

@@ -51,6 +51,7 @@ class KnowledgeGraph:
         test: TripleSet,
         entity_vocab: Optional[Vocabulary] = None,
         relation_vocab: Optional[Vocabulary] = None,
+        graph_version: int = 0,
     ) -> None:
         if num_entities <= 0 or num_relations <= 0:
             raise ValueError("num_entities and num_relations must be positive")
@@ -62,8 +63,27 @@ class KnowledgeGraph:
         self.test = test
         self.entity_vocab = entity_vocab
         self.relation_vocab = relation_vocab
+        #: Monotonic snapshot counter: 0 for a freshly built graph, bumped by
+        #: :class:`repro.stream.MutableGraphView` for every applied delta.  Engines and
+        #: HTTP responses stamp results with it so staleness is observable end to end.
+        self.graph_version = int(graph_version)
         self._filter_index = None
+        self._freeze_splits()
         self._validate_ids()
+
+    def _freeze_splits(self) -> None:
+        """Mark the split arrays read-only so in-place mutation fails loudly.
+
+        :meth:`filter_index` memoises a CSR index derived from these arrays; a silent
+        in-place write would desync the cached index from the splits.  ``TripleSet``
+        freezes its buffer at construction already, but the writeable flag does not
+        survive pickling -- this re-freeze keeps the guard alive for graphs restored in
+        pool workers too.
+        """
+        for split in (self.train, self.valid, self.test):
+            array = split.array
+            if array.flags.writeable:  # pragma: no cover - only pickled splits
+                array.setflags(write=False)
 
     def _validate_ids(self) -> None:
         for split_name, split in (("train", self.train), ("valid", self.valid), ("test", self.test)):
@@ -150,6 +170,12 @@ class KnowledgeGraph:
         state = self.__dict__.copy()
         state["_filter_index"] = None
         return state
+
+    def __setstate__(self, state):
+        """Restore and re-freeze the splits (pickle drops the writeable=False flag)."""
+        self.__dict__.update(state)
+        self.__dict__.setdefault("graph_version", 0)
+        self._freeze_splits()
 
     def __repr__(self) -> str:
         return (

@@ -15,8 +15,9 @@ sweep orchestrator and the serving subsystem:
   registry.
 - ``bench``  -- run the runtime timing workloads (derive-phase scaling, serving
   latency, filtered-ranking throughput, per-searcher step latency, sweep
-  orchestration), writing ``BENCH_*.json`` files into ``--out`` (default
-  ``./bench-out/``) so the committed baselines in the repository root stay intact.
+  orchestration, streaming graph updates), writing ``BENCH_*.json`` files into
+  ``--out`` (default ``./bench-out/``) so the committed baselines in the repository
+  root stay intact.
 
 Every invocation documented in ``docs/CLI.md`` is checked against these parsers by
 ``tests/test_docs.py``, so the documentation cannot drift from the implementation.
@@ -357,10 +358,13 @@ def _add_bench_parser(subparsers) -> None:
         "registered searcher and writes BENCH_search.json, 'sweep' times serial vs "
         "pooled execution of a sweep grid and writes BENCH_sweep.json, 'shm' times "
         "shared-memory publish/attach against the pickle round-trip and writes "
-        "BENCH_shm.json.",
+        "BENCH_shm.json, 'streaming' interleaves live graph deltas with queries "
+        "(incremental merge vs rebuild) and writes BENCH_streaming.json.",
     )
     parser.add_argument(
-        "--workload", choices=("derive", "serving", "ranking", "search", "sweep", "shm"), default="derive",
+        "--workload",
+        choices=("derive", "serving", "ranking", "search", "sweep", "shm", "streaming"),
+        default="derive",
         help="which workload to run (default: derive)",
     )
     _add_dataset_arguments(parser, default="fb15k_like")
@@ -369,6 +373,15 @@ def _add_bench_parser(subparsers) -> None:
     parser.add_argument("--dim", type=int, default=64, help="embedding dimension (default: 64)")
     parser.add_argument("--queries", type=int, default=256, help="serving workload queries (default: 256)")
     parser.add_argument("--top-k", type=int, default=10, help="completions per serving query (default: 10)")
+    parser.add_argument(
+        "--deltas", type=int, default=12,
+        help="streaming workload: graph deltas to apply (default: 12); --queries is "
+        "spread evenly across the update stream",
+    )
+    parser.add_argument(
+        "--delta-triples", type=int, default=32,
+        help="streaming workload: triples per delta, half adds / half removes (default: 32)",
+    )
     parser.add_argument("--seed", type=int, default=0, help="workload seed (default: 0)")
     parser.add_argument("--output", metavar="PATH", default=None, help="write the result row as JSON")
     parser.add_argument(
@@ -723,6 +736,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         time_filtered_ranking,
         time_search_steps,
         time_shm_transport,
+        time_streaming_updates,
         time_sweep,
     )
     from repro.scoring.classics import named_structure
@@ -780,6 +794,27 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print(f"perf trajectory written to {path}")
         if not row["reports_match"]:
             print("pooled sweep report diverges from the serial report", file=sys.stderr)
+            return 1
+    elif args.workload == "streaming":
+        row = time_streaming_updates(
+            graph,
+            num_deltas=args.deltas,
+            delta_triples=args.delta_triples,
+            queries_per_delta=max(1, args.queries // max(args.deltas, 1)),
+            dim=min(args.dim, 32),
+            k=args.top_k,
+            seed=args.seed,
+        )
+        report = TableReport("streaming workload: interleaved graph updates and queries")
+        report.add_row(**row)
+        print(report.render())
+        if not row["merge_matches_rebuild"] or row["failed_queries"] or row["stale_results"]:
+            print(
+                "streaming workload failed fidelity checks (merge/rebuild divergence, "
+                "failed queries, or stale results)",
+                file=sys.stderr,
+            )
+            write_bench_json(args.workload, row, directory=args.out)
             return 1
     elif args.workload == "shm":
         row = time_shm_transport(graph, workers=args.workers, seed=args.seed)

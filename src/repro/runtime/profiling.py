@@ -53,6 +53,19 @@ dense masks + Tensor scoring) versus the vectorized pipeline (memoised CSR
 no-grad kernels).  The returned row carries a ``ranks_match`` bit-identity flag that
 both the benchmark gate and the CLI treat as a hard failure when false.
 
+:func:`time_streaming_updates` drives the live-graph path end to end: a stream of
+random :class:`~repro.stream.GraphDelta` batches is applied through a
+:class:`~repro.stream.MutableGraphView` (split splice + incremental CSR merge) and a
+:meth:`~repro.serve.engine.LinkPredictionEngine.apply_delta` cache-preserving engine
+swap, with link-prediction queries interleaved between updates.  The row reports the
+incremental merge wall clock against the full :class:`~repro.kg.filter_index.FilterIndex`
+rebuild a non-incremental server would pay per delta (``merge_speedup``), end-to-end
+update-apply and query latency percentiles, a staleness counter (results stamped with
+an older ``graph_version`` than the view's) and a ``merge_matches_rebuild`` flag
+asserting every merged index is bit-identical to its rebuild.  ``python -m repro bench
+--workload streaming`` and ``benchmarks/test_streaming.py`` report this row and
+persist it as ``BENCH_streaming.json``.
+
 ``benchmarks/test_figure02_search_efficiency.py`` /
 ``benchmarks/test_ranking_throughput.py`` and ``python -m repro bench --workload
 derive|ranking`` report these same rows, so the benchmarks and the CLI can never
@@ -67,6 +80,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.bench.reporting import summarize_latencies
 from repro.eval.ranking import RankingEvaluator
 from repro.eval.reference import NaiveRankingEvaluator
 from repro.kg.filter_index import FilterIndex
@@ -528,4 +542,146 @@ def time_filtered_ranking(
         "ranks_match": bool(
             all(np.array_equal(a, b) for a, b in zip(naive_ranks, fast_ranks))
         ),
+    }
+
+
+def _random_graph_delta(graph: KnowledgeGraph, delta_triples: int, rng) -> "object":
+    """A random train-split delta against ``graph``'s *current* state.
+
+    Half the budget removes triples sampled from the live train split, the other half
+    adds fresh triples absent from the whole graph (checked against the combined
+    filter index, so the delta is always valid for :meth:`FilterIndex.apply_delta`).
+    """
+    from repro.stream.delta import GraphDelta
+
+    index = graph.filter_index()
+    train = np.asarray(graph.train.array)
+    num_removes = min(delta_triples // 2, len(train))
+    if num_removes:
+        picks = train[rng.choice(len(train), size=num_removes, replace=False)]
+        removes = np.unique(picks, axis=0)
+    else:
+        removes = np.empty((0, 3), dtype=np.int64)
+
+    adds_needed = delta_triples - len(removes)
+    chunks: List[np.ndarray] = []
+    collected = 0
+    while collected < adds_needed:
+        candidates = np.column_stack(
+            [
+                rng.integers(0, graph.num_entities, size=4 * adds_needed),
+                rng.integers(0, graph.num_relations, size=4 * adds_needed),
+                rng.integers(0, graph.num_entities, size=4 * adds_needed),
+            ]
+        ).astype(np.int64)
+        fresh = np.unique(candidates[~index.contains_batch(candidates)], axis=0)
+        chunks.append(fresh)
+        collected += len(fresh)
+    adds = np.unique(np.concatenate(chunks), axis=0)[:adds_needed]
+    return GraphDelta.from_arrays(adds={"train": adds}, removes={"train": removes})
+
+
+def time_streaming_updates(
+    graph: KnowledgeGraph,
+    num_deltas: int = 12,
+    delta_triples: int = 32,
+    queries_per_delta: int = 32,
+    dim: int = 32,
+    k: int = 10,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Interleaved update/query stream over a live graph: merge vs rebuild, latencies.
+
+    ``num_deltas`` random train-split deltas (``delta_triples`` triples each, half
+    adds / half removes) are applied through a
+    :class:`~repro.stream.MutableGraphView` followed by the serving-path
+    :meth:`~repro.serve.engine.LinkPredictionEngine.apply_delta` engine swap; between
+    updates, ``queries_per_delta`` random link-prediction queries run against the
+    live engine.  Per delta the row also times the full ``FilterIndex`` rebuild a
+    non-incremental server would pay and asserts (``merge_matches_rebuild``) that the
+    incrementally merged CSR buffers are bit-identical to the rebuilt ones.  Query
+    results are checked against the view's version: any result stamped with an older
+    ``graph_version`` counts as ``stale_results``.
+    """
+    from repro.serve.engine import LinkPredictionEngine, LinkQuery
+    from repro.stream.delta import MutableGraphView
+
+    rng = new_rng(seed)
+    model = _ranking_workload_models(graph, 1, dim, seed)[0]
+    view = MutableGraphView(graph)
+    engine = LinkPredictionEngine.from_graph(model, graph)
+
+    # Pay the one-time scoring warmup outside the timed stream so the first query's
+    # latency measures serving, not kernel priming.
+    engine.predict([LinkQuery(relation=0, head=0, k=k)])
+
+    total_triples = len(graph.train) + len(graph.valid) + len(graph.test)
+    update_ms: List[float] = []
+    query_ms: List[float] = []
+    merge_seconds = 0.0
+    rebuild_seconds = 0.0
+    stale_results = 0
+    failed_queries = 0
+    merge_matches_rebuild = True
+
+    for _ in range(num_deltas):
+        delta = _random_graph_delta(view.graph, delta_triples, rng)
+
+        started = time.perf_counter()
+        new_graph = view.apply(delta)
+        merge_elapsed = time.perf_counter() - started
+        merge_seconds += merge_elapsed
+
+        started = time.perf_counter()
+        engine = engine.apply_delta(new_graph, delta)
+        update_ms.append((merge_elapsed + time.perf_counter() - started) * 1000.0)
+
+        # What a non-incremental server pays per delta: a from-scratch lexsort build
+        # over the spliced splits.  The merged index must be bit-identical to it.
+        started = time.perf_counter()
+        rebuilt = FilterIndex((new_graph.train, new_graph.valid, new_graph.test))
+        rebuild_seconds += time.perf_counter() - started
+        merged_arrays = new_graph.filter_index().csr_arrays()
+        rebuilt_arrays = rebuilt.csr_arrays()
+        merge_matches_rebuild = merge_matches_rebuild and set(merged_arrays) == set(
+            rebuilt_arrays
+        ) and all(np.array_equal(merged_arrays[key], rebuilt_arrays[key]) for key in merged_arrays)
+
+        for _ in range(queries_per_delta):
+            query = LinkQuery(
+                relation=int(rng.integers(0, graph.num_relations)),
+                head=int(rng.integers(0, graph.num_entities)),
+                k=k,
+            )
+            started = time.perf_counter()
+            try:
+                result = engine.predict([query])[0]
+            except Exception:
+                failed_queries += 1
+                continue
+            query_ms.append((time.perf_counter() - started) * 1000.0)
+            if result.graph_version != view.version:
+                stale_results += 1
+
+    update_summary = summarize_latencies(update_ms)
+    query_summary = summarize_latencies(query_ms)
+    return {
+        "dataset": graph.name,
+        "deltas": num_deltas,
+        "delta_triples": delta_triples,
+        "delta_fraction": round(delta_triples / max(total_triples, 1), 4),
+        "queries": len(query_ms),
+        "merge_seconds": round(merge_seconds, 4),
+        "rebuild_seconds": round(rebuild_seconds, 4),
+        "merge_speedup": round(rebuild_seconds / max(merge_seconds, 1e-9), 2),
+        "update_apply_p50_ms": update_summary["p50_ms"],
+        "update_apply_p95_ms": update_summary["p95_ms"],
+        "update_apply_max_ms": update_summary["max_ms"],
+        "query_p50_ms": query_summary["p50_ms"],
+        "query_p95_ms": query_summary["p95_ms"],
+        "stale_results": stale_results,
+        "failed_queries": failed_queries,
+        "final_graph_version": int(view.version),
+        "cache_entries_invalidated": int(engine.stats.cache_entries_invalidated),
+        "merge_matches_rebuild": bool(merge_matches_rebuild),
     }

@@ -18,7 +18,12 @@ package turns that artifact into a queryable service:
   :class:`EngineReloader`.
 - :mod:`repro.serve.http` -- :class:`HttpFrontendServer`, a stdlib-only asyncio
   HTTP/1.1 transport (``/v1/predict``, ``/healthz``, ``/readyz``, ``/metrics``,
-  ``/v1/reload``) behind ``python -m repro serve --http``.
+  ``/v1/reload``, ``/v1/graph/delta``) behind ``python -m repro serve --http``.
+
+Live graphs: with a :class:`~repro.stream.MutableGraphView` attached, the frontend
+accepts streaming :class:`~repro.stream.GraphDelta` updates -- the filter index is
+merged incrementally, caches are invalidated per touched relation, and every result
+is stamped with the serving ``graph_version`` (see ``docs/STREAMING.md``).
 """
 
 from repro.serve.artifacts import (

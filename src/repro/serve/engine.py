@@ -14,10 +14,17 @@ Two caches sit in front of the scorer:
 - optional per-relation score caches (:meth:`LinkPredictionEngine.precompute_relation`)
   holding the full ``num_entities x num_entities`` score matrix of a hot relation, which
   turns every query against that relation into a row lookup.
+
+Graph deltas version the engine: :meth:`LinkPredictionEngine.apply_delta` derives a new
+engine for an updated graph snapshot, carrying over every cache entry whose relation is
+untouched by the delta and dropping the rest (the invalidation set is exactly the
+relations appearing in the delta -- filtered results of other relations cannot change).
+Results are stamped with the serving ``graph_version`` so staleness is observable.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -73,6 +80,10 @@ class TopKResult:
     entities: np.ndarray
     scores: np.ndarray
     labels: Optional[Tuple[str, ...]] = None
+    #: ``graph_version`` of the snapshot this result is valid for.  Cached results that
+    #: survive a delta (their relation untouched) are re-stamped to the new version on
+    #: their next hit, because selective invalidation proves them still current.
+    graph_version: int = 0
 
     def pairs(self) -> List[Tuple[int, float]]:
         """``(entity_id, score)`` tuples, best first."""
@@ -84,13 +95,22 @@ class TopKResult:
 
 @dataclass
 class EngineStats:
-    """Counters describing how queries were answered."""
+    """Counters describing how queries were answered.
+
+    ``deltas_applied`` / ``cache_entries_invalidated`` / ``graph_version`` track the
+    streaming-update lifecycle; the stats object is shared across the engine lineage
+    produced by :meth:`LinkPredictionEngine.apply_delta`, so the counters are
+    cumulative over all snapshots of one served model.
+    """
 
     queries: int = 0
     scored: int = 0
     lru_hits: int = 0
     precomputed_hits: int = 0
     batches: int = 0
+    deltas_applied: int = 0
+    cache_entries_invalidated: int = 0
+    graph_version: int = 0
 
     def as_row(self) -> Dict[str, object]:
         return {
@@ -99,6 +119,9 @@ class EngineStats:
             "lru_hits": self.lru_hits,
             "precomputed_hits": self.precomputed_hits,
             "batches": self.batches,
+            "deltas_applied": self.deltas_applied,
+            "cache_entries_invalidated": self.cache_entries_invalidated,
+            "graph_version": self.graph_version,
         }
 
 
@@ -134,6 +157,7 @@ class LinkPredictionEngine:
         cache_size: int = 2048,
         score_batch_size: int = 256,
         max_precompute_entities: int = 4096,
+        graph_version: int = 0,
     ) -> None:
         if cache_size < 0:
             raise ValueError("cache_size must be non-negative")
@@ -147,7 +171,8 @@ class LinkPredictionEngine:
         self.cache_size = cache_size
         self.score_batch_size = score_batch_size
         self.max_precompute_entities = max_precompute_entities
-        self.stats = EngineStats()
+        self.graph_version = int(graph_version)
+        self.stats = EngineStats(graph_version=self.graph_version)
         self._lru: "OrderedDict[Tuple[str, int, int, int], TopKResult]" = OrderedDict()
         self._relation_scores: Dict[Tuple[int, str], np.ndarray] = {}
 
@@ -158,6 +183,7 @@ class LinkPredictionEngine:
         kwargs.setdefault("filter_index", graph.filter_index())
         kwargs.setdefault("entity_vocab", graph.entity_vocab)
         kwargs.setdefault("relation_vocab", graph.relation_vocab)
+        kwargs.setdefault("graph_version", graph.graph_version)
         return cls(model, **kwargs)
 
     @classmethod
@@ -194,6 +220,7 @@ class LinkPredictionEngine:
             entity_vocab = entity_vocab or graph.entity_vocab
             relation_vocab = relation_vocab or graph.relation_vocab
             kwargs.setdefault("filter_index", graph.filter_index())
+            kwargs.setdefault("graph_version", graph.graph_version)
         kwargs.setdefault("entity_vocab", entity_vocab)
         kwargs.setdefault("relation_vocab", relation_vocab)
         return cls(model, **kwargs)
@@ -260,6 +287,49 @@ class LinkPredictionEngine:
             tail=self.entity_vocab.id_of(tail) if tail is not None else None,
             k=k,
         )
+
+    # ------------------------------------------------------------------ streaming updates
+    def apply_delta(self, graph: KnowledgeGraph, delta) -> "LinkPredictionEngine":
+        """A successor engine serving an updated graph snapshot, with selective invalidation.
+
+        ``graph`` is the *new* snapshot (typically produced by
+        :meth:`repro.stream.MutableGraphView.apply`) and ``delta`` the
+        :class:`~repro.stream.GraphDelta` that produced it.  The successor shares the
+        model, vocabularies, configuration and the cumulative :class:`EngineStats`
+        object; its filter index is the snapshot's (incrementally merged) index.  Cache
+        entries keyed by a relation in ``delta.touched_relations()`` are dropped --
+        their filtered results may have changed -- while every other LRU result and
+        precomputed relation matrix carries over untouched.  ``self`` keeps serving the
+        old snapshot unmodified, so an atomic swap has no blackout window.
+        """
+        touched = set(int(r) for r in delta.touched_relations())
+        successor = self.__class__(
+            model=self.model,
+            filter_index=graph.filter_index(),
+            entity_vocab=self.entity_vocab,
+            relation_vocab=self.relation_vocab,
+            filtered=self.filtered,
+            cache_size=self.cache_size,
+            score_batch_size=self.score_batch_size,
+            max_precompute_entities=self.max_precompute_entities,
+            graph_version=graph.graph_version,
+        )
+        invalidated = 0
+        for key, result in self._lru.items():
+            if key[2] in touched:
+                invalidated += 1
+            else:
+                successor._lru[key] = result
+        for key, matrix in self._relation_scores.items():
+            if key[0] in touched:
+                invalidated += 1
+            else:
+                successor._relation_scores[key] = matrix
+        successor.stats = self.stats
+        successor.stats.deltas_applied += 1
+        successor.stats.cache_entries_invalidated += invalidated
+        successor.stats.graph_version = graph.graph_version
+        return successor
 
     # ------------------------------------------------------------------ caches
     def precompute_relation(self, relation: int, direction: str = "tail") -> np.ndarray:
@@ -361,7 +431,13 @@ class LinkPredictionEngine:
         labels = None
         if self.entity_vocab is not None:
             labels = tuple(self.entity_vocab.symbol_of(int(e)) for e in entities)
-        result = TopKResult(query=query, entities=entities, scores=top_scores, labels=labels)
+        result = TopKResult(
+            query=query,
+            entities=entities,
+            scores=top_scores,
+            labels=labels,
+            graph_version=self.graph_version,
+        )
         self._lru_put(query, result)
         return result
 
@@ -376,6 +452,11 @@ class LinkPredictionEngine:
         key = self._lru_key(query)
         result = self._lru.get(key)
         if result is not None:
+            if result.graph_version != self.graph_version:
+                # The entry survived a delta swap, which proves its relation was
+                # untouched -- the result is still current, so re-stamp it.
+                result = dataclasses.replace(result, graph_version=self.graph_version)
+                self._lru[key] = result
             self._lru.move_to_end(key)
         return result
 

@@ -21,6 +21,12 @@ micro-batching :class:`~repro.serve.service.PredictionService`:
   checksum or smoke queries is rolled back (the previous engine keeps serving, zero
   in-flight requests fail), retried with exponential backoff, and circuit-broken after
   ``max_attempts`` failures so a persistently bad artifact cannot flap the server.
+- **Streaming graph deltas.**  With a :class:`~repro.stream.MutableGraphView` attached,
+  :meth:`ServingFrontend.apply_graph_delta` validates a delta off the event loop,
+  produces the next graph snapshot (incremental filter-index merge, bumped
+  ``graph_version``) and swaps in a successor engine through the same
+  validate-first single-assignment path as hot reload -- in-flight batches finish on
+  the snapshot they started with, and a rejected delta provably changes nothing.
 """
 
 from __future__ import annotations
@@ -39,6 +45,7 @@ from repro.bench.reporting import summarize_latencies
 from repro.serve.artifacts import ModelArtifactRegistry, manifest_vocabularies
 from repro.serve.engine import LinkPredictionEngine, LinkQuery, TopKResult
 from repro.serve.service import LATENCY_WINDOW, PredictionService, ServiceConfig
+from repro.stream.delta import GraphDelta, MutableGraphView
 
 
 # ---------------------------------------------------------------------------- errors
@@ -326,11 +333,16 @@ class ServingFrontend:
         config: Optional[FrontendConfig] = None,
         service_config: Optional[ServiceConfig] = None,
         reloader: Optional[EngineReloader] = None,
+        graph_view: Optional[MutableGraphView] = None,
     ) -> None:
         self.config = config or FrontendConfig()
         self.model_name = model_name
         self.version = version
         self.reloader = reloader
+        #: The live-graph mutation point; ``None`` means delta requests are refused.
+        self.graph_view = graph_view
+        self.deltas_accepted = 0
+        self.deltas_rejected = 0
         self._service = PredictionService(engine, service_config or self.config.service_config())
         self._queue: Optional["asyncio.Queue[_PendingRequest]"] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -545,6 +557,48 @@ class ServingFrontend:
         self._service = PredictionService(engine, self._service.config)
         self.version = version
 
+    # ------------------------------------------------------------------ graph deltas
+    async def apply_graph_delta(self, delta: GraphDelta) -> Dict[str, object]:
+        """Apply a validated graph delta and swap in the successor engine.
+
+        Runs on the reload executor (serialised with hot reloads, off the event loop).
+        Validation failures raise :class:`~repro.stream.DeltaValidationError` *before*
+        any state changes: the graph view, the serving engine, its caches and
+        ``graph_version`` all remain exactly as they were.  On success the successor
+        engine (selectively invalidated caches, merged filter index) replaces the
+        current one through the same single-assignment path as a hot reload, and the
+        returned summary carries the new ``graph_version``.
+        """
+        if not self._started:
+            raise FrontendError("frontend is not started")
+        if self.graph_view is None:
+            raise FrontendError("no graph attached; the server cannot accept deltas")
+        try:
+            return await self._loop.run_in_executor(
+                self._reload_executor, self._apply_delta_sync, delta
+            )
+        except Exception:
+            self.deltas_rejected += 1
+            raise
+
+    def _apply_delta_sync(self, delta: GraphDelta) -> Dict[str, object]:
+        new_graph = self.graph_view.apply(delta)  # raises before any published change
+        old_engine = self._service.engine
+        successor = old_engine.apply_delta(new_graph, delta)
+        # Same swap discipline as _on_swap: build fully, then one reference assignment.
+        # ServiceStats carries over so latency/throughput history survives the swap.
+        self._service = PredictionService(successor, self._service.config, stats=self._service.stats)
+        self.deltas_accepted += 1
+        summary = delta.describe()
+        summary.update(
+            {
+                "graph_version": new_graph.graph_version,
+                "deltas_applied": successor.stats.deltas_applied,
+                "cache_entries_invalidated": successor.stats.cache_entries_invalidated,
+            }
+        )
+        return summary
+
     # ------------------------------------------------------------------ introspection
     @property
     def engine(self) -> LinkPredictionEngine:
@@ -590,6 +644,15 @@ class ServingFrontend:
             },
             "latency": summarize_latencies(list(self._latencies_ms)),
             "service": self._service.stats.as_row(),
+            "engine": self._service.engine.stats.as_row(),
+            "graph": {
+                "version": self.graph_view.version
+                if self.graph_view is not None
+                else self._service.engine.graph_version,
+                "attached": self.graph_view is not None,
+                "deltas_accepted": self.deltas_accepted,
+                "deltas_rejected": self.deltas_rejected,
+            },
         }
         if self.reloader is not None:
             payload["reload"] = self.reloader.stats()
@@ -612,24 +675,36 @@ class ServingFrontend:
         With ``version=None`` the frontend serves the latest version and follows new
         ones via an :class:`EngineReloader`; a pinned explicit version never reloads.
         ``graph`` (optional) supplies the filter index and fallback vocabularies, the
-        same way :meth:`LinkPredictionEngine.from_artifact` uses it.
+        same way :meth:`LinkPredictionEngine.from_artifact` uses it, and is wrapped in
+        a :class:`~repro.stream.MutableGraphView` so ``POST /v1/graph/delta`` works;
+        hot reloads always build against the view's *current* snapshot, never the
+        boot-time graph.
         """
         resolved = registry.resolve(name, version)
+        graph_view = MutableGraphView(graph) if graph is not None else None
 
         def build_engine(model, manifest, version) -> LinkPredictionEngine:
             entity_vocab, relation_vocab = manifest_vocabularies(manifest)
             kwargs = dict(engine_kwargs)
-            if graph is not None:
-                entity_vocab = entity_vocab or graph.entity_vocab
-                relation_vocab = relation_vocab or graph.relation_vocab
-                kwargs.setdefault("filter_index", graph.filter_index())
+            if graph_view is not None:
+                current = graph_view.graph
+                entity_vocab = entity_vocab or current.entity_vocab
+                relation_vocab = relation_vocab or current.relation_vocab
+                kwargs.setdefault("filter_index", current.filter_index())
+                kwargs.setdefault("graph_version", current.graph_version)
             kwargs.setdefault("entity_vocab", entity_vocab)
             kwargs.setdefault("relation_vocab", relation_vocab)
             return LinkPredictionEngine(model, **kwargs)
 
         model, manifest = registry.load(name, resolved.version)
         engine = build_engine(model, manifest, resolved.version)
-        frontend = cls(engine, model_name=name, version=resolved.version, config=config)
+        frontend = cls(
+            engine,
+            model_name=name,
+            version=resolved.version,
+            config=config,
+            graph_view=graph_view,
+        )
         if version is None:
             frontend.reloader = EngineReloader(
                 registry,

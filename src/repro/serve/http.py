@@ -14,8 +14,14 @@ Endpoint                    Behaviour
 ``GET /healthz``            Liveness: ``200`` whenever the process can answer.
 ``GET /readyz``             Readiness: ``200`` only while the model is loaded and
                             the queue is below the high-water mark, else ``503``.
-``GET /metrics``            JSON queue/counter/latency/reload state.
+``GET /metrics``            JSON queue/counter/latency/engine/graph/reload state.
 ``POST /v1/reload``         Run one reload check now; returns the outcome.
+``POST /v1/graph/delta``    JSON ``{"adds": {split: [[h, r, t], ...]}, "removes":
+                            {...}}`` → apply a streaming graph delta and swap in the
+                            updated engine; the response carries the new
+                            ``graph_version``.  ``400`` for malformed/out-of-vocab
+                            deltas (state provably unchanged), ``409`` when the
+                            server has no graph attached.
 ==========================  =======================================================
 
 ``SIGTERM``/``SIGINT`` trigger graceful drain: the listener closes, accepted requests
@@ -38,6 +44,7 @@ from repro.serve.frontend import (
     OverloadedError,
     ServingFrontend,
 )
+from repro.stream.delta import DeltaValidationError, GraphDelta
 
 MAX_HEADER_BYTES = 16384
 MAX_BODY_BYTES = 1_048_576
@@ -258,7 +265,33 @@ class HttpFrontendServer:
                 return 409, {"error": "hot-reload is disabled (no registry reloader)"}, {}
             outcome = await self.frontend.reload_now()
             return 200, {"outcome": outcome, **self.frontend.reloader.stats()}, {}
+        if path == "/v1/graph/delta":
+            if method != "POST":
+                return 405, {"error": "method not allowed"}, {"Allow": "POST"}
+            return await self._graph_delta(body)
         return 404, {"error": f"no route for {path}"}, {}
+
+    async def _graph_delta(self, body: bytes) -> Tuple[int, Dict[str, object], Dict[str, str]]:
+        if self.frontend.graph_view is None:
+            return 409, {"error": "no graph attached; the server cannot accept deltas"}, {}
+        try:
+            document = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            self.frontend.deltas_rejected += 1
+            return 400, {"error": f"request body is not valid JSON: {error}"}, {}
+        try:
+            delta = GraphDelta.from_json(document)
+        except DeltaValidationError as error:
+            self.frontend.deltas_rejected += 1
+            return 400, {"error": str(error)}, {}
+        try:
+            summary = await self.frontend.apply_graph_delta(delta)
+        except DeltaValidationError as error:
+            # Validation against the live snapshot failed; nothing changed server-side.
+            return 400, {"error": str(error), "graph_version": self.frontend.graph_view.version}, {}
+        except Exception as error:  # noqa: BLE001 - a delta failure must not kill the conn
+            return 500, {"error": f"{type(error).__name__}: {error}"}, {}
+        return 200, {"ok": True, **summary}, {}
 
     async def _predict(self, body: bytes) -> Tuple[int, Dict[str, object], Dict[str, str]]:
         try:
@@ -298,6 +331,7 @@ class HttpFrontendServer:
             "relation": query.relation,
             "direction": query.direction,
             "k": query.k,
+            "graph_version": result.graph_version,
             "results": [
                 {
                     "entity": int(entity),

@@ -119,10 +119,17 @@ class PredictionService:
     or, for synchronous callers, :meth:`query` / :meth:`query_many`.
     """
 
-    def __init__(self, engine: LinkPredictionEngine, config: Optional[ServiceConfig] = None) -> None:
+    def __init__(
+        self,
+        engine: LinkPredictionEngine,
+        config: Optional[ServiceConfig] = None,
+        stats: Optional[ServiceStats] = None,
+    ) -> None:
         self.engine = engine
         self.config = config or ServiceConfig()
-        self.stats = ServiceStats()
+        # An existing ServiceStats may be passed in so a delta-swap successor keeps the
+        # cumulative latency/throughput history of the service it replaces.
+        self.stats = stats or ServiceStats()
         self._pending: List[tuple[int, LinkQuery]] = []
         self._results: Dict[int, TopKResult] = {}
         self._next_ticket = 0

@@ -1,0 +1,21 @@
+"""Streaming graph updates: deltas, versioned snapshots and incremental index merge.
+
+The package turns the build-once structures of :mod:`repro.kg` into a live pipeline:
+a :class:`GraphDelta` describes per-split triple additions/removals, a
+:class:`MutableGraphView` applies it to produce a new immutable
+:class:`~repro.kg.graph.KnowledgeGraph` snapshot (with a bumped ``graph_version`` and
+the filter index merged incrementally via
+:meth:`~repro.kg.filter_index.FilterIndex.apply_delta` instead of rebuilt), and the
+serving layer (:meth:`repro.serve.frontend.ServingFrontend.apply_graph_delta`) swaps
+engines atomically so queries keep flowing during updates.  See ``docs/STREAMING.md``
+for the full lifecycle.
+"""
+
+from repro.stream.delta import SPLIT_NAMES, DeltaValidationError, GraphDelta, MutableGraphView
+
+__all__ = [
+    "SPLIT_NAMES",
+    "DeltaValidationError",
+    "GraphDelta",
+    "MutableGraphView",
+]

@@ -1,0 +1,359 @@
+"""Graph deltas and the versioned snapshot pipeline.
+
+A :class:`GraphDelta` is a validated batch of per-split triple additions and removals.
+:class:`MutableGraphView` is the single mutation point of a live graph: it holds the
+current immutable :class:`~repro.kg.graph.KnowledgeGraph` snapshot and, per applied
+delta, produces the *next* snapshot -- new split arrays, ``graph_version + 1``, and a
+filter index obtained by :meth:`~repro.kg.filter_index.FilterIndex.apply_delta`
+(incremental CSR merge) rather than a rebuild.  Old snapshots stay fully usable, so
+readers holding the previous version are never invalidated mid-query.
+
+Split-level vs index-level semantics
+------------------------------------
+Splits may share triples, and the filter index covers their *deduplicated union*.  The
+net index delta is therefore computed here: an add only reaches the index if the triple
+was absent from every old split, and a remove only reaches it if the triple is absent
+from every split *after* the delta (removing a triple from ``train`` while it remains
+in ``valid`` leaves the index unchanged).  A remove-from-one-split plus
+add-to-another in the same delta cancels out at the index level.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.triples import TripleSet
+
+#: Split names a delta may address, in canonical order.
+SPLIT_NAMES = ("train", "valid", "test")
+
+
+class DeltaValidationError(ValueError):
+    """A delta that cannot be applied: malformed payload, out-of-vocab ids, adds that
+    already exist in the target split, or removes of absent triples.  Raised *before*
+    any state changes, so the current snapshot is guaranteed untouched."""
+
+
+def _as_triple_array(value, label: str) -> np.ndarray:
+    """Coerce one split's payload to a ``(k, 3)`` int64 array or raise cleanly."""
+    if isinstance(value, TripleSet):
+        return value.array
+    try:
+        array = np.asarray(value, dtype=np.int64)
+    except (TypeError, ValueError, OverflowError) as error:
+        raise DeltaValidationError(f"{label}: triples must be integer (k, 3) rows: {error}") from None
+    if array.size == 0:
+        return np.zeros((0, 3), dtype=np.int64)
+    if array.ndim != 2 or array.shape[1] != 3:
+        raise DeltaValidationError(f"{label}: triples must have shape (k, 3), got {array.shape}")
+    return np.ascontiguousarray(array)
+
+
+def _encode(array: np.ndarray, num_entities: int, num_relations: int) -> np.ndarray:
+    """The injective int64 full-triple key ``(h * R + r) * E + t`` (domain-checked by caller)."""
+    return (array[:, 0] * num_relations + array[:, 1]) * num_entities + array[:, 2]
+
+
+@dataclass(frozen=True)
+class GraphDelta:
+    """One validated batch of triple mutations, keyed by split.
+
+    Fields
+    ------
+    adds:
+        Mapping from split name (``train`` / ``valid`` / ``test``) to a ``(k, 3)``
+        int64 array of triples to append to that split.  Every triple must be absent
+        from the target split; duplicates within one split's adds are rejected.
+    removes:
+        Mapping from split name to a ``(k, 3)`` int64 array of triples to delete.
+        Every triple must be present in the target split (all duplicate occurrences
+        are deleted); a triple may not appear in both ``adds`` and ``removes`` of the
+        same split.
+    """
+
+    adds: Mapping[str, np.ndarray] = field(default_factory=dict)
+    removes: Mapping[str, np.ndarray] = field(default_factory=dict)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        adds: Optional[Mapping[str, object]] = None,
+        removes: Optional[Mapping[str, object]] = None,
+    ) -> "GraphDelta":
+        """Build a delta from ``{split: (k, 3) array-like}`` mappings (shape-checked)."""
+        def normalise(side: Optional[Mapping[str, object]], label: str) -> Dict[str, np.ndarray]:
+            out: Dict[str, np.ndarray] = {}
+            for split, value in (side or {}).items():
+                if split not in SPLIT_NAMES:
+                    raise DeltaValidationError(
+                        f"{label}: unknown split {split!r} (expected one of {SPLIT_NAMES})"
+                    )
+                array = _as_triple_array(value, f"{label}[{split}]")
+                if len(array):
+                    out[split] = array
+            return out
+
+        return cls(adds=normalise(adds, "adds"), removes=normalise(removes, "removes"))
+
+    @classmethod
+    def from_json(cls, payload: object) -> "GraphDelta":
+        """Parse the ``POST /v1/graph/delta`` wire format.
+
+        The payload is ``{"adds": {split: [[h, r, t], ...]}, "removes": {...}}`` with
+        both top-level keys optional; anything else raises
+        :class:`DeltaValidationError`.
+        """
+        if not isinstance(payload, dict):
+            raise DeltaValidationError("delta payload must be a JSON object")
+        unknown = set(payload) - {"adds", "removes"}
+        if unknown:
+            raise DeltaValidationError(f"unknown delta key(s) {sorted(unknown)}")
+        for key in ("adds", "removes"):
+            if key in payload and not isinstance(payload[key], dict):
+                raise DeltaValidationError(f"{key!r} must map split names to triple lists")
+        return cls.from_arrays(adds=payload.get("adds"), removes=payload.get("removes"))
+
+    # ------------------------------------------------------------------ introspection
+    def is_empty(self) -> bool:
+        """Whether the delta mutates nothing."""
+        return not any(len(a) for a in self.adds.values()) and not any(
+            len(r) for r in self.removes.values()
+        )
+
+    @property
+    def num_added(self) -> int:
+        """Total triples added across splits (before index-level dedup)."""
+        return sum(len(a) for a in self.adds.values())
+
+    @property
+    def num_removed(self) -> int:
+        """Total triples removed across splits (before index-level dedup)."""
+        return sum(len(r) for r in self.removes.values())
+
+    def touched_relations(self) -> np.ndarray:
+        """Sorted unique relation ids appearing anywhere in the delta.
+
+        This is the invalidation set: serving caches keyed by a relation outside this
+        array are provably unaffected by the delta and survive the swap.
+        """
+        columns = [a[:, 1] for a in self.adds.values()] + [r[:, 1] for r in self.removes.values()]
+        if not columns:
+            return np.array([], dtype=np.int64)
+        return np.unique(np.concatenate(columns))
+
+    def describe(self) -> Dict[str, int]:
+        """Small summary dict for logs and HTTP responses."""
+        return {
+            "added": int(self.num_added),
+            "removed": int(self.num_removed),
+            "relations_touched": int(len(self.touched_relations())),
+        }
+
+
+class MutableGraphView:
+    """The single mutation point over a lineage of immutable graph snapshots.
+
+    Holds the current :class:`~repro.kg.graph.KnowledgeGraph`; :meth:`apply` validates
+    a :class:`GraphDelta` against it, splices the split arrays, merges the filter index
+    incrementally and installs a new snapshot with ``graph_version`` bumped by one.
+    Application is serialised by an internal lock; failed validation leaves the current
+    snapshot untouched (all checks run before any allocation is published).
+    """
+
+    def __init__(self, graph: KnowledgeGraph) -> None:
+        self._graph = graph
+        self._lock = threading.Lock()
+
+    @property
+    def graph(self) -> KnowledgeGraph:
+        """The current immutable snapshot."""
+        return self._graph
+
+    @property
+    def version(self) -> int:
+        """``graph_version`` of the current snapshot."""
+        return self._graph.graph_version
+
+    def apply(self, delta: GraphDelta) -> KnowledgeGraph:
+        """Apply one delta and return the new snapshot (also retained as current).
+
+        Raises :class:`DeltaValidationError` (a ``ValueError``) when the delta is
+        inconsistent with the current snapshot; the view then still points at the old
+        version.  The new snapshot's filter index is pre-installed via
+        :meth:`FilterIndex.apply_delta`, so no consumer ever pays a rebuild.
+        """
+        with self._lock:
+            graph = self._graph
+            new_graph = _apply_delta(graph, delta)
+            self._graph = new_graph
+            return new_graph
+
+
+def _apply_delta(graph: KnowledgeGraph, delta: GraphDelta) -> KnowledgeGraph:
+    """Pure function from (snapshot, delta) to the next snapshot."""
+    num_entities, num_relations = graph.num_entities, graph.num_relations
+    _validate_bounds(delta, num_entities, num_relations)
+
+    splits = {"train": graph.train, "valid": graph.valid, "test": graph.test}
+    sorted_keys = _sorted_split_keys(graph)
+
+    new_arrays: Dict[str, np.ndarray] = {}
+    new_sorted_keys: Dict[str, np.ndarray] = {}
+    for name, split in splits.items():
+        adds = delta.adds.get(name, np.zeros((0, 3), dtype=np.int64))
+        removes = delta.removes.get(name, np.zeros((0, 3), dtype=np.int64))
+        sorted_adds = (
+            np.sort(_encode(adds, num_entities, num_relations)) if len(adds) else np.array([], dtype=np.int64)
+        )
+        sorted_removes = (
+            np.sort(_encode(removes, num_entities, num_relations))
+            if len(removes)
+            else np.array([], dtype=np.int64)
+        )
+        _validate_split(name, sorted_keys[name], sorted_adds, sorted_removes)
+        array = split.array
+        new_sorted = sorted_keys[name]
+        if len(sorted_removes):
+            # The only full-split passes of the merge, and only for touched splits:
+            # one key encode plus two binary-search membership masks.
+            row_keys = _encode(array, num_entities, num_relations)
+            array = array[~_in_sorted(row_keys, sorted_removes)]
+            new_sorted = new_sorted[~_in_sorted(new_sorted, sorted_removes)]
+        if len(adds):
+            array = np.concatenate([array, adds], axis=0)
+            new_sorted = np.insert(new_sorted, np.searchsorted(new_sorted, sorted_adds), sorted_adds)
+        new_arrays[name] = array
+        new_sorted_keys[name] = new_sorted
+
+    # Net index-level delta over the deduplicated union of all splits.
+    old_index = graph.filter_index()
+    all_adds = _dedup_rows(
+        [delta.adds[name] for name in SPLIT_NAMES if name in delta.adds],
+        num_entities,
+        num_relations,
+    )
+    index_adds = all_adds[~old_index.contains_batch(all_adds)] if len(all_adds) else all_adds
+    all_removes = _dedup_rows(
+        [delta.removes[name] for name in SPLIT_NAMES if name in delta.removes],
+        num_entities,
+        num_relations,
+    )
+    if len(all_removes):
+        remove_keys = _encode(all_removes, num_entities, num_relations)
+        still_present = np.zeros(len(all_removes), dtype=bool)
+        for name in SPLIT_NAMES:
+            still_present |= _in_sorted(remove_keys, new_sorted_keys[name])
+        index_removes = all_removes[~still_present]
+    else:
+        index_removes = all_removes
+    merged_index = old_index.apply_delta(index_adds, index_removes)
+
+    new_graph = KnowledgeGraph(
+        name=graph.name,
+        num_entities=num_entities,
+        num_relations=num_relations,
+        train=TripleSet(new_arrays["train"]),
+        valid=TripleSet(new_arrays["valid"]),
+        test=TripleSet(new_arrays["test"]),
+        entity_vocab=graph.entity_vocab,
+        relation_vocab=graph.relation_vocab,
+        graph_version=graph.graph_version + 1,
+    )
+    # Install the merged index directly (same idiom as the shm zero-copy attach path):
+    # consumers calling filter_index() get the incrementally merged structure, which is
+    # bit-identical to the rebuild they would otherwise trigger.  The spliced per-split
+    # sorted keys ride along so the next delta never re-sorts a split.
+    new_graph._filter_index = merged_index
+    new_graph._stream_split_keys = new_sorted_keys
+    return new_graph
+
+
+def _dedup_rows(
+    arrays: Iterable[np.ndarray], num_entities: int, num_relations: int
+) -> np.ndarray:
+    """Concatenate row arrays and drop duplicate triples (key-sorted order)."""
+    arrays = [a for a in arrays if len(a)]
+    if not arrays:
+        return np.zeros((0, 3), dtype=np.int64)
+    combined = np.concatenate(arrays, axis=0)
+    keys = _encode(combined, num_entities, num_relations)
+    order = np.argsort(keys, kind="stable")
+    keys = keys[order]
+    first = np.ones(len(keys), dtype=bool)
+    first[1:] = keys[1:] != keys[:-1]
+    return combined[order[first]]
+
+
+def _validate_bounds(delta: GraphDelta, num_entities: int, num_relations: int) -> None:
+    for label, side in (("adds", delta.adds), ("removes", delta.removes)):
+        for split, array in side.items():
+            if not len(array):
+                continue
+            if array.min() < 0:
+                raise DeltaValidationError(f"{label}[{split}]: triple ids must be non-negative")
+            if int(max(array[:, 0].max(), array[:, 2].max())) >= num_entities:
+                raise DeltaValidationError(
+                    f"{label}[{split}]: entity id out of range (num_entities={num_entities})"
+                )
+            if int(array[:, 1].max()) >= num_relations:
+                raise DeltaValidationError(
+                    f"{label}[{split}]: relation id out of range (num_relations={num_relations})"
+                )
+
+
+def _in_sorted(keys: np.ndarray, sorted_queries: np.ndarray) -> np.ndarray:
+    """Membership of ``keys`` in the ascending ``sorted_queries`` array.
+
+    ``O(n log k)`` binary search with the *small* (delta-sized) side sorted --
+    deliberately not :func:`np.isin`, whose table path hashes the full split on every
+    delta and would make "incremental" apply scale with the graph, not the delta.
+    """
+    if not len(keys) or not len(sorted_queries):
+        return np.zeros(len(keys), dtype=bool)
+    pos = np.minimum(np.searchsorted(sorted_queries, keys), len(sorted_queries) - 1)
+    return sorted_queries[pos] == keys
+
+
+def _sorted_split_keys(graph: KnowledgeGraph) -> Dict[str, np.ndarray]:
+    """Ascending full-triple key arrays per split, memoised on the snapshot.
+
+    A graph that has never seen a delta pays one ``O(n log n)`` sort per split; every
+    :func:`_apply_delta` then splices the touched splits incrementally and installs
+    the result on the next snapshot, so a long-lived update stream keeps all its
+    membership checks at binary-search cost.
+    """
+    cache = getattr(graph, "_stream_split_keys", None)
+    if cache is None:
+        cache = {
+            name: np.sort(
+                _encode(getattr(graph, name).array, graph.num_entities, graph.num_relations)
+            )
+            for name in SPLIT_NAMES
+        }
+        graph._stream_split_keys = cache
+    return cache
+
+
+def _validate_split(
+    name: str, existing_sorted: np.ndarray, sorted_adds: np.ndarray, sorted_removes: np.ndarray
+) -> None:
+    """Check one split's delta against the split's sorted key array (all ``O(k log n)``)."""
+    for label, keys in (("adds", sorted_adds), ("removes", sorted_removes)):
+        if len(keys) and bool((keys[1:] == keys[:-1]).any()):
+            raise DeltaValidationError(f"{label}[{name}]: duplicate triples in delta")
+    if len(sorted_adds) and len(sorted_removes) and _in_sorted(sorted_adds, sorted_removes).any():
+        raise DeltaValidationError(f"delta adds and removes overlap in split {name!r}")
+    if len(sorted_adds) and _in_sorted(sorted_adds, existing_sorted).any():
+        raise DeltaValidationError(f"adds[{name}]: triple(s) already present in split")
+    if len(sorted_removes) and not _in_sorted(sorted_removes, existing_sorted).all():
+        raise DeltaValidationError(f"removes[{name}]: triple(s) not present in split")
+
+
+def split_sizes(graph: KnowledgeGraph) -> Tuple[int, int, int]:
+    """``(train, valid, test)`` sizes of a snapshot -- convenience for logs/metrics."""
+    return len(graph.train), len(graph.valid), len(graph.test)

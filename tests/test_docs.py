@@ -59,11 +59,13 @@ def _audited_dataclasses():
     from repro.runtime.shm import BundleHandle, SegmentSpec
     from repro.serve.frontend import FrontendConfig, ReloadConfig
     from repro.serve.service import ServiceConfig
+    from repro.stream.delta import GraphDelta
 
     return [
         ServiceConfig,
         FrontendConfig,
         ReloadConfig,
+        GraphDelta,
         SegmentSpec,
         BundleHandle,
         SearchBudget,

@@ -35,6 +35,7 @@ from repro.serve import (
 )
 from repro.serve.frontend import EngineReloader
 from repro.serve.http import parse_address
+from repro.stream import MutableGraphView
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
@@ -174,6 +175,119 @@ class TestEndpoints:
             status, payload, _ = _request(address, "POST", "/v1/reload")
             assert status == 409
             assert "disabled" in payload["error"]
+
+
+# ---------------------------------------------------------------------------- live graph deltas
+def _fresh_triple(graph, relation):
+    """Some ``[head, relation, tail]`` absent from every split of ``graph``."""
+    index = graph.filter_index()
+    for head in range(graph.num_entities):
+        for tail in range(graph.num_entities):
+            if not index.contains(head, relation, tail):
+                return [head, relation, tail]
+    raise AssertionError("graph is complete; no fresh triple exists")
+
+
+class TestGraphDelta:
+    """``POST /v1/graph/delta``: versioned swaps, selective invalidation, fault isolation."""
+
+    def test_delta_swaps_version_and_invalidates_only_touched_relations(
+        self, tiny_graph, trained_tiny_model
+    ):
+        engine = LinkPredictionEngine.from_graph(trained_tiny_model, tiny_graph)
+        view = MutableGraphView(tiny_graph)
+        with serving(engine, graph_view=view) as (address, frontend):
+            # Warm one LRU entry per relation; results carry the boot version.
+            assert _predict(address, relation=0, head=1)[1]["graph_version"] == 0
+            assert _predict(address, relation=1, head=1)[1]["graph_version"] == 0
+
+            triple = _fresh_triple(view.graph, relation=0)
+            status, payload, _ = _request(
+                address, "POST", "/v1/graph/delta", body={"adds": {"train": [triple]}}
+            )
+            assert status == 200
+            assert payload["ok"] is True
+            assert payload["graph_version"] == 1
+            assert payload["added"] == 1 and payload["removed"] == 0
+            assert payload["relations_touched"] == 1
+
+            # The swapped-in engine dropped only the touched relation's cache entry.
+            live = frontend._service.engine
+            assert live.graph_version == 1
+            assert [key[2] for key in live._lru] == [1]
+            assert live.stats.deltas_applied == 1
+            assert live.stats.cache_entries_invalidated == 1
+
+            # New results are stamped with the new version -- including the surviving
+            # relation-1 entry, which is re-stamped on its next cache hit.
+            assert _predict(address, relation=0, head=1)[1]["graph_version"] == 1
+            assert _predict(address, relation=1, head=1)[1]["graph_version"] == 1
+
+            status, metrics, _ = _request(address, "GET", "/metrics")
+            assert status == 200
+            assert metrics["graph"]["version"] == 1
+            assert metrics["graph"]["attached"] is True
+            assert metrics["graph"]["deltas_accepted"] == 1
+            assert metrics["graph"]["deltas_rejected"] == 0
+            assert metrics["engine"]["deltas_applied"] == 1
+
+    def test_invalid_delta_rejected_engine_and_caches_intact(
+        self, tiny_graph, trained_tiny_model
+    ):
+        engine = LinkPredictionEngine.from_graph(trained_tiny_model, tiny_graph)
+        view = MutableGraphView(tiny_graph)
+        with serving(engine, graph_view=view) as (address, frontend):
+            _predict(address, relation=0, head=1)
+            _predict(address, relation=1, head=2)
+            live = frontend._service.engine
+            cached_before = live.cache_info()["lru_entries"]
+            assert cached_before == 2
+
+            # Out-of-vocab entity: rejected against the live snapshot, version echoed.
+            status, payload, _ = _request(
+                address, "POST", "/v1/graph/delta",
+                body={"adds": {"train": [[10_000, 0, 0]]}},
+            )
+            assert status == 400 and "out of range" in payload["error"]
+            assert payload["graph_version"] == 0
+            # Remove of a triple that does not exist.
+            status, payload, _ = _request(
+                address, "POST", "/v1/graph/delta",
+                body={"removes": {"train": [_fresh_triple(view.graph, relation=0)]}},
+            )
+            assert status == 400 and "not present" in payload["error"]
+            # Malformed payloads and methods.
+            assert _request(address, "POST", "/v1/graph/delta", body={"bogus": 1})[0] == 400
+            conn = http.client.HTTPConnection(address[0], address[1], timeout=15.0)
+            try:
+                conn.request("POST", "/v1/graph/delta", body=b"{not json")
+                assert conn.getresponse().status == 400
+            finally:
+                conn.close()
+            assert _request(address, "GET", "/v1/graph/delta")[0] == 405
+
+            # The engine is provably still the old one: same object, old version,
+            # caches untouched, and the view never advanced.
+            assert frontend._service.engine is live
+            assert live.graph_version == 0
+            assert view.version == 0
+            assert live.cache_info()["lru_entries"] == cached_before
+            assert live.stats.deltas_applied == 0
+
+            status, metrics, _ = _request(address, "GET", "/metrics")
+            assert metrics["graph"]["version"] == 0
+            assert metrics["graph"]["deltas_accepted"] == 0
+            assert metrics["graph"]["deltas_rejected"] == 4
+            # Serving still answers at the old version.
+            assert _predict(address, relation=0, head=1)[1]["graph_version"] == 0
+
+    def test_delta_without_graph_view_is_409(self, engine):
+        with serving(engine) as (address, _):
+            status, payload, _ = _request(
+                address, "POST", "/v1/graph/delta", body={"adds": {}}
+            )
+            assert status == 409
+            assert "no graph" in payload["error"]
 
 
 # ---------------------------------------------------------------------------- overload

@@ -1,0 +1,290 @@
+"""Property tests for the streaming delta subsystem.
+
+The central invariant: for every valid delta, the incrementally merged
+:class:`~repro.kg.filter_index.FilterIndex` (``apply_delta``: searchsorted presence
+checks + single-pass splice, no lexsort) is **bit-identical** to a from-scratch
+rebuild over the spliced splits -- same CSR buffers, same dtypes, same query answers.
+Randomized add-only / remove-only / mixed / empty deltas exercise it over long
+sequential streams; the error paths must reject cleanly *before* any state changes.
+
+Also covered here: the stale-memo guard (split arrays are frozen at construction, so
+nobody can mutate a split behind the memoised index), :class:`MutableGraphView`
+version monotonicity, the ``GraphDelta`` wire-format validation, and the serving
+engine's selective cache invalidation + result re-stamping.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.kg.filter_index import FilterIndex
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.triples import TripleSet
+from repro.serve.engine import LinkPredictionEngine, LinkQuery
+from repro.stream import SPLIT_NAMES, DeltaValidationError, GraphDelta, MutableGraphView
+from repro.utils.rng import new_rng
+
+# The eight CSR buffers apply_delta must reproduce bit-identically.
+CSR_FIELDS = FilterIndex.CSR_KEYS
+
+
+def _encode(array, num_entities, num_relations):
+    return (array[:, 0] * num_relations + array[:, 1]) * num_entities + array[:, 2]
+
+
+def _random_graph(rng, num_entities=24, num_relations=6, sizes=(160, 40, 40)):
+    """A random graph whose splits may share triples (exercises union semantics)."""
+    pool = np.column_stack(
+        [
+            rng.integers(0, num_entities, size=400),
+            rng.integers(0, num_relations, size=400),
+            rng.integers(0, num_entities, size=400),
+        ]
+    ).astype(np.int64)
+    splits = {}
+    for name, size in zip(SPLIT_NAMES, sizes):
+        # Sampling from one pool with replacement lets splits overlap.
+        splits[name] = TripleSet(pool[rng.choice(len(pool), size=size, replace=False)].copy())
+    return KnowledgeGraph(
+        name="prop",
+        num_entities=num_entities,
+        num_relations=num_relations,
+        train=splits["train"],
+        valid=splits["valid"],
+        test=splits["test"],
+    )
+
+
+def _random_delta(graph, rng, mode):
+    """A valid random delta of the requested flavor against ``graph``'s current state."""
+    adds, removes = {}, {}
+    E, R = graph.num_entities, graph.num_relations
+    for split in SPLIT_NAMES:
+        array = np.asarray(getattr(graph, split).array)
+        keys = _encode(array, E, R) if len(array) else np.array([], dtype=np.int64)
+        if mode in ("mixed", "remove") and len(array) and rng.random() < 0.85:
+            count = int(rng.integers(1, min(9, len(array) + 1)))
+            removes[split] = np.unique(
+                array[rng.choice(len(array), size=count, replace=False)], axis=0
+            )
+        if mode in ("mixed", "add") and rng.random() < 0.85:
+            candidates = np.column_stack(
+                [rng.integers(0, E, 40), rng.integers(0, R, 40), rng.integers(0, E, 40)]
+            ).astype(np.int64)
+            fresh = candidates[~np.isin(_encode(candidates, E, R), keys)]
+            fresh = np.unique(fresh, axis=0)
+            if split in removes and len(removes[split]):
+                remove_keys = _encode(removes[split], E, R)
+                fresh = fresh[~np.isin(_encode(fresh, E, R), remove_keys)]
+            if len(fresh):
+                adds[split] = fresh[: int(rng.integers(1, min(7, len(fresh)) + 1))]
+    return GraphDelta.from_arrays(adds=adds, removes=removes)
+
+
+def _assert_index_equals_rebuild(graph):
+    merged = graph.filter_index()
+    rebuilt = FilterIndex((graph.train, graph.valid, graph.test))
+    merged_arrays, rebuilt_arrays = merged.csr_arrays(), rebuilt.csr_arrays()
+    assert set(merged_arrays) == set(rebuilt_arrays)
+    for field in CSR_FIELDS:
+        assert field in merged_arrays
+        assert merged_arrays[field].dtype == rebuilt_arrays[field].dtype, field
+        assert np.array_equal(merged_arrays[field], rebuilt_arrays[field]), field
+    # Spot-check the query surface on top of the raw buffers.
+    rng = new_rng(13)
+    for _ in range(8):
+        head = int(rng.integers(graph.num_entities))
+        relation = int(rng.integers(graph.num_relations))
+        tail = int(rng.integers(graph.num_entities))
+        assert merged.known_tails(head, relation) == rebuilt.known_tails(head, relation)
+        assert merged.known_heads(relation, tail) == rebuilt.known_heads(relation, tail)
+        assert merged.contains(head, relation, tail) == rebuilt.contains(head, relation, tail)
+    sample = np.asarray(graph.valid.array[: min(16, len(graph.valid))])
+    if len(sample):
+        for direction in ("tail", "head"):
+            merged_rows, merged_cols = merged.flat_filter_indices(sample, direction)
+            rebuilt_rows, rebuilt_cols = rebuilt.flat_filter_indices(sample, direction)
+            assert np.array_equal(merged_rows, rebuilt_rows)
+            assert np.array_equal(merged_cols, rebuilt_cols)
+
+
+# ---------------------------------------------------------------------------- equivalence
+class TestMergeEqualsRebuild:
+    @pytest.mark.parametrize("mode", ["mixed", "add", "remove"])
+    def test_randomized_stream_stays_bit_identical(self, mode):
+        rng = new_rng(hash(mode) % (2**31))
+        view = MutableGraphView(_random_graph(rng))
+        for step in range(12):
+            delta = _random_delta(view.graph, rng, mode)
+            previous = view.graph
+            new_graph = view.apply(delta)
+            assert new_graph.graph_version == previous.graph_version + 1
+            _assert_index_equals_rebuild(new_graph)
+            # Old snapshots are immutable: the previous index still answers.
+            assert len(previous.filter_index()) >= 0
+
+    def test_empty_delta_bumps_version_and_changes_nothing(self):
+        rng = new_rng(3)
+        view = MutableGraphView(_random_graph(rng))
+        before = {name: np.asarray(getattr(view.graph, name).array).copy() for name in SPLIT_NAMES}
+        index_before = view.graph.filter_index().csr_arrays()
+        new_graph = view.apply(GraphDelta.from_arrays())
+        assert new_graph.graph_version == 1
+        for name in SPLIT_NAMES:
+            assert np.array_equal(np.asarray(getattr(new_graph, name).array), before[name])
+        index_after = new_graph.filter_index().csr_arrays()
+        assert all(np.array_equal(index_before[k], index_after[k]) for k in index_before)
+
+    def test_cross_split_semantics_keep_index_unchanged(self):
+        """Removing a shared triple from one split only must not touch the index."""
+        rng = new_rng(5)
+        graph = _random_graph(rng)
+        train = np.asarray(graph.train.array)
+        valid = np.asarray(graph.valid.array)
+        E, R = graph.num_entities, graph.num_relations
+        shared = np.intersect1d(_encode(train, E, R), _encode(valid, E, R))
+        assert len(shared), "pool sampling should produce shared train/valid triples"
+        key = int(shared[0])
+        triple = np.array([[key // (R * E), (key // E) % R, key % E]], dtype=np.int64)
+        view = MutableGraphView(graph)
+        before = graph.filter_index().csr_arrays()
+
+        new_graph = view.apply(GraphDelta.from_arrays(removes={"train": triple}))
+        after = new_graph.filter_index().csr_arrays()
+        assert all(np.array_equal(before[k], after[k]) for k in before)
+        assert len(new_graph.train) == len(graph.train) - 1
+
+        # Adding a triple to a split that already holds it elsewhere: index no-op too.
+        newer = view.apply(GraphDelta.from_arrays(adds={"train": triple}))
+        assert all(
+            np.array_equal(before[k], newer.filter_index().csr_arrays()[k]) for k in before
+        )
+        _assert_index_equals_rebuild(newer)
+
+
+# ---------------------------------------------------------------------------- validation
+class TestDeltaValidation:
+    @pytest.fixture()
+    def view(self):
+        return MutableGraphView(_random_graph(new_rng(11)))
+
+    def test_invalid_deltas_raise_before_any_state_change(self, view):
+        graph = view.graph
+        train = np.asarray(graph.train.array)
+        E, R = graph.num_entities, graph.num_relations
+        missing = np.array([[0, 0, 0]], dtype=np.int64)
+        while graph.filter_index().contains(*missing[0]):
+            missing[0, 2] += 1
+        cases = [
+            (dict(adds={"train": train[:1]}), "already present"),
+            (dict(removes={"train": missing}), "not present"),
+            (dict(adds={"train": [[0, R, 0]]}), "out of range"),
+            (dict(adds={"train": [[E, 0, 0]]}), "out of range"),
+            (dict(adds={"train": [[-1, 0, 0]]}), "non-negative"),
+            (dict(adds={"train": [[1, 2, 3], [1, 2, 3]]}), "duplicate"),
+            (dict(removes={"bogus": train[:1]}), "unknown split"),
+            (dict(adds={"train": train[:1]}, removes={"train": train[:1]}), "overlap"),
+        ]
+        for kwargs, message in cases:
+            with pytest.raises(DeltaValidationError, match=message):
+                view.apply(GraphDelta.from_arrays(**kwargs))
+            assert view.version == 0, f"failed delta mutated the view: {kwargs}"
+        assert view.graph is graph
+
+    def test_from_json_wire_format(self):
+        delta = GraphDelta.from_json({"adds": {"train": [[1, 2, 3]]}, "removes": {}})
+        assert delta.num_added == 1 and delta.num_removed == 0
+        assert list(delta.touched_relations()) == [2]
+        assert delta.describe() == {"added": 1, "removed": 0, "relations_touched": 1}
+        for payload in (
+            [1, 2, 3],
+            {"bogus": {}},
+            {"adds": [[1, 2, 3]]},
+            {"adds": {"train": [[1, 2]]}},
+            {"adds": {"train": "nope"}},
+            {"adds": {"nope": [[1, 2, 3]]}},
+        ):
+            with pytest.raises(DeltaValidationError):
+                GraphDelta.from_json(payload)
+        assert GraphDelta.from_json({}).is_empty()
+
+
+# ---------------------------------------------------------------------------- freezing
+class TestSplitFreezing:
+    def test_split_arrays_are_frozen_at_construction(self):
+        graph = _random_graph(new_rng(17))
+        for name in SPLIT_NAMES:
+            array = getattr(graph, name).array
+            assert not array.flags.writeable
+            with pytest.raises(ValueError):
+                array[0, 0] = 99
+
+    def test_freeze_survives_pickle_and_version_rides_along(self):
+        view = MutableGraphView(_random_graph(new_rng(19)))
+        view.apply(GraphDelta.from_arrays())
+        clone = pickle.loads(pickle.dumps(view.graph))
+        assert clone.graph_version == 1
+        for name in SPLIT_NAMES:
+            assert not getattr(clone, name).array.flags.writeable
+
+    def test_merged_index_buffers_are_frozen(self):
+        view = MutableGraphView(_random_graph(new_rng(23)))
+        delta = _random_delta(view.graph, new_rng(23), "mixed")
+        merged = view.apply(delta).filter_index()
+        for attr in (
+            "_triples", "_triple_keys",
+            "_tail_keys", "_tail_ptr", "_tail_vals",
+            "_head_keys", "_head_ptr", "_head_vals",
+        ):
+            assert not getattr(merged, attr).flags.writeable, attr
+
+
+# ---------------------------------------------------------------------------- engine swap
+class TestEngineApplyDelta:
+    def test_selective_invalidation_and_restamping(self, tiny_graph, trained_tiny_model):
+        engine = LinkPredictionEngine.from_graph(trained_tiny_model, tiny_graph)
+        view = MutableGraphView(tiny_graph)
+        engine.predict([LinkQuery(relation=0, head=1, k=3)])
+        engine.predict([LinkQuery(relation=1, head=1, k=3)])
+        assert engine.cache_info()["lru_entries"] == 2
+
+        # A delta touching relation 0 only.
+        missing = np.array([[0, 0, 0]], dtype=np.int64)
+        while view.graph.filter_index().contains(*missing[0]):
+            missing[0, 2] += 1
+        new_graph = view.apply(GraphDelta.from_arrays(adds={"train": missing}))
+        successor = engine.apply_delta(new_graph, GraphDelta.from_arrays(adds={"train": missing}))
+
+        assert successor.graph_version == 1
+        assert [key[2] for key in successor._lru] == [1]
+        assert successor.stats is engine.stats  # cumulative counters shared
+        assert successor.stats.deltas_applied == 1
+        assert successor.stats.cache_entries_invalidated == 1
+
+        # The surviving relation-1 entry is re-stamped to the new version on its hit.
+        hits_before = successor.stats.lru_hits
+        result = successor.predict([LinkQuery(relation=1, head=1, k=3)])[0]
+        assert successor.stats.lru_hits == hits_before + 1
+        assert result.graph_version == 1
+        # The invalidated relation is rescored against the merged index.
+        rescored = successor.predict([LinkQuery(relation=0, head=1, k=3)])[0]
+        assert rescored.graph_version == 1
+        # The old engine still serves the old snapshot untouched.
+        assert engine.graph_version == 0
+        assert engine.predict([LinkQuery(relation=0, head=1, k=3)])[0].graph_version == 0
+
+    def test_rescoring_respects_the_merged_filter(self, tiny_graph, trained_tiny_model):
+        """A triple added via delta must disappear from filtered top-k candidates."""
+        engine = LinkPredictionEngine.from_graph(trained_tiny_model, tiny_graph)
+        view = MutableGraphView(tiny_graph)
+        baseline = engine.top_k(relation=0, head=2, k=tiny_graph.num_entities)
+        # Add (2, 0, t) for the top-ranked candidate tail t: it becomes a known triple
+        # and must vanish from the filtered ranking.
+        top_tail = int(baseline.entities[0])
+        delta = GraphDelta.from_arrays(adds={"train": [[2, 0, top_tail]]})
+        successor = engine.apply_delta(view.apply(delta), delta)
+        filtered = successor.top_k(relation=0, head=2, k=tiny_graph.num_entities)
+        assert top_tail not in set(int(e) for e in filtered.entities)

@@ -25,6 +25,13 @@ the same noise-floor-aware way, with ``--min-seconds`` converted to milliseconds
 fresh percentiles under the floor are skipped and tiny baselines are clamped before
 the ratio, so serving latencies are enforced rather than merely recorded.
 
+Memory fields (``*_mb``, as ``BENCH_scale.json`` emits: tracemalloc evaluation peaks
+and the process ``peak_rss_mb`` high-water mark) are **lower-is-better** and gated
+with the same ratio thresholds under their own ``--min-mb`` noise floor: fresh values
+below the floor are skipped and tiny baselines are clamped, so allocator jitter on
+small runs cannot fail the build while a genuine memory blow-up on the large tier
+does.
+
 Throughput fields (``*_per_second``), counters and flags are ignored -- this gate is
 about wall clock (and its speedup ratios) only; correctness flags have their own
 pytest gates.  Hosts differ (the committed baselines record their host block), so
@@ -80,6 +87,7 @@ def compare_workload(
     fail_ratio: float,
     warn_ratio: float,
     min_seconds: float,
+    min_mb: float = 64.0,
 ) -> Tuple[List[str], List[str], List[str]]:
     """Compare one workload; returns (report lines, warnings, failures)."""
     lines: List[str] = []
@@ -171,6 +179,37 @@ def compare_workload(
                 f"{base_ms:.3f}ms ({ratio:.2f}x)"
             )
 
+    # Memory fields are lower-is-better in MB: same shape as the wall-clock gate,
+    # under the dedicated --min-mb floor (tracemalloc peaks of small runs and the
+    # base interpreter RSS sit in allocator-jitter territory).
+    baseline_memory = dict(timing_entries(workload, baseline.get("results"), suffix="_mb"))
+    for label, fresh_mb in timing_entries(workload, fresh.get("results"), suffix="_mb"):
+        base_mb = baseline_memory.get(label)
+        if base_mb is None:
+            lines.append(f"  NEW   {label}: {fresh_mb:.1f}MB (no baseline field)")
+            continue
+        if fresh_mb < min_mb:
+            lines.append(f"  skip  {label}: {fresh_mb:.1f}MB (below the {min_mb:.0f}MB noise floor)")
+            continue
+        ratio = fresh_mb / max(base_mb, min_mb / 2.0)
+        verdict = "ok   "
+        if ratio > fail_ratio:
+            verdict = "FAIL "
+            failures.append(
+                f"{label}: {fresh_mb:.1f}MB is {ratio:.2f}x the baseline "
+                f"{base_mb:.1f}MB (fail threshold {fail_ratio}x)"
+            )
+        elif ratio > warn_ratio:
+            verdict = "warn "
+            warnings.append(
+                f"{label}: {fresh_mb:.1f}MB is {ratio:.2f}x the baseline "
+                f"{base_mb:.1f}MB (warn threshold {warn_ratio}x)"
+            )
+        lines.append(
+            f"  {verdict} {label}: fresh {fresh_mb:.1f}MB vs baseline "
+            f"{base_mb:.1f}MB ({ratio:.2f}x)"
+        )
+
     # Speedup fields are higher-is-better: gate on how far the fresh value fell
     # BELOW its baseline.  Rows whose wall clocks sit entirely under the noise floor
     # are skipped -- a speedup ratio of two sub-jitter timings means nothing.
@@ -237,6 +276,11 @@ def main(argv: List[str] | None = None) -> int:
         help="skip fresh timings below this many seconds -- CI jitter territory "
         "(default: 0.05)",
     )
+    parser.add_argument(
+        "--min-mb", type=float, default=64.0,
+        help="skip fresh memory fields below this many MB -- allocator jitter "
+        "territory (default: 64)",
+    )
     args = parser.parse_args(argv)
 
     all_warnings: List[str] = []
@@ -244,7 +288,8 @@ def main(argv: List[str] | None = None) -> int:
     for workload in args.workloads:
         print(f"{workload}:")
         lines, warnings, failures = compare_workload(
-            workload, args.fresh, args.baseline, args.fail_ratio, args.warn_ratio, args.min_seconds
+            workload, args.fresh, args.baseline, args.fail_ratio, args.warn_ratio,
+            args.min_seconds, args.min_mb,
         )
         for line in lines:
             print(line)

@@ -7,9 +7,11 @@ synthetic benchmark plants relations with known semantic patterns in proportions
 mimic the original dataset, which is the property the paper's relation-aware argument and
 pattern-level evaluation rely on.
 
-Real benchmark directories in the standard ``train.txt``/``valid.txt``/``test.txt`` layout
-can still be loaded with :func:`repro.kg.load_tsv_dataset` and used everywhere a synthetic
-graph is used.
+Real benchmark directories in the standard ``train.txt``/``valid.txt``/``test.txt``
+layout (FB15k-237, WN18RR, ...) are first-class citizens: :func:`resolve_dataset`
+accepts either a registry name or a directory path, fronts the TSV parser with the
+binary cache of :mod:`repro.kg.cache`, and is the single entry point every CLI
+subcommand and runner uses (see ``docs/DATASETS.md``).
 """
 
 from repro.datasets.synthetic import (
@@ -22,6 +24,13 @@ from repro.datasets.registry import (
     benchmark_config,
     load_benchmark,
 )
+from repro.datasets.resolve import (
+    DatasetResolutionError,
+    check_dataset_spec,
+    dataset_label,
+    is_directory_spec,
+    resolve_dataset,
+)
 
 __all__ = [
     "PatternSpec",
@@ -30,4 +39,9 @@ __all__ = [
     "BENCHMARK_NAMES",
     "benchmark_config",
     "load_benchmark",
+    "DatasetResolutionError",
+    "check_dataset_spec",
+    "dataset_label",
+    "is_directory_spec",
+    "resolve_dataset",
 ]

@@ -1,0 +1,147 @@
+"""Unified dataset resolution: registry benchmark names *or* on-disk TSV directories.
+
+Every surface that accepts ``--dataset`` (``search``/``train``/``serve``/``sweep``/
+``bench``, :class:`~repro.runtime.runner.SearchRunner`, the sweep orchestrator) funnels
+through :func:`resolve_dataset`, so a directory containing ``train.txt`` /
+``valid.txt`` / ``test.txt`` works everywhere a synthetic benchmark name does:
+
+- a spec naming a registered benchmark (``fb15k_like``, ...) builds the synthetic
+  graph via :func:`~repro.datasets.registry.load_benchmark`, honouring ``scale`` and
+  ``seed``;
+- a path-like spec (contains a separator, or is a directory on disk) loads the TSV
+  layout through the binary cache (:func:`~repro.kg.cache.load_dataset_directory`);
+  ``scale``/``seed`` do not apply to real data and a non-default ``scale`` is
+  rejected loudly;
+- a bare name that is *both* a registered benchmark and a local directory is
+  ambiguous and refused -- disambiguate with ``./name`` for the directory;
+- anything else raises :class:`DatasetResolutionError` listing the registry.
+
+Directory loads are memoised per resolved path and revalidated by content digest, so
+repeated resolution within one process returns the *same* graph object -- which is
+what keeps the per-graph filter-index and evaluator memos effective.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import re
+from pathlib import Path
+from typing import Dict, Tuple, Union
+
+from repro.datasets.registry import BENCHMARK_NAMES, load_benchmark
+from repro.kg.cache import dataset_digest, load_dataset_directory
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.io import is_dataset_directory
+
+DatasetSpec = Union[str, Path]
+
+
+class DatasetResolutionError(ValueError):
+    """A dataset spec that names nothing, or names two things at once."""
+
+
+def _looks_like_path(spec: DatasetSpec) -> bool:
+    if isinstance(spec, Path):
+        return True
+    text = str(spec)
+    return (
+        os.sep in text
+        or "/" in text
+        or text.startswith("~")
+        or text in (".", "..")
+        or text.startswith("./")
+        or text.startswith("../")
+    )
+
+
+def is_directory_spec(spec: DatasetSpec) -> bool:
+    """True when ``spec`` denotes an on-disk dataset directory rather than a registry name."""
+    if _looks_like_path(spec):
+        return True
+    return str(spec) not in BENCHMARK_NAMES and is_dataset_directory(str(spec))
+
+
+def check_dataset_spec(spec: DatasetSpec, scale: float = 1.0) -> None:
+    """Validate a spec without loading anything (used by sweep-grid validation).
+
+    Raises :class:`DatasetResolutionError` for unknown names, ambiguous names,
+    non-dataset directories, and ``scale`` applied to real data.
+    """
+    text = str(spec)
+    if not _looks_like_path(spec) and text in BENCHMARK_NAMES:
+        if is_dataset_directory(text):
+            raise DatasetResolutionError(
+                f"dataset spec {text!r} is ambiguous: it names a registered benchmark "
+                f"AND an existing directory; use {'./' + text!r} for the directory"
+            )
+        return
+    if is_directory_spec(spec):
+        path = Path(text).expanduser()
+        if not is_dataset_directory(path):
+            raise DatasetResolutionError(
+                f"{path} is not a dataset directory (need train.txt, valid.txt, test.txt)"
+            )
+        if scale != 1.0:
+            raise DatasetResolutionError(
+                f"--scale applies only to synthetic registry benchmarks, not to the "
+                f"on-disk dataset {path}"
+            )
+        return
+    raise DatasetResolutionError(
+        f"unknown dataset {text!r}: not a registered benchmark "
+        f"({', '.join(BENCHMARK_NAMES)}) and not a directory containing "
+        f"train.txt/valid.txt/test.txt"
+    )
+
+
+# Directory loads memoised per resolved path, revalidated by content digest so an
+# edited dataset is transparently reloaded.  Bounded FIFO: sweeps touch few datasets.
+_DIRECTORY_MEMO: Dict[str, Tuple[str, KnowledgeGraph]] = {}
+_DIRECTORY_MEMO_SIZE = 8
+
+
+def resolve_dataset(
+    spec: DatasetSpec,
+    scale: float = 1.0,
+    seed: int = 0,
+    use_cache: bool = True,
+    mmap: bool = True,
+) -> KnowledgeGraph:
+    """Load the graph a dataset spec denotes (see module docstring for the rules)."""
+    check_dataset_spec(spec, scale=scale)
+    text = str(spec)
+    if not _looks_like_path(spec) and text in BENCHMARK_NAMES:
+        return load_benchmark(text, scale=scale, seed=seed)
+    path = Path(text).expanduser().resolve()
+    key = str(path)
+    if use_cache:
+        digest = dataset_digest(path)
+        memo = _DIRECTORY_MEMO.get(key)
+        if memo is not None and memo[0] == digest:
+            return memo[1]
+        graph = load_dataset_directory(path, use_cache=True, mmap=mmap)
+        while len(_DIRECTORY_MEMO) >= _DIRECTORY_MEMO_SIZE:
+            _DIRECTORY_MEMO.pop(next(iter(_DIRECTORY_MEMO)))
+        _DIRECTORY_MEMO[key] = (digest, graph)
+        return graph
+    return load_dataset_directory(path, use_cache=False, mmap=mmap)
+
+
+def dataset_label(spec: DatasetSpec) -> str:
+    """A registry/filesystem-safe label for a dataset spec.
+
+    Registry names pass through unchanged (existing artifact names and shard ids stay
+    stable).  Directory specs become ``<sanitised-basename>-<6-hex digest of the
+    resolved path>`` -- safe for ``ModelArtifactRegistry`` names and shard
+    directories, and collision-free across distinct paths with equal basenames.
+    """
+    text = str(spec)
+    if not _looks_like_path(spec) and text in BENCHMARK_NAMES:
+        return text
+    path = Path(text).expanduser().resolve()
+    base = re.sub(r"[^A-Za-z0-9._-]", "-", path.name) or "dataset"
+    if not re.match(r"[A-Za-z0-9]", base):
+        base = f"d{base}"
+    suffix = hashlib.sha256(str(path).encode("utf-8")).hexdigest()[:6]
+    return f"{base}-{suffix}"

@@ -33,6 +33,7 @@ from repro.kg.filter_index import FilterIndex, FlatFilter
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.triples import TripleSet
 from repro.models.kge import KGEModel
+from repro.scoring.kernels import ENTITY_TILE, normalize_chunk_size
 from repro.utils.rng import SeedLike, new_rng
 
 
@@ -75,17 +76,34 @@ class RankingMetrics:
 
 
 class RankingEvaluator:
-    """Computes filtered ranking metrics for a model on a dataset split."""
+    """Computes filtered ranking metrics for a model on a dataset split.
+
+    ``entity_chunk_size`` bounds peak memory: when set, each batch streams the
+    candidate axis in chunks of (at most) that many entities instead of
+    materialising the full ``(batch, num_entities)`` score matrix.  Chunk
+    boundaries are rounded up to the absolute
+    :data:`~repro.scoring.kernels.ENTITY_TILE` grid, so the streamed scores are
+    bit-identical to the unchunked pass and the resulting ranks are exactly equal.
+    Target scores are extracted in a first cheap pass over only the kernel tiles
+    that contain a target, then every chunk is scored once for rank counting -- a
+    bounded overhead (at most one extra sweep, shrinking as the entity count grows
+    past ``batch_size * ENTITY_TILE``) bought for an ``O(batch * chunk)`` memory
+    bound.
+    """
 
     def __init__(
         self,
         graph: KnowledgeGraph,
         filtered: bool = True,
         batch_size: int = 128,
+        entity_chunk_size: Optional[int] = None,
     ) -> None:
         self.graph = graph
         self.filtered = filtered
         self.batch_size = batch_size
+        self.entity_chunk_size = (
+            None if entity_chunk_size is None else normalize_chunk_size(entity_chunk_size)
+        )
         # Shared per graph: constructing an evaluator per search candidate is free.
         self._filter_index: Optional[FilterIndex] = graph.filter_index() if filtered else None
 
@@ -190,6 +208,9 @@ class RankingEvaluator:
         start: int,
         stop: int,
     ) -> np.ndarray:
+        chunk = self.entity_chunk_size
+        if chunk is not None and chunk < model.num_entities:
+            return self._batch_ranks_chunked(model, batch, direction, flat_filter, start, stop, chunk)
         # score_all_arrays returns a fresh writable array, so masking in place is safe
         # (the old Tensor path needed a defensive .data.copy() here).
         scores = model.score_all_arrays(batch, direction)
@@ -208,4 +229,58 @@ class RankingEvaluator:
         higher = (scores > target_scores[:, None]).sum(axis=1)
         ties = (scores == target_scores[:, None]).sum(axis=1) - 1
         ranks = 1 + higher + ties // 2
+        return ranks.astype(np.int64)
+
+    def _batch_ranks_chunked(
+        self,
+        model: KGEModel,
+        batch: np.ndarray,
+        direction: str,
+        flat_filter: Optional[FlatFilter],
+        start: int,
+        stop: int,
+        chunk: int,
+    ) -> np.ndarray:
+        """Memory-bounded twin of :meth:`_batch_ranks` streaming entity chunks.
+
+        Because the chunk grid sits on the absolute kernel tile grid, every chunk's
+        scores are bit-identical to the corresponding columns of the full matrix, so
+        the accumulated ``higher``/``ties`` counts -- and therefore the ranks -- are
+        exactly those of the unchunked path.
+        """
+        num_entities = model.num_entities
+        n = len(batch)
+        targets = batch[:, 2] if direction == "tail" else batch[:, 0]
+        row_idx = np.arange(n)
+        filter_rows = filter_cols = None
+        if flat_filter is not None:
+            filter_rows, filter_cols = flat_filter.batch_indices(start, stop)
+        # Pass 1: exact target scores, visiting only the kernel *tiles* that hold a
+        # target -- the smallest bit-identical scoring unit, so this pass costs a
+        # fraction of a full sweep even when ``chunk`` spans many tiles.  The full
+        # batch is scored each time (never a row subset) so the extracted values
+        # carry the exact bits the counting pass will see.
+        target_scores = np.empty(n, dtype=np.float64)
+        for index in np.unique(targets // ENTITY_TILE):
+            a = int(index) * ENTITY_TILE
+            b = min(a + ENTITY_TILE, num_entities)
+            scores = model.score_chunk_entities(batch, direction, a, b)
+            in_tile = (targets >= a) & (targets < b)
+            target_scores[in_tile] = scores[row_idx[in_tile], targets[in_tile] - a]
+        # Pass 2: stream every chunk, mask, and accumulate rank counts.
+        higher = np.zeros(n, dtype=np.int64)
+        ties = np.zeros(n, dtype=np.int64)
+        for a in range(0, num_entities, chunk):
+            b = min(a + chunk, num_entities)
+            scores = model.score_chunk_entities(batch, direction, a, b)
+            if flat_filter is not None:
+                selected = (filter_cols >= a) & (filter_cols < b)
+                scores[filter_rows[selected], filter_cols[selected] - a] = -np.inf
+                in_chunk = (targets >= a) & (targets < b)
+                scores[row_idx[in_chunk], targets[in_chunk] - a] = target_scores[in_chunk]
+            higher += (scores > target_scores[:, None]).sum(axis=1)
+            ties += (scores == target_scores[:, None]).sum(axis=1)
+        # ``ties`` counted each row's own target once; subtract it exactly as the
+        # unchunked path does before the optimistic half-tie correction.
+        ranks = 1 + higher + (ties - 1) // 2
         return ranks.astype(np.int64)

@@ -1,0 +1,207 @@
+"""Compact binary cache for TSV dataset directories.
+
+Parsing the three TSV split files is the slow part of loading a real dataset: every
+line is split, interned into the vocabulary and encoded one triple at a time.  The
+cache does that work once and persists the result *next to the data* in
+``<dataset>/.repro-cache/``:
+
+- ``train.npy`` / ``valid.npy`` / ``test.npy`` -- the encoded splits as compact
+  ``int32`` ``(n, 3)`` arrays (half the footprint of the in-memory ``int64`` triples);
+- ``vocab.json`` -- entity and relation symbols in id order, so vocabularies
+  round-trip exactly;
+- ``meta.json`` -- a :class:`DatasetCacheMeta` record whose ``digest`` is a sha256
+  over the raw split files.  Any edit to any split file changes the digest and the
+  cache is rebuilt transparently; a stale or corrupt cache is never served.
+
+Cached loads memory-map the ``.npy`` arrays (``np.load(mmap_mode="r")``): pages
+stream from the OS page cache on first touch instead of being parsed, and the only
+resident copy made is the widening to the ``int64`` triples the in-memory containers
+require.  Cache writes are atomic (scratch directory + rename) and degrade to a
+warning on read-only dataset directories -- the TSV parse still succeeds, it is just
+not accelerated.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+import shutil
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.io import PathLike, is_dataset_directory, load_tsv_dataset, split_files
+from repro.kg.triples import TripleSet
+from repro.kg.vocab import Vocabulary
+
+logger = logging.getLogger(__name__)
+
+CACHE_DIRNAME = ".repro-cache"
+CACHE_FORMAT_VERSION = 1
+
+_SPLITS = ("train", "valid", "test")
+
+
+@dataclass(frozen=True)
+class DatasetCacheMeta:
+    """The ``meta.json`` record validating one binary dataset cache.
+
+    ``format_version`` is the on-disk layout revision (caches written by other
+    revisions are rebuilt); ``digest`` is the sha256 content digest of the three TSV
+    split files the cache was built from (any edit invalidates it); ``name`` is the
+    dataset name stored on the graph; ``num_entities`` / ``num_relations`` are the
+    vocabulary sizes; ``num_train`` / ``num_valid`` / ``num_test`` are the split
+    triple counts used to sanity-check the cached arrays.
+    """
+
+    format_version: int
+    digest: str
+    name: str
+    num_entities: int
+    num_relations: int
+    num_train: int
+    num_valid: int
+    num_test: int
+
+
+def dataset_digest(directory: PathLike) -> str:
+    """A sha256 digest over the raw bytes of the three split files (order-sensitive)."""
+    outer = hashlib.sha256()
+    for path in split_files(directory):
+        outer.update(path.name.encode("utf-8"))
+        inner = hashlib.sha256()
+        with path.open("rb") as fh:
+            for block in iter(lambda: fh.read(1 << 20), b""):
+                inner.update(block)
+        outer.update(inner.digest())
+    return outer.hexdigest()
+
+
+def cache_path(directory: PathLike) -> Path:
+    """Where the binary cache of a dataset directory lives."""
+    return Path(directory) / CACHE_DIRNAME
+
+
+def write_dataset_cache(directory: PathLike, graph: KnowledgeGraph, digest: Optional[str] = None) -> Optional[Path]:
+    """Persist ``graph`` as the binary cache of ``directory`` (atomic; best-effort).
+
+    Returns the cache directory, or ``None`` when the filesystem refuses (read-only
+    dataset mounts are common; the TSV slow path keeps working).
+    """
+    directory = Path(directory)
+    if digest is None:
+        digest = dataset_digest(directory)
+    meta = DatasetCacheMeta(
+        format_version=CACHE_FORMAT_VERSION,
+        digest=digest,
+        name=graph.name,
+        num_entities=graph.num_entities,
+        num_relations=graph.num_relations,
+        num_train=len(graph.train),
+        num_valid=len(graph.valid),
+        num_test=len(graph.test),
+    )
+    target = cache_path(directory)
+    scratch = directory / f"{CACHE_DIRNAME}.tmp-{os.getpid()}"
+    try:
+        if scratch.exists():
+            shutil.rmtree(scratch)
+        scratch.mkdir(parents=True)
+        for split in _SPLITS:
+            array = getattr(graph, split).array
+            if array.size and array.max() > np.iinfo(np.int32).max:
+                raise ValueError("triple ids exceed the int32 cache format")
+            np.save(scratch / f"{split}.npy", array.astype(np.int32))
+        vocab = {
+            "entities": list((graph.entity_vocab or Vocabulary.from_ids(graph.num_entities, "e")).symbols()),
+            "relations": list((graph.relation_vocab or Vocabulary.from_ids(graph.num_relations, "r")).symbols()),
+        }
+        (scratch / "vocab.json").write_text(json.dumps(vocab), encoding="utf-8")
+        (scratch / "meta.json").write_text(json.dumps(asdict(meta), indent=2), encoding="utf-8")
+        if target.exists():
+            shutil.rmtree(target)
+        os.replace(scratch, target)
+        return target
+    except OSError as error:
+        logger.warning("could not write dataset cache under %s: %s", directory, error)
+        shutil.rmtree(scratch, ignore_errors=True)
+        return None
+
+
+def load_cached_dataset(
+    directory: PathLike, digest: Optional[str] = None, mmap: bool = True
+) -> Optional[KnowledgeGraph]:
+    """Load the binary cache of ``directory`` if present and current, else ``None``.
+
+    ``digest`` (computed from the TSV files when not supplied) must match the cached
+    meta record; any mismatch -- edited splits, foreign format version, missing or
+    corrupt members -- makes this a cache miss, never an error.
+    """
+    directory = Path(directory)
+    cache = cache_path(directory)
+    meta_path = cache / "meta.json"
+    if not meta_path.is_file():
+        return None
+    try:
+        meta = DatasetCacheMeta(**json.loads(meta_path.read_text(encoding="utf-8")))
+        if meta.format_version != CACHE_FORMAT_VERSION:
+            return None
+        if digest is None:
+            digest = dataset_digest(directory)
+        if meta.digest != digest:
+            return None
+        vocab = json.loads((cache / "vocab.json").read_text(encoding="utf-8"))
+        entity_vocab = Vocabulary(vocab["entities"])
+        relation_vocab = Vocabulary(vocab["relations"])
+        if len(entity_vocab) != meta.num_entities or len(relation_vocab) != meta.num_relations:
+            return None
+        splits = {}
+        for split in _SPLITS:
+            array = np.load(cache / f"{split}.npy", mmap_mode="r" if mmap else None)
+            if array.ndim != 2 or array.shape[1] != 3 or array.shape[0] != getattr(meta, f"num_{split}"):
+                return None
+            # The in-memory containers are int64; this widening copy is the only
+            # resident allocation a cached (mmap) load makes.
+            splits[split] = TripleSet(np.asarray(array, dtype=np.int64))
+        return KnowledgeGraph(
+            name=meta.name,
+            num_entities=meta.num_entities,
+            num_relations=meta.num_relations,
+            train=splits["train"],
+            valid=splits["valid"],
+            test=splits["test"],
+            entity_vocab=entity_vocab,
+            relation_vocab=relation_vocab,
+        )
+    except (OSError, ValueError, KeyError, TypeError, json.JSONDecodeError) as error:
+        logger.warning("ignoring unreadable dataset cache %s: %s", cache, error)
+        return None
+
+
+def load_dataset_directory(directory: PathLike, use_cache: bool = True, mmap: bool = True) -> KnowledgeGraph:
+    """Load a TSV dataset directory through the binary cache.
+
+    Cache hit: mmap-backed binary load, no TSV parsing.  Cache miss (first load, or
+    the split files changed): parse the TSVs, then write the cache for next time.
+    ``use_cache=False`` forces the plain parse and touches nothing on disk.
+    """
+    directory = Path(directory)
+    if not is_dataset_directory(directory):
+        missing = [path.name for path in split_files(directory) if not path.is_file()]
+        raise FileNotFoundError(
+            f"{directory} is not a dataset directory: missing {', '.join(missing)}"
+        )
+    if not use_cache:
+        return load_tsv_dataset(directory)
+    digest = dataset_digest(directory)
+    cached = load_cached_dataset(directory, digest=digest, mmap=mmap)
+    if cached is not None:
+        return cached
+    graph = load_tsv_dataset(directory)
+    write_dataset_cache(directory, graph, digest=digest)
+    return graph

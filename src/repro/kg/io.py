@@ -4,12 +4,24 @@ The public benchmarks (WN18, WN18RR, FB15k, FB15k-237, YAGO3-10) ship as a direc
 ``train.txt``, ``valid.txt`` and ``test.txt``, each line being ``head<TAB>relation<TAB>tail``.
 The loader here accepts exactly that layout, so the real datasets can be dropped in when
 network access is available; the synthetic generators produce the same structure.
+
+Real-world files are messier than the spec, so :func:`_read_split` is hardened against
+the common defects: CRLF line endings are normalised (a stray ``\\r`` would otherwise
+silently become part of the tail symbol, forking the entity vocabulary), duplicate
+triples within a split are dropped with a warning (first occurrence wins, keeping file
+order), and entities or relations appearing only in valid/test are accepted -- their
+ids extend the train-first vocabulary -- but reported via a warning because a model
+trained on this graph can only ever score them with untrained embeddings.
+
+Directory datasets normally enter through :func:`repro.datasets.resolve_dataset`,
+which fronts this parser with the binary cache of :mod:`repro.kg.cache`.
 """
 
 from __future__ import annotations
 
+import logging
 from pathlib import Path
-from typing import Dict, List, Tuple, Union
+from typing import Dict, List, Set, Tuple, Union
 
 import numpy as np
 
@@ -19,25 +31,60 @@ from repro.kg.vocab import Vocabulary
 
 PathLike = Union[str, Path]
 
+logger = logging.getLogger(__name__)
+
 _SPLIT_FILES = {"train": "train.txt", "valid": "valid.txt", "test": "test.txt"}
+
+
+def split_files(directory: PathLike) -> List[Path]:
+    """The three split files of a dataset directory, in canonical train/valid/test order."""
+    directory = Path(directory)
+    return [directory / filename for filename in _SPLIT_FILES.values()]
+
+
+def is_dataset_directory(directory: PathLike) -> bool:
+    """True when ``directory`` holds all three TSV split files."""
+    return all(path.is_file() for path in split_files(directory))
 
 
 def _read_split(path: Path) -> List[Tuple[str, str, str]]:
     rows: List[Tuple[str, str, str]] = []
+    seen: Set[Tuple[str, str, str]] = set()
+    duplicates = 0
     with path.open("r", encoding="utf-8") as fh:
         for line_number, line in enumerate(fh, start=1):
-            line = line.rstrip("\n")
+            # Strip both LF and CRLF endings: files exported on Windows carry \r\n,
+            # and a surviving \r would silently fork the tail symbol's vocabulary id.
+            line = line.rstrip("\r\n")
             if not line:
                 continue
             parts = line.split("\t")
             if len(parts) != 3:
-                raise ValueError(f"{path}:{line_number}: expected 3 tab-separated fields, got {len(parts)}")
-            rows.append((parts[0], parts[1], parts[2]))
+                raise ValueError(
+                    f"{path}:{line_number}: expected 3 tab-separated fields "
+                    f"(head<TAB>relation<TAB>tail), got {len(parts)}"
+                )
+            row = (parts[0], parts[1], parts[2])
+            if row in seen:
+                duplicates += 1
+                continue
+            seen.add(row)
+            rows.append(row)
+    if duplicates:
+        logger.warning(
+            "%s: dropped %d duplicate triple(s); first occurrence kept", path, duplicates
+        )
     return rows
 
 
 def load_tsv_dataset(directory: PathLike, name: str | None = None) -> KnowledgeGraph:
-    """Load a dataset directory containing ``train.txt``, ``valid.txt`` and ``test.txt``."""
+    """Load a dataset directory containing ``train.txt``, ``valid.txt`` and ``test.txt``.
+
+    The vocabulary is built from the training split first so ids are stable w.r.t.
+    training data, then extended with any symbols that only appear in valid/test; such
+    eval-only symbols are legal (the graph validates) but are logged because their
+    embeddings can never be trained on this graph.
+    """
     directory = Path(directory)
     if not directory.is_dir():
         raise FileNotFoundError(f"dataset directory {directory} does not exist")
@@ -50,13 +97,25 @@ def load_tsv_dataset(directory: PathLike, name: str | None = None) -> KnowledgeG
 
     entity_vocab = Vocabulary()
     relation_vocab = Vocabulary()
-    # Vocabulary is built from the training split first so ids are stable w.r.t. training data,
-    # then extended with any symbols that only appear in valid/test.
     for split in ("train", "valid", "test"):
         for head, relation, tail in raw[split]:
             entity_vocab.add(head)
             entity_vocab.add(tail)
             relation_vocab.add(relation)
+    train_entities = len(
+        {symbol for head, _, tail in raw["train"] for symbol in (head, tail)}
+    )
+    train_relations = len({relation for _, relation, _ in raw["train"]})
+    eval_only_entities = len(entity_vocab) - train_entities
+    eval_only_relations = len(relation_vocab) - train_relations
+    if eval_only_entities or eval_only_relations:
+        logger.warning(
+            "%s: %d entities and %d relations appear only in valid/test; "
+            "their embeddings cannot be trained on this graph",
+            directory,
+            eval_only_entities,
+            eval_only_relations,
+        )
 
     def encode(rows: List[Tuple[str, str, str]]) -> TripleSet:
         ids = np.asarray(

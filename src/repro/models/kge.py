@@ -18,7 +18,7 @@ from repro.autodiff import Tensor, functional as F
 from repro.nn import Embedding, Module
 from repro.scoring.base import ScoringFunction
 from repro.scoring.bilinear import BlockScoringFunction
-from repro.scoring.kernels import kernel_for
+from repro.scoring.kernels import kernel_for, score_candidate_range, validate_tile_range
 from repro.scoring.structure import BlockStructure
 from repro.utils.rng import SeedLike, new_rng, spawn_rng
 
@@ -184,10 +184,28 @@ class KGEModel(Module):
         (same arithmetic in the same order) but skips autodiff ``Tensor`` construction
         entirely -- the hot path of ranking evaluation, one-shot search rewards and
         serving.  The returned array is freshly allocated and writable, so callers may
-        mask it in place.
+        mask it in place.  Internally the candidate table streams in absolute
+        :data:`~repro.scoring.kernels.ENTITY_TILE` tiles, so this is exactly the
+        concatenation of :meth:`score_chunk_entities` over any tile-aligned partition.
+        """
+        return self.score_chunk_entities(triples, direction, 0, self.num_entities)
+
+    def score_chunk_entities(
+        self, triples: np.ndarray, direction: str, start: int, stop: int
+    ) -> np.ndarray:
+        """Scores against the candidate entities ``[start, stop)`` only.
+
+        The memory-bounded building block of all-entity scoring: peak temporary memory
+        is ``O(len(triples) * (stop - start))`` instead of ``O(len(triples) *
+        num_entities)``.  ``start`` must sit on the absolute
+        :data:`~repro.scoring.kernels.ENTITY_TILE` grid (``stop`` on the grid or at
+        ``num_entities``), which guarantees the chunked pass issues the identical
+        kernel calls as :meth:`score_all_arrays` -- results are bit-identical by
+        construction, not merely close.
         """
         if direction not in ("tail", "head"):
             raise ValueError(f"direction must be 'tail' or 'head', got {direction!r}")
+        validate_tile_range(start, stop, self.num_entities)
         triples = np.asarray(triples, dtype=np.int64)
         if triples.size and (triples.min() < 0 or triples[:, (0, 2)].max() >= self.num_entities
                              or triples[:, 1].max() >= self.num_relations):
@@ -196,14 +214,24 @@ class KGEModel(Module):
         anchor = entities[triples[:, 0] if direction == "tail" else triples[:, 2]]
         relation = self.relations.weight.data[triples[:, 1]]
         if self.num_groups == 1:
-            return kernel_for(self.scorers[0])(anchor, relation, entities, direction)
-        scores = np.empty((len(triples), self.num_entities), dtype=np.float64)
+            return score_candidate_range(
+                kernel_for(self.scorers[0]), anchor, relation, entities, direction, start, stop
+            )
+        scores = np.empty((len(triples), stop - start), dtype=np.float64)
         produced = False
         for group, rows in enumerate(self._group_slices(triples[:, 1])):
             if rows.size == 0:
                 continue
             produced = True
-            scores[rows] = kernel_for(self.scorers[group])(anchor[rows], relation[rows], entities, direction)
+            scores[rows] = score_candidate_range(
+                kernel_for(self.scorers[group]),
+                anchor[rows],
+                relation[rows],
+                entities,
+                direction,
+                start,
+                stop,
+            )
         if not produced:
             raise ValueError("no scores produced; is the assignment consistent with the batch?")
         return scores

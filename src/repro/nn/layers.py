@@ -27,7 +27,14 @@ class Embedding(Module):
             raise ValueError("num_embeddings and dim must be positive")
         self.num_embeddings = num_embeddings
         self.dim = dim
-        self.weight = Parameter(init.uniform((num_embeddings, dim), -scale, scale, seed=seed), name="embedding")
+        if scale == 0.0:
+            # uniform(-0, 0) would fill the table with zeros anyway; calloc-backed
+            # zeros keep the pages untouched, which artifact loaders rely on when the
+            # real weights arrive afterwards as memory-mapped arrays.
+            table = np.zeros((num_embeddings, dim), dtype=np.float64)
+        else:
+            table = init.uniform((num_embeddings, dim), -scale, scale, seed=seed)
+        self.weight = Parameter(table, name="embedding")
 
     def forward(self, indices: IndexLike) -> Tensor:
         indices = np.asarray(indices, dtype=np.int64)

@@ -12,12 +12,17 @@ sweep orchestrator and the serving subsystem:
 - ``train``  -- train a classic structure or a saved search result from scratch and
   evaluate it.
 - ``serve``  -- answer link-prediction queries against a model stored in the artifact
-  registry.
+  registry, optionally memory-mapped (``--mmap``) and memory-bounded
+  (``--entity-chunk``).
 - ``bench``  -- run the runtime timing workloads (derive-phase scaling, serving
   latency, filtered-ranking throughput, per-searcher step latency, sweep
-  orchestration, streaming graph updates), writing ``BENCH_*.json`` files into
-  ``--out`` (default ``./bench-out/``) so the committed baselines in the repository
-  root stay intact.
+  orchestration, streaming graph updates, the out-of-core scale curve), writing
+  ``BENCH_*.json`` files into ``--out`` (default ``./bench-out/``) so the committed
+  baselines in the repository root stay intact.
+
+``--dataset`` (and the sweep's ``--datasets``) accepts either a registry benchmark
+name or a directory containing ``train.txt``/``valid.txt``/``test.txt`` -- see
+:func:`repro.datasets.resolve_dataset` and ``docs/DATASETS.md``.
 
 Every invocation documented in ``docs/CLI.md`` is checked against these parsers by
 ``tests/test_docs.py``, so the documentation cannot drift from the implementation.
@@ -33,6 +38,7 @@ import re
 import sys
 from typing import Dict, List, Optional
 
+from repro.datasets import DatasetResolutionError
 from repro.datasets.registry import BENCHMARK_NAMES
 from repro.search.registry import available_searchers
 
@@ -67,10 +73,14 @@ def subcommand_parsers(parser: Optional[argparse.ArgumentParser] = None) -> Dict
 
 def _add_dataset_arguments(parser: argparse.ArgumentParser, default: Optional[str] = "wn18rr_like") -> None:
     parser.add_argument(
-        "--dataset", choices=BENCHMARK_NAMES, default=default,
-        help=f"synthetic benchmark to load (default: {default})",
+        "--dataset", default=default, metavar="NAME_OR_DIR",
+        help=f"synthetic benchmark name ({', '.join(BENCHMARK_NAMES)}) or a directory "
+        f"containing train.txt/valid.txt/test.txt (default: {default})",
     )
-    parser.add_argument("--scale", type=float, default=1.0, help="dataset scale factor (default: 1.0)")
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="dataset scale factor; synthetic benchmarks only (default: 1.0)",
+    )
     parser.add_argument("--data-seed", type=int, default=0, help="dataset generator seed (default: 0)")
 
 
@@ -185,11 +195,15 @@ def _add_sweep_parser(subparsers) -> None:
         help="grid axis: one shard per search seed (default: 0)",
     )
     parser.add_argument(
-        "--datasets", nargs="+", choices=BENCHMARK_NAMES, default=["wn18rr_like"],
-        metavar="NAME",
-        help="grid axis: synthetic benchmarks to sweep over (default: wn18rr_like)",
+        "--datasets", nargs="+", default=["wn18rr_like"],
+        metavar="NAME_OR_DIR",
+        help="grid axis: synthetic benchmark names and/or dataset directories to "
+        "sweep over (default: wn18rr_like)",
     )
-    parser.add_argument("--scale", type=float, default=1.0, help="dataset scale factor (default: 1.0)")
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="dataset scale factor; synthetic benchmarks only (default: 1.0)",
+    )
     parser.add_argument("--data-seed", type=int, default=0, help="dataset generator seed (default: 0)")
     parser.add_argument(
         "--max-workers", type=int, default=2,
@@ -310,6 +324,16 @@ def _add_serve_parser(subparsers) -> None:
     parser.add_argument("--top-k", type=int, default=5, help="completions per query (default: 5)")
     parser.add_argument("--seed", type=int, default=0, help="seed of the demo queries (default: 0)")
     parser.add_argument(
+        "--mmap", action="store_true",
+        help="memory-map the artifact weights instead of loading them resident "
+        "(applies to hot reloads too)",
+    )
+    parser.add_argument(
+        "--entity-chunk", type=int, default=None, metavar="N",
+        help="score candidates in entity chunks of about this size, bounding the "
+        "peak score-matrix memory (default: unchunked; results are bit-identical)",
+    )
+    parser.add_argument(
         "--http", action="store_true",
         help="serve over HTTP instead of answering --query/--demo and exiting: "
         "POST /v1/predict plus /healthz, /readyz, /metrics and /v1/reload, with "
@@ -359,11 +383,13 @@ def _add_bench_parser(subparsers) -> None:
         "pooled execution of a sweep grid and writes BENCH_sweep.json, 'shm' times "
         "shared-memory publish/attach against the pickle round-trip and writes "
         "BENCH_shm.json, 'streaming' interleaves live graph deltas with queries "
-        "(incremental merge vs rebuild) and writes BENCH_streaming.json.",
+        "(incremental merge vs rebuild) and writes BENCH_streaming.json, 'scale' "
+        "evaluates one model at growing dataset scales with chunked vs unchunked "
+        "scoring (recording peak RSS next to throughput) and writes BENCH_scale.json.",
     )
     parser.add_argument(
         "--workload",
-        choices=("derive", "serving", "ranking", "search", "sweep", "shm", "streaming"),
+        choices=("derive", "serving", "ranking", "search", "sweep", "shm", "streaming", "scale"),
         default="derive",
         help="which workload to run (default: derive)",
     )
@@ -381,6 +407,16 @@ def _add_bench_parser(subparsers) -> None:
     parser.add_argument(
         "--delta-triples", type=int, default=32,
         help="streaming workload: triples per delta, half adds / half removes (default: 32)",
+    )
+    parser.add_argument(
+        "--scales", nargs="+", type=float, default=[0.5, 1.0, 2.0], metavar="S",
+        help="scale workload: dataset scale factors of the curve's tiers, smallest "
+        "first (default: 0.5 1.0 2.0)",
+    )
+    parser.add_argument(
+        "--chunk-entities", type=int, default=2048, metavar="N",
+        help="scale workload: entity chunk size of the memory-bounded tier "
+        "(default: 2048)",
     )
     parser.add_argument("--seed", type=int, default=0, help="workload seed (default: 0)")
     parser.add_argument("--output", metavar="PATH", default=None, help="write the result row as JSON")
@@ -552,6 +588,8 @@ def cmd_train(args: argparse.Namespace) -> int:
     from repro.runtime.checkpoint import load_search_result
     from repro.scoring.classics import named_structure
 
+    from repro.datasets import dataset_label
+
     if args.publish and not args.registry:
         print("--publish requires --registry", file=sys.stderr)
         return 2
@@ -565,13 +603,15 @@ def cmd_train(args: argparse.Namespace) -> int:
         train_epochs=args.epochs,
         eval_split=args.eval_split,
         registry_root=args.registry,
-        model_name=args.publish or f"{default_name}-{args.dataset}",
+        model_name=args.publish or f"{default_name}-{dataset_label(args.dataset)}",
     )
     runner = SearchRunner(config)
     result = None
     if args.from_result:
         result = load_search_result(args.from_result)
-        if result.dataset != args.dataset:
+        # Directory datasets record the graph's name in the result, so accept a
+        # spec that resolves to the same graph, not only the identical string.
+        if result.dataset not in (args.dataset, runner.graph.name):
             print(
                 f"search result {args.from_result} was produced on dataset "
                 f"{result.dataset!r}; pass --dataset {result.dataset}",
@@ -611,7 +651,7 @@ def cmd_train(args: argparse.Namespace) -> int:
 
 def cmd_serve(args: argparse.Namespace) -> int:
     """``python -m repro serve``: batched link-prediction against a stored model."""
-    from repro.datasets import load_benchmark
+    from repro.datasets import resolve_dataset
     from repro.serve.artifacts import ModelArtifactRegistry
     from repro.serve.engine import LinkPredictionEngine, LinkQuery
     from repro.serve.service import PredictionService
@@ -625,13 +665,20 @@ def cmd_serve(args: argparse.Namespace) -> int:
         return 2
     registry = ModelArtifactRegistry(args.registry)
     graph = (
-        load_benchmark(args.dataset, scale=args.scale, seed=args.data_seed)
+        resolve_dataset(args.dataset, scale=args.scale, seed=args.data_seed)
         if args.dataset
         else None
     )
     if args.http:
         return _serve_http(args, registry, graph)
-    engine = LinkPredictionEngine.from_artifact(registry, name=args.model, version=args.version, graph=graph)
+    engine = LinkPredictionEngine.from_artifact(
+        registry,
+        name=args.model,
+        version=args.version,
+        graph=graph,
+        mmap=args.mmap,
+        entity_chunk_size=args.entity_chunk,
+    )
     service = PredictionService(engine)
 
     queries: List[LinkQuery] = [_parse_query(text, engine, args.top_k) for text in args.query]
@@ -670,6 +717,8 @@ def _serve_http(args: argparse.Namespace, registry, graph) -> int:
         graph=graph,
         config=config,
         reload_config=ReloadConfig(poll_interval_s=0.0 if args.no_reload else args.reload_poll_s),
+        mmap=args.mmap,
+        entity_chunk_size=args.entity_chunk,
     )
     if args.no_reload:
         frontend.reloader = None
@@ -730,10 +779,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
     """``python -m repro bench``: runtime timing workloads (derive/serving/ranking/search/sweep)."""
     from repro.bench.reporting import TableReport, write_bench_json
     from repro.bench.workloads import train_structure
-    from repro.datasets import load_benchmark
+    from repro.datasets import is_directory_spec, resolve_dataset
     from repro.runtime.profiling import (
         time_derive_phase,
         time_filtered_ranking,
+        time_scale_curve,
         time_search_steps,
         time_shm_transport,
         time_streaming_updates,
@@ -745,7 +795,36 @@ def cmd_bench(args: argparse.Namespace) -> int:
     from repro.utils.rng import new_rng
     from repro.utils.serialization import save_json
 
-    graph = load_benchmark(args.dataset, scale=args.scale, seed=args.data_seed)
+    if args.workload == "scale":
+        # The curve grows one synthetic benchmark through --scales; a fixed-size
+        # directory dataset has no scale axis to sweep.
+        if is_directory_spec(args.dataset):
+            print("the scale workload needs a synthetic registry benchmark, not a directory", file=sys.stderr)
+            return 2
+        rows = time_scale_curve(
+            dataset=args.dataset,
+            scales=args.scales,
+            chunk_entities=args.chunk_entities,
+            dim=min(args.dim, 48),
+            data_seed=args.data_seed,
+            seed=args.seed,
+        )
+        report = TableReport("scale curve: chunked vs unchunked scoring at growing dataset scales")
+        for tier_row in rows:
+            report.add_row(**tier_row)
+        print(report.render())
+        path = write_bench_json("scale", rows, directory=args.out)
+        print(f"perf trajectory written to {path}")
+        # One row per tier, so --output writes the list (like the search workload).
+        if args.output:
+            save_json(rows, args.output)
+            print(f"result rows written to {args.output}")
+        if not all(row["scores_match"] and row["ranks_match"] for row in rows):
+            print("chunked scoring diverged from the unchunked reference", file=sys.stderr)
+            return 1
+        return 0
+
+    graph = resolve_dataset(args.dataset, scale=args.scale, seed=args.data_seed)
     if args.workload == "derive":
         row = time_derive_phase(
             graph,
@@ -855,4 +934,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if getattr(args, "handler", None) is None:
         parser.print_help()
         return 1
-    return int(args.handler(args) or 0)
+    try:
+        return int(args.handler(args) or 0)
+    except DatasetResolutionError as error:
+        # A bad --dataset/--datasets spec is a usage error, not a crash: exit 2 with
+        # the resolver's message (which names the registry and the ./name escape).
+        print(f"error: {error}", file=sys.stderr)
+        return 2

@@ -55,7 +55,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.datasets.registry import BENCHMARK_NAMES
+from repro.datasets import DatasetResolutionError, check_dataset_spec, dataset_label
 from repro.search.base import SearchBudget
 from repro.search.registry import available_searchers
 from repro.utils.logging import get_logger
@@ -99,8 +99,9 @@ class SweepConfig:
     seeds:
         Grid axis: search/training seeds, one shard per seed (default ``(0,)``).
     datasets:
-        Grid axis: synthetic benchmark names from :mod:`repro.datasets.registry`
-        (default ``("wn18rr_like",)``, non-empty).
+        Grid axis: dataset specs accepted by :func:`repro.datasets.resolve_dataset`
+        -- registry benchmark names or ``train.txt``/``valid.txt``/``test.txt``
+        directories (default ``("wn18rr_like",)``, non-empty).
     budgets:
         Grid axis: one optional :class:`~repro.search.base.SearchBudget` per entry
         (default ``(None,)`` = a single unbudgeted axis point).  Budgets with
@@ -185,11 +186,11 @@ class SweepConfig:
             raise SweepError(
                 f"unknown searcher(s) {unknown}; choose from: {', '.join(available_searchers())}"
             )
-        bad_datasets = [name for name in self.datasets if name not in BENCHMARK_NAMES]
-        if bad_datasets:
-            raise SweepError(
-                f"unknown dataset(s) {bad_datasets}; choose from: {', '.join(BENCHMARK_NAMES)}"
-            )
+        for name in self.datasets:
+            try:
+                check_dataset_spec(name, scale=self.scale)
+            except DatasetResolutionError as error:
+                raise SweepError(str(error)) from error
         if self.max_workers < 0:
             raise SweepError("max_workers must be >= 0 (0 means all cores)")
         if self.max_shard_retries < 0:
@@ -252,7 +253,7 @@ class SweepConfig:
             rerank=self.rerank,
             eval_split=self.eval_split,
             registry_root=self.registry_root,
-            model_name=f"{shard.searcher}-{shard.dataset}-seed{shard.seed}",
+            model_name=f"{shard.searcher}-{dataset_label(shard.dataset)}-seed{shard.seed}",
         )
 
 
@@ -284,8 +285,13 @@ class ShardSpec:
 
     @property
     def shard_id(self) -> str:
-        """Stable, filesystem-safe identity used for directories and dedup."""
-        return f"{self.searcher}-{self.dataset}-seed{self.seed}-b{self.budget_index}"
+        """Stable, filesystem-safe identity used for directories and dedup.
+
+        Directory datasets contribute their :func:`repro.datasets.dataset_label`
+        (basename + path digest) instead of the raw path, so the id stays one flat
+        path component.
+        """
+        return f"{self.searcher}-{dataset_label(self.dataset)}-seed{self.seed}-b{self.budget_index}"
 
     def to_jsonable(self) -> Dict[str, object]:
         """The spec as plain JSON structures (the manifest/result representation)."""
@@ -811,7 +817,7 @@ class SweepOrchestrator:
         """Bounded worker pool with work-stealing dispatch and crash requeue."""
         import multiprocessing
 
-        from repro.datasets import load_benchmark
+        from repro.datasets import resolve_dataset
         from repro.runtime import shm
 
         # ``fork`` keeps parent-process state (dataset memos, third-party searcher
@@ -833,7 +839,7 @@ class SweepOrchestrator:
         published_tokens: List[str] = []
         if shm.HAVE_SHARED_MEMORY:
             for dataset in dict.fromkeys(shard.dataset for shard in pending):
-                graph = load_benchmark(dataset, scale=self.config.scale, seed=self.config.data_seed)
+                graph = resolve_dataset(dataset, scale=self.config.scale, seed=self.config.data_seed)
                 already_owned = shm.graph_digest(graph) in shm.owned_tokens()
                 payload = shm.publish_graph(graph)
                 graph_handles[dataset] = payload

@@ -66,6 +66,20 @@ asserting every merged index is bit-identical to its rebuild.  ``python -m repro
 --workload streaming`` and ``benchmarks/test_streaming.py`` report this row and
 persist it as ``BENCH_streaming.json``.
 
+:func:`time_scale_curve` turns the ranking workload into an out-of-core **scale
+curve**: the same seeded model/sample workload is evaluated on one synthetic
+benchmark at a ladder of ``--scales`` tiers, each tier scored twice -- unchunked
+(one ``(batch, E)`` score matrix) and entity-chunked
+(:class:`~repro.eval.ranking.RankingEvaluator` with ``entity_chunk_size``, bounding
+the peak score-matrix footprint).  Per tier the row records wall clocks and
+throughputs for both regimes, ``tracemalloc`` peak evaluation memory for both (the
+chunked peak stays roughly flat as the entity count grows -- the memory-bounded
+property), the process-wide ``peak_rss_mb`` high-water mark
+(``resource.getrusage``; tiers run smallest-first because ``ru_maxrss`` is
+monotonic per process), and ``scores_match`` / ``ranks_match`` flags asserting the
+chunked path is bit-identical to the unchunked reference.  ``python -m repro bench
+--workload scale`` reports these rows and persists them as ``BENCH_scale.json``.
+
 ``benchmarks/test_figure02_search_efficiency.py`` /
 ``benchmarks/test_ranking_throughput.py`` and ``python -m repro bench --workload
 derive|ranking`` report these same rows, so the benchmarks and the CLI can never
@@ -543,6 +557,99 @@ def time_filtered_ranking(
             all(np.array_equal(a, b) for a, b in zip(naive_ranks, fast_ranks))
         ),
     }
+
+
+def time_scale_curve(
+    dataset: str = "fb15k_like",
+    scales: Sequence[float] = (0.5, 1.0, 2.0),
+    chunk_entities: int = 2048,
+    dim: int = 48,
+    sample_size: int = 64,
+    data_seed: int = 0,
+    seed: int = 0,
+) -> List[Dict[str, object]]:
+    """Chunked vs unchunked filtered ranking at growing dataset scales, one row per tier.
+
+    Tiers run smallest scale first so the monotonic ``ru_maxrss`` high-water mark a
+    row reports is the one *this* tier (and its predecessors) established, and so a
+    regression that blows up memory on the largest tier is visible in its row.  Per
+    tier, the timed passes run first and the ``tracemalloc`` passes after, so the
+    evaluator/filter memos built on first use are not billed to either memory peak.
+    ``scores_match`` compares the raw chunk-assembled score matrix bit-for-bit
+    against one full :meth:`~repro.models.kge.KGEModel.score_all_arrays` call;
+    ``ranks_match`` does the same for the two evaluators' filtered ranks.
+    """
+    import resource
+    import tracemalloc
+
+    from repro.datasets import load_benchmark
+
+    rows: List[Dict[str, object]] = []
+    for scale in sorted(float(s) for s in scales):
+        graph = load_benchmark(dataset, scale=scale, seed=data_seed)
+        model = _ranking_workload_models(graph, 1, dim, seed)[0]
+        rng = new_rng(seed)
+        valid = graph.valid.array
+        size = min(sample_size, len(valid))
+        sample = TripleSet(valid[rng.choice(len(valid), size=size, replace=False)].copy())
+
+        plain = RankingEvaluator(graph)
+        chunked = RankingEvaluator(graph, entity_chunk_size=chunk_entities)
+        # Warm the graph-level filter memos outside the timers and memory probes.
+        graph.filter_index().flat_filter(sample.array, "tail")
+        graph.filter_index().flat_filter(sample.array, "head")
+
+        started = time.perf_counter()
+        plain_ranks = plain.ranks(model, sample)
+        plain_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        chunked_ranks = chunked.ranks(model, sample)
+        chunked_seconds = time.perf_counter() - started
+
+        full_scores = model.score_all_arrays(sample.array, "tail")
+        step = chunked.entity_chunk_size or graph.num_entities
+        assembled = np.concatenate(
+            [
+                model.score_chunk_entities(sample.array, "tail", a, min(a + step, graph.num_entities))
+                for a in range(0, graph.num_entities, step)
+            ],
+            axis=1,
+        )
+        scores_match = bool(np.array_equal(full_scores, assembled))
+
+        tracemalloc.start()
+        plain.ranks(model, sample)
+        _, plain_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+
+        tracemalloc.start()
+        chunked.ranks(model, sample)
+        _, chunked_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+
+        queries = 2 * size  # both directions
+        rows.append(
+            {
+                "dataset": f"{dataset}@{scale:g}",
+                "scale": scale,
+                "entities": int(graph.num_entities),
+                "triples": int(len(graph.train) + len(graph.valid) + len(graph.test)),
+                "sample_triples": size,
+                "chunk_entities": int(chunk_entities),
+                "unchunked_seconds": round(plain_seconds, 4),
+                "chunked_seconds": round(chunked_seconds, 4),
+                "chunked_overhead": round(chunked_seconds / max(plain_seconds, 1e-9), 2),
+                "unchunked_queries_per_second": round(queries / max(plain_seconds, 1e-9), 1),
+                "chunked_queries_per_second": round(queries / max(chunked_seconds, 1e-9), 1),
+                "unchunked_eval_peak_mb": round(plain_peak / 2**20, 2),
+                "chunked_eval_peak_mb": round(chunked_peak / 2**20, 2),
+                "peak_rss_mb": round(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0, 1),
+                "scores_match": scores_match,
+                "ranks_match": bool(np.array_equal(plain_ranks, chunked_ranks)),
+            }
+        )
+    return rows
 
 
 def _random_graph_delta(graph: KnowledgeGraph, delta_triples: int, rng) -> "object":

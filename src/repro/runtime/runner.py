@@ -2,7 +2,9 @@
 
 A run is *dataset -> search -> re-train winner -> evaluate -> publish*:
 
-- the dataset comes from :mod:`repro.datasets.registry`,
+- the dataset is anything :func:`repro.datasets.resolve_dataset` accepts -- a
+  registry benchmark name or a directory of ``train.txt``/``valid.txt``/``test.txt``
+  TSV files (see ``docs/DATASETS.md``),
 - the search is any algorithm of the :mod:`repro.search.registry` plugin registry
   (``eras``, ``eras_n1``, ``eras_diff``, ``autosf``, ``random``, ``bayes``, plus
   anything third-party code registered), built against a shared
@@ -26,7 +28,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, Optional, Tuple
 
-from repro.datasets import load_benchmark
+from repro.datasets import dataset_label, resolve_dataset
 from repro.eval.ranking import RankingEvaluator, RankingMetrics
 from repro.kg.graph import KnowledgeGraph
 from repro.models.kge import KGEModel
@@ -51,10 +53,12 @@ class RunConfig:
     Fields
     ------
     dataset:
-        Synthetic benchmark name from :mod:`repro.datasets.registry`
-        (default ``"wn18rr_like"``).
+        Synthetic benchmark name from :mod:`repro.datasets.registry` *or* a
+        directory containing ``train.txt``/``valid.txt``/``test.txt``, resolved by
+        :func:`repro.datasets.resolve_dataset` (default ``"wn18rr_like"``).
     scale:
-        Dataset scale factor passed to the registry (default 1.0, > 0).
+        Dataset scale factor passed to the registry (default 1.0, > 0; rejected for
+        directory datasets, which have a fixed size).
     data_seed:
         Seed of the synthetic dataset generator (default 0).
     searcher:
@@ -113,7 +117,8 @@ class RunConfig:
         Root directory of the model artifact registry; when set, the trained model
         is published there (default None).
     model_name:
-        Artifact name in the registry (default None: ``"<searcher>-<dataset>"``).
+        Artifact name in the registry (default None:
+        ``"<searcher>-<dataset label>"``, see :func:`repro.datasets.dataset_label`).
     """
 
     dataset: str = "wn18rr_like"
@@ -262,9 +267,9 @@ class SearchRunner:
     # ------------------------------------------------------------------ components
     @property
     def graph(self) -> KnowledgeGraph:
-        """The benchmark graph (loaded once, memoised by the dataset registry)."""
+        """The dataset graph (loaded once, memoised by the resolver per spec)."""
         if self._graph is None:
-            self._graph = load_benchmark(
+            self._graph = resolve_dataset(
                 self.config.dataset, scale=self.config.scale, seed=self.config.data_seed
             )
         return self._graph
@@ -378,9 +383,9 @@ class SearchRunner:
         if not config.registry_root:
             raise ValueError("RunConfig.registry_root must be set to publish a model")
         registry = ModelArtifactRegistry(config.registry_root)
-        name = config.model_name or f"{config.searcher}-{config.dataset}"
+        name = config.model_name or f"{config.searcher}-{dataset_label(config.dataset)}"
         metadata: Dict[str, object] = {
-            "dataset": config.dataset,
+            "dataset": str(config.dataset),
             "scale": config.scale,
             "searcher": source or (result.searcher if result is not None else config.searcher),
             "seed": config.seed,

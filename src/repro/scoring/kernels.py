@@ -21,6 +21,19 @@ the rare case a scorer returns a view).  The kernels back
 :meth:`repro.models.kge.KGEModel.score_all_arrays`, which is the shared fast path of
 :class:`~repro.eval.ranking.RankingEvaluator`, the supernet's one-shot rewards and
 :class:`~repro.serve.engine.LinkPredictionEngine`.
+
+Entity tiling
+-------------
+
+All-candidate scoring streams the candidate table in fixed tiles of
+:data:`ENTITY_TILE` entities (see :func:`score_candidate_range`).  The tile grid is
+*absolute* -- tile ``k`` always covers entity ids ``[k * ENTITY_TILE, (k + 1) *
+ENTITY_TILE)`` regardless of which range a caller requests -- because BLAS matmuls are
+only reproducible for byte-identical operands: ``Q @ C[a:b].T`` is generally NOT
+bitwise equal to ``(Q @ C.T)[:, a:b]``.  By pinning every kernel call to the same
+grid, a chunked pass over ``[0, E)`` issues literally the same matmuls as one full
+pass, which is what makes :meth:`~repro.models.kge.KGEModel.score_chunk_entities`
+bit-identical to the unchunked path by construction rather than by luck.
 """
 
 from __future__ import annotations
@@ -36,6 +49,84 @@ from repro.scoring.structure import BlockStructure
 # A kernel maps (anchor, relation, candidates, direction) -> (n, num_candidates) scores.
 # ``anchor`` is the head embedding for direction 'tail' and the tail embedding for 'head'.
 ScoreAllKernel = Callable[[np.ndarray, np.ndarray, np.ndarray, str], np.ndarray]
+
+# Width of the absolute candidate-tile grid used by all 1-vs-all scoring.  Chunk
+# boundaries handed to score_candidate_range must land on this grid (or on the table
+# end), so chunked and unchunked passes decompose into the identical kernel calls.
+ENTITY_TILE = 512
+
+
+def normalize_chunk_size(entity_chunk_size: int) -> int:
+    """Round a requested entity chunk size up to the ``ENTITY_TILE`` grid.
+
+    Chunk boundaries must land on the absolute tile grid for chunked scoring to stay
+    bit-identical, so callers configure an approximate budget and get back the nearest
+    usable value (minimum one tile).
+    """
+    if entity_chunk_size <= 0:
+        raise ValueError(f"entity_chunk_size must be positive, got {entity_chunk_size}")
+    tiles = -(-int(entity_chunk_size) // ENTITY_TILE)
+    return tiles * ENTITY_TILE
+
+
+def validate_tile_range(start: int, stop: int, num_candidates: int) -> None:
+    """Reject candidate ranges that do not sit on the absolute ``ENTITY_TILE`` grid.
+
+    ``start`` must be a tile boundary and ``stop`` either a tile boundary or the end of
+    the candidate table; anything else would change which matmuls run and silently
+    break bit-identity with the unchunked path.
+    """
+    if not 0 <= start < stop <= num_candidates:
+        raise ValueError(
+            f"candidate range [{start}, {stop}) out of bounds for {num_candidates} candidates"
+        )
+    if start % ENTITY_TILE != 0:
+        raise ValueError(f"chunk start {start} is not a multiple of ENTITY_TILE={ENTITY_TILE}")
+    if stop % ENTITY_TILE != 0 and stop != num_candidates:
+        raise ValueError(
+            f"chunk stop {stop} must be a multiple of ENTITY_TILE={ENTITY_TILE} "
+            f"or the table end {num_candidates}"
+        )
+
+
+def score_candidate_range(
+    kernel: ScoreAllKernel,
+    anchor: np.ndarray,
+    relation: np.ndarray,
+    candidates: np.ndarray,
+    direction: str,
+    start: int = 0,
+    stop: Optional[int] = None,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Score candidates ``[start, stop)`` by streaming absolute ``ENTITY_TILE`` tiles.
+
+    Issues one kernel call per grid tile intersecting the range and writes each
+    result into the matching column span.  Because the tiles are absolute, any
+    tile-aligned partition of ``[0, num_candidates)`` reproduces the full pass bit for
+    bit.  ``out``, when given, must have shape ``(n, stop - start)``; otherwise a fresh
+    writable array is returned (single-tile requests return the kernel result
+    directly, keeping small graphs copy-free).
+    """
+    num_candidates = candidates.shape[0]
+    if stop is None:
+        stop = num_candidates
+    validate_tile_range(start, stop, num_candidates)
+    first_tile = start // ENTITY_TILE
+    last_tile = (stop - 1) // ENTITY_TILE
+    if out is None and first_tile == last_tile:
+        return kernel(anchor, relation, candidates[start:stop], direction)
+    if out is None:
+        out = np.empty((anchor.shape[0], stop - start), dtype=np.float64)
+    elif out.shape != (anchor.shape[0], stop - start):
+        raise ValueError(
+            f"out has shape {out.shape}, expected {(anchor.shape[0], stop - start)}"
+        )
+    for tile in range(first_tile, last_tile + 1):
+        a = tile * ENTITY_TILE
+        b = min(a + ENTITY_TILE, stop)
+        out[:, a - start : b - start] = kernel(anchor, relation, candidates[a:b], direction)
+    return out
 
 
 def compile_block_kernel(structure: BlockStructure) -> ScoreAllKernel:

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import os
 import re
+import shutil
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
@@ -42,6 +43,10 @@ from repro.utils.serialization import (
 ARTIFACT_FORMAT_VERSION = 1
 MANIFEST_FILENAME = "manifest.json"
 WEIGHTS_FILENAME = "weights.npz"
+# ``np.load(mmap_mode=...)`` silently ignores the mode for .npz archives (members are
+# zip entries, not flat files), so mmap loading extracts each member once into this
+# sidecar directory -- keyed by the weights checksum -- and memory-maps the .npy files.
+MMAP_DIRNAME = "weights.mmap"
 _ASSIGNMENT_KEY = "__assignment__"
 
 # Complete version directories are exactly ``v<N>``; writers stage into
@@ -148,14 +153,83 @@ def save_model_artifact(
     return directory
 
 
+def _mmap_weight_arrays(
+    directory: Path, weights_path: Path, manifest: Dict[str, object]
+) -> Dict[str, np.ndarray]:
+    """Read-only memory-mapped views of every weight array in the archive.
+
+    The npz members are extracted once into ``weights.mmap/<checksum prefix>/`` next
+    to the archive (atomic scratch-then-rename; concurrent extractors race benignly,
+    the loser discards its scratch) and served via ``np.load(mmap_mode="r")`` from
+    then on.  Artifact versions are immutable, so the sidecar never goes stale; a
+    re-written weights archive gets a new checksum and therefore a new sidecar.
+    """
+    checksum = str(manifest["weights_checksum"])
+    sidecar = directory / MMAP_DIRNAME / checksum[:16]
+    if not sidecar.is_dir():
+        scratch = directory / MMAP_DIRNAME / f".tmp-{checksum[:16]}-{os.getpid()}"
+        shutil.rmtree(scratch, ignore_errors=True)
+        try:
+            scratch.mkdir(parents=True)
+            with np.load(weights_path, allow_pickle=False) as archive:
+                for key in archive.files:
+                    np.save(scratch / f"{key}.npy", archive[key])
+            try:
+                os.replace(scratch, sidecar)
+            except OSError:
+                # Another loader extracted the same checksum first; use theirs.
+                shutil.rmtree(scratch, ignore_errors=True)
+                if not sidecar.is_dir():
+                    raise
+        except OSError as error:
+            shutil.rmtree(scratch, ignore_errors=True)
+            raise ArtifactError(
+                f"cannot extract {weights_path} for memory-mapped loading: {error}"
+            ) from error
+    arrays: Dict[str, np.ndarray] = {}
+    for path in sorted(sidecar.glob("*.npy")):
+        arrays[path.name[: -len(".npy")]] = np.load(path, mmap_mode="r")
+    return arrays
+
+
+def _attach_parameters(model: KGEModel, arrays: Dict[str, np.ndarray]) -> None:
+    """Point the model's parameters at ``arrays`` without copying.
+
+    The copy-free twin of :meth:`~repro.nn.module.Module.load_state_dict`: the same
+    name/shape validation, but the (read-only, memory-mapped) arrays become the
+    parameter data directly, so nothing of the embedding tables is made resident.
+    """
+    parameters = dict(model.named_parameters())
+    missing = sorted(set(parameters) - set(arrays))
+    unexpected = sorted(set(arrays) - set(parameters))
+    if missing or unexpected:
+        raise KeyError(f"state dict mismatch: missing {missing}, unexpected {unexpected}")
+    for name, parameter in parameters.items():
+        value = arrays[name]
+        if tuple(value.shape) != tuple(parameter.data.shape):
+            raise ValueError(
+                f"parameter {name!r} has shape {tuple(parameter.data.shape)}, "
+                f"stored array has {tuple(value.shape)}"
+            )
+        if value.dtype != np.float64:
+            value = np.asarray(value, dtype=np.float64)
+        parameter.data = value
+
+
 def load_model_artifact(
-    directory: PathLike, verify_checksum: bool = True
+    directory: PathLike, verify_checksum: bool = True, mmap: bool = False
 ) -> Tuple[KGEModel, Dict[str, object]]:
     """Reconstruct a model from an artifact directory; returns ``(model, manifest)``.
 
     Raises :class:`ArtifactError` when the manifest is missing or malformed, when the
     weights archive does not match the manifest's checksum, or when the stored arrays
     are inconsistent with the declared model shape.
+
+    ``mmap=True`` serves the weights straight off disk: the archive members are
+    extracted once into a checksum-keyed sidecar directory and attached as read-only
+    ``np.load(mmap_mode="r")`` views, so embedding tables page in on demand instead
+    of being resident.  Scores are bit-identical to an in-memory load (same bytes,
+    same kernels); the model must not be trained in place.
     """
     directory = Path(directory)
     manifest_path = directory / MANIFEST_FILENAME
@@ -196,10 +270,13 @@ def load_model_artifact(
         raise ArtifactError(f"manifest model shape is malformed: {error}") from error
     scorers = [_scorer_from_manifest(entry) for entry in manifest["scorers"]]
 
-    arrays = load_npz(weights_path)
+    if mmap:
+        arrays = _mmap_weight_arrays(directory, weights_path, manifest)
+    else:
+        arrays = load_npz(weights_path)
     if _ASSIGNMENT_KEY not in arrays:
         raise ArtifactError(f"weights archive {weights_path} is missing the assignment array")
-    assignment = arrays.pop(_ASSIGNMENT_KEY).astype(np.int64)
+    assignment = np.asarray(arrays.pop(_ASSIGNMENT_KEY)).astype(np.int64)
 
     model = KGEModel(
         num_entities=num_entities,
@@ -208,9 +285,15 @@ def load_model_artifact(
         scorers=scorers,
         assignment=assignment,
         seed=0,
+        # mmap loads skip the random init entirely (calloc zeros, nothing resident);
+        # the real weights are attached below without a copy.
+        init_scale=0.0 if mmap else 0.1,
     )
     try:
-        model.load_state_dict(arrays)
+        if mmap:
+            _attach_parameters(model, arrays)
+        else:
+            model.load_state_dict(arrays)
     except (KeyError, ValueError) as error:
         raise ArtifactError(f"weights archive is inconsistent with the manifest: {error}") from error
     return model, manifest
@@ -297,11 +380,19 @@ class ModelArtifactRegistry:
 
     # ------------------------------------------------------------------ read path
     def load(
-        self, name: str, version: Optional[int] = None, verify_checksum: bool = True
+        self,
+        name: str,
+        version: Optional[int] = None,
+        verify_checksum: bool = True,
+        mmap: bool = False,
     ) -> Tuple[KGEModel, Dict[str, object]]:
-        """Load ``(model, manifest)`` for ``name`` (latest version unless given)."""
+        """Load ``(model, manifest)`` for ``name`` (latest version unless given).
+
+        ``mmap=True`` memory-maps the weights instead of materialising them (see
+        :func:`load_model_artifact`).
+        """
         ref = self.resolve(name, version)
-        return load_model_artifact(ref.path, verify_checksum=verify_checksum)
+        return load_model_artifact(ref.path, verify_checksum=verify_checksum, mmap=mmap)
 
     def resolve(self, name: str, version: Optional[int] = None) -> ArtifactRef:
         """Resolve a (name, version) pair to an on-disk reference without loading it."""

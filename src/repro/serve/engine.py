@@ -35,6 +35,7 @@ from repro.kg.filter_index import FilterIndex
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.vocab import Vocabulary
 from repro.models.kge import KGEModel
+from repro.scoring.kernels import normalize_chunk_size
 from repro.utils.serialization import PathLike
 
 
@@ -145,6 +146,12 @@ class LinkPredictionEngine:
         Capacity of the LRU result cache (0 disables it).
     score_batch_size:
         Maximum number of queries scored in one all-entity matrix op (bounds memory).
+    entity_chunk_size:
+        When set, all-entity scoring streams the candidate axis in chunks of (at
+        most) this many entities and keeps a running top-k per query, bounding peak
+        memory at ``O(score_batch_size * entity_chunk_size)`` instead of
+        ``O(score_batch_size * num_entities)``.  The chunk grid sits on the absolute
+        kernel tile grid, so streamed answers are bit-identical to unchunked ones.
     """
 
     def __init__(
@@ -158,6 +165,7 @@ class LinkPredictionEngine:
         score_batch_size: int = 256,
         max_precompute_entities: int = 4096,
         graph_version: int = 0,
+        entity_chunk_size: Optional[int] = None,
     ) -> None:
         if cache_size < 0:
             raise ValueError("cache_size must be non-negative")
@@ -171,6 +179,9 @@ class LinkPredictionEngine:
         self.cache_size = cache_size
         self.score_batch_size = score_batch_size
         self.max_precompute_entities = max_precompute_entities
+        self.entity_chunk_size = (
+            None if entity_chunk_size is None else normalize_chunk_size(entity_chunk_size)
+        )
         self.graph_version = int(graph_version)
         self.stats = EngineStats(graph_version=self.graph_version)
         self._lru: "OrderedDict[Tuple[str, int, int, int], TopKResult]" = OrderedDict()
@@ -193,6 +204,7 @@ class LinkPredictionEngine:
         name: Optional[str] = None,
         version: Optional[int] = None,
         graph: Optional[KnowledgeGraph] = None,
+        mmap: bool = False,
         **kwargs,
     ) -> "LinkPredictionEngine":
         """Load a stored model and wrap it in an engine.
@@ -200,7 +212,10 @@ class LinkPredictionEngine:
         ``source`` is either a :class:`~repro.serve.artifacts.ModelArtifactRegistry`
         (then ``name`` / ``version`` select the artifact) or a path to one artifact
         directory.  When ``graph`` is given its filter index backs filtered serving;
-        vocabularies default to the ones stored in the manifest.
+        vocabularies default to the ones stored in the manifest.  ``mmap=True`` serves
+        the embedding tables straight off disk (see
+        :func:`~repro.serve.artifacts.load_model_artifact`); scores are bit-identical
+        to an in-memory load.
         """
         from repro.serve.artifacts import (
             ModelArtifactRegistry,
@@ -211,9 +226,9 @@ class LinkPredictionEngine:
         if isinstance(source, ModelArtifactRegistry):
             if name is None:
                 raise ValueError("an artifact name is required when loading from a registry")
-            model, manifest = source.load(name, version=version)
+            model, manifest = source.load(name, version=version, mmap=mmap)
         else:
-            model, manifest = load_model_artifact(source)
+            model, manifest = load_model_artifact(source, mmap=mmap)
         entity_vocab, relation_vocab = manifest_vocabularies(manifest)
         if graph is not None:
             # The manifest wins; the graph fills in whatever it did not store.
@@ -257,13 +272,21 @@ class LinkPredictionEngine:
                 continue
             pending.append((index, query))
 
+        streamed = (
+            self.entity_chunk_size is not None
+            and self.entity_chunk_size < self.model.num_entities
+        )
         for direction in ("tail", "head"):
             group = [(i, q) for i, q in pending if q.direction == direction]
             for start in range(0, len(group), self.score_batch_size):
                 chunk = group[start : start + self.score_batch_size]
-                scores = self._score_chunk([q for _, q in chunk], direction)
                 self.stats.batches += 1
                 self.stats.scored += len(chunk)
+                if streamed:
+                    for result, (index, query) in zip(self._predict_streamed(chunk, direction), chunk):
+                        results[index] = result
+                    continue
+                scores = self._score_chunk([q for _, q in chunk], direction)
                 for row_scores, (index, query) in zip(scores, chunk):
                     results[index] = self._finish(query, row_scores)
 
@@ -313,6 +336,7 @@ class LinkPredictionEngine:
             score_batch_size=self.score_batch_size,
             max_precompute_entities=self.max_precompute_entities,
             graph_version=graph.graph_version,
+            entity_chunk_size=self.entity_chunk_size,
         )
         invalidated = 0
         for key, result in self._lru.items():
@@ -411,6 +435,59 @@ class LinkPredictionEngine:
         # Compiled no-grad kernels: one matmul batch, no autodiff Tensor construction.
         return self.model.score_all_arrays(triples, direction)
 
+    def _predict_streamed(
+        self, chunk: Sequence[Tuple[int, LinkQuery]], direction: str
+    ) -> List[TopKResult]:
+        """Answer one score batch while streaming the candidate axis in chunks.
+
+        Each chunk's scores are bit-identical to the corresponding columns of the full
+        matrix (absolute tile grid), per-chunk top-k candidates are a superset of the
+        global winners within the chunk, and the final merge uses the same
+        (score desc, entity asc) ordering as :func:`_top_k` -- so the emitted results
+        match the unchunked path exactly, at ``O(batch * entity_chunk_size)`` peak
+        memory.
+        """
+        queries = [query for _, query in chunk]
+        triples = np.zeros((len(queries), 3), dtype=np.int64)
+        triples[:, 1] = [q.relation for q in queries]
+        triples[:, 0 if direction == "tail" else 2] = [q.anchor for q in queries]
+        known: List[Optional[np.ndarray]] = [None] * len(queries)
+        if self.filtered:
+            for i, query in enumerate(queries):
+                if direction == "tail":
+                    known[i] = self.filter_index.known_tails_array(query.head, query.relation)
+                else:
+                    known[i] = self.filter_index.known_heads_array(query.relation, query.tail)
+        candidate_ids: List[List[np.ndarray]] = [[] for _ in queries]
+        candidate_scores: List[List[np.ndarray]] = [[] for _ in queries]
+        num_entities = self.model.num_entities
+        step = self.entity_chunk_size
+        for a in range(0, num_entities, step):
+            b = min(a + step, num_entities)
+            scores = self.model.score_chunk_entities(triples, direction, a, b)
+            for i, query in enumerate(queries):
+                row = scores[i]
+                if known[i] is not None and known[i].size:
+                    local = known[i][(known[i] >= a) & (known[i] < b)] - a
+                    if local.size:
+                        row[local] = -np.inf
+                entities, values = _top_k(row, query.k)
+                if entities.size:
+                    candidate_ids[i].append(entities + a)
+                    candidate_scores[i].append(values)
+        results = []
+        for i, query in enumerate(queries):
+            if candidate_ids[i]:
+                entities = np.concatenate(candidate_ids[i])
+                values = np.concatenate(candidate_scores[i])
+                order = np.lexsort((entities, -values))[: min(query.k, len(entities))]
+                entities, values = entities[order], values[order]
+            else:
+                entities = np.empty(0, dtype=np.int64)
+                values = np.empty(0, dtype=np.float64)
+            results.append(self._emit(query, entities, values))
+        return results
+
     def _precomputed_row(self, query: LinkQuery) -> Optional[np.ndarray]:
         # A view into the cached matrix; _finish copies before its only mutation.
         matrix = self._relation_scores.get((query.relation, query.direction))
@@ -428,13 +505,16 @@ class LinkPredictionEngine:
             if known.size:
                 scores[known] = -np.inf
         entities, top_scores = _top_k(scores, query.k)
+        return self._emit(query, entities, top_scores)
+
+    def _emit(self, query: LinkQuery, entities: np.ndarray, scores: np.ndarray) -> TopKResult:
         labels = None
         if self.entity_vocab is not None:
             labels = tuple(self.entity_vocab.symbol_of(int(e)) for e in entities)
         result = TopKResult(
             query=query,
             entities=entities,
-            scores=top_scores,
+            scores=scores,
             labels=labels,
             graph_version=self.graph_version,
         )

@@ -194,9 +194,11 @@ class EngineReloader:
         active_version: int,
         config: Optional[ReloadConfig] = None,
         clock: Callable[[], float] = time.monotonic,
+        mmap: bool = False,
     ) -> None:
         self.registry = registry
         self.name = name
+        self.mmap = mmap
         self.build_engine = build_engine
         self.on_swap = on_swap
         self.config = config or ReloadConfig()
@@ -254,7 +256,7 @@ class EngineReloader:
 
     def _load_and_validate(self, version: int) -> LinkPredictionEngine:
         # registry.load verifies the weights checksum against the manifest.
-        model, manifest = self.registry.load(self.name, version)
+        model, manifest = self.registry.load(self.name, version, mmap=self.mmap)
         engine = self.build_engine(model=model, manifest=manifest, version=version)
         self._smoke_test(engine)
         return engine
@@ -668,6 +670,7 @@ class ServingFrontend:
         graph=None,
         config: Optional[FrontendConfig] = None,
         reload_config: Optional[ReloadConfig] = None,
+        mmap: bool = False,
         **engine_kwargs,
     ) -> "ServingFrontend":
         """Load a registry model and wrap it with hot-reload wired up.
@@ -678,7 +681,9 @@ class ServingFrontend:
         same way :meth:`LinkPredictionEngine.from_artifact` uses it, and is wrapped in
         a :class:`~repro.stream.MutableGraphView` so ``POST /v1/graph/delta`` works;
         hot reloads always build against the view's *current* snapshot, never the
-        boot-time graph.
+        boot-time graph.  ``mmap=True`` memory-maps the artifact weights (boot load
+        and every hot reload); remaining keyword arguments go to the
+        :class:`LinkPredictionEngine` constructor (e.g. ``entity_chunk_size``).
         """
         resolved = registry.resolve(name, version)
         graph_view = MutableGraphView(graph) if graph is not None else None
@@ -696,7 +701,7 @@ class ServingFrontend:
             kwargs.setdefault("relation_vocab", relation_vocab)
             return LinkPredictionEngine(model, **kwargs)
 
-        model, manifest = registry.load(name, resolved.version)
+        model, manifest = registry.load(name, resolved.version, mmap=mmap)
         engine = build_engine(model, manifest, resolved.version)
         frontend = cls(
             engine,
@@ -713,5 +718,6 @@ class ServingFrontend:
                 on_swap=frontend._on_swap,
                 active_version=resolved.version,
                 config=reload_config,
+                mmap=mmap,
             )
         return frontend

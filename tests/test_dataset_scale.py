@@ -1,0 +1,389 @@
+"""Out-of-core dataset layer: binary cache, unified resolution, chunked scoring, mmap.
+
+Covers the scale-oriented guarantees documented in ``docs/DATASETS.md``:
+
+- the binary cache round-trips a TSV directory exactly and is invalidated by any edit
+  to the split files (content digest, never mtime);
+- :func:`repro.datasets.resolve_dataset` accepts registry names and directories
+  through one entry point, refuses ambiguous and unknown specs loudly, and memoises
+  directory loads per content digest;
+- chunked entity scoring (:meth:`KGEModel.score_chunk_entities`, the chunked
+  :class:`RankingEvaluator`, the streamed serving engine) is *bit-identical* to the
+  unchunked path on randomized graphs -- equality is exact, not approximate -- while
+  bounding peak evaluation memory;
+- mmap-loaded artifacts score bit-identically to in-memory loads.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    BENCHMARK_NAMES,
+    DatasetResolutionError,
+    check_dataset_spec,
+    dataset_label,
+    is_directory_spec,
+    load_benchmark,
+    resolve_dataset,
+)
+from repro.eval import RankingEvaluator
+from repro.kg import KnowledgeGraph, TripleSet, load_tsv_dataset, save_tsv_dataset
+from repro.kg.cache import (
+    cache_path,
+    dataset_digest,
+    load_cached_dataset,
+    load_dataset_directory,
+    write_dataset_cache,
+)
+from repro.models import KGEModel
+from repro.scoring import BlockStructure
+from repro.scoring.kernels import ENTITY_TILE, normalize_chunk_size
+from repro.serve import (
+    LinkPredictionEngine,
+    LinkQuery,
+    ModelArtifactRegistry,
+    load_model_artifact,
+    save_model_artifact,
+)
+
+
+# ---------------------------------------------------------------------------- helpers
+def random_graph(seed: int, num_entities: int = 30, num_relations: int = 6, n: int = 400) -> KnowledgeGraph:
+    rng = np.random.default_rng(seed)
+    triples = np.stack(
+        [
+            rng.integers(0, num_entities, size=n),
+            rng.integers(0, num_relations, size=n),
+            rng.integers(0, num_entities, size=n),
+        ],
+        axis=1,
+    ).astype(np.int64)
+    triples = np.unique(triples, axis=0)
+    rng.shuffle(triples)
+    n = len(triples)
+    return KnowledgeGraph(
+        name=f"random-{seed}",
+        num_entities=num_entities,
+        num_relations=num_relations,
+        train=TripleSet(triples[: n // 2].copy()),
+        valid=TripleSet(triples[n // 2 : 3 * n // 4].copy()),
+        test=TripleSet(triples[3 * n // 4 :].copy()),
+    )
+
+
+def random_model(graph: KnowledgeGraph, num_groups: int, seed: int, dim: int = 16) -> KGEModel:
+    rng = np.random.default_rng(seed + 1000)
+    structures = [BlockStructure.random(4, rng) for _ in range(num_groups)]
+    assignment = rng.integers(0, num_groups, size=graph.num_relations)
+    return KGEModel(
+        num_entities=graph.num_entities,
+        num_relations=graph.num_relations,
+        dim=dim,
+        scorers=structures,
+        assignment=assignment,
+        seed=seed,
+    )
+
+
+def assert_graphs_equal(left: KnowledgeGraph, right: KnowledgeGraph) -> None:
+    assert left.num_entities == right.num_entities
+    assert left.num_relations == right.num_relations
+    for split in ("train", "valid", "test"):
+        np.testing.assert_array_equal(getattr(left, split).array, getattr(right, split).array)
+    assert list(left.entity_vocab.symbols()) == list(right.entity_vocab.symbols())
+    assert list(right.relation_vocab.symbols()) == list(right.relation_vocab.symbols())
+
+
+@pytest.fixture
+def dataset_dir(tmp_path):
+    """A tiny random graph saved in the standard three-file TSV layout."""
+    return save_tsv_dataset(random_graph(3, num_entities=20, n=200), tmp_path / "toy")
+
+
+# ---------------------------------------------------------------------------- binary cache
+class TestBinaryCache:
+    def test_cached_load_round_trips_tsv_parse_exactly(self, dataset_dir):
+        parsed = load_tsv_dataset(dataset_dir)
+        first = load_dataset_directory(dataset_dir)  # cache miss: parses, then writes
+        assert cache_path(dataset_dir).is_dir()
+        second = load_dataset_directory(dataset_dir)  # cache hit: binary load
+        for loaded in (first, second):
+            assert loaded.name == parsed.name
+            assert_graphs_equal(loaded, parsed)
+
+    def test_cache_hit_does_not_reparse(self, dataset_dir, monkeypatch):
+        load_dataset_directory(dataset_dir)  # build the cache
+
+        def boom(*args, **kwargs):  # pragma: no cover - only on regression
+            raise AssertionError("cache hit must not fall back to the TSV parser")
+
+        import repro.kg.cache as cache_module
+
+        monkeypatch.setattr(cache_module, "load_tsv_dataset", boom)
+        graph = load_dataset_directory(dataset_dir)
+        assert graph.num_entities > 0
+
+    def test_digest_invalidation_on_file_edit(self, dataset_dir):
+        before = load_dataset_directory(dataset_dir)
+        stale_digest = dataset_digest(dataset_dir)
+        with (dataset_dir / "train.txt").open("a", encoding="utf-8") as fh:
+            fh.write("brand_new_head\tbrand_new_rel\tbrand_new_tail\n")
+        assert dataset_digest(dataset_dir) != stale_digest
+        # The stale cache must be a miss, and the reload must reflect the edit.
+        assert load_cached_dataset(dataset_dir) is None
+        after = load_dataset_directory(dataset_dir)
+        assert len(after.train) == len(before.train) + 1
+        assert "brand_new_head" in set(after.entity_vocab.symbols())
+
+    def test_corrupt_cache_is_a_miss_not_an_error(self, dataset_dir):
+        expected = load_dataset_directory(dataset_dir)
+        (cache_path(dataset_dir) / "train.npy").write_bytes(b"not an npy file")
+        reloaded = load_dataset_directory(dataset_dir)
+        assert_graphs_equal(reloaded, expected)
+
+    def test_use_cache_false_touches_nothing(self, dataset_dir):
+        load_dataset_directory(dataset_dir, use_cache=False)
+        assert not cache_path(dataset_dir).exists()
+
+    def test_mmap_and_in_memory_cached_loads_are_identical(self, dataset_dir):
+        graph = load_tsv_dataset(dataset_dir)
+        write_dataset_cache(dataset_dir, graph)
+        mapped = load_cached_dataset(dataset_dir, mmap=True)
+        resident = load_cached_dataset(dataset_dir, mmap=False)
+        assert mapped is not None and resident is not None
+        assert_graphs_equal(mapped, resident)
+
+    def test_cache_write_failure_degrades_to_parse(self, dataset_dir, monkeypatch):
+        import repro.kg.cache as cache_module
+
+        monkeypatch.setattr(
+            cache_module, "write_dataset_cache", lambda *a, **k: None
+        )
+        graph = load_dataset_directory(dataset_dir)
+        assert graph.num_entities > 0
+
+
+# ---------------------------------------------------------------------------- resolution
+class TestResolveDataset:
+    def test_registry_name_resolves_with_scale(self):
+        graph = resolve_dataset("fb15k_like", scale=0.5, seed=0)
+        reference = load_benchmark("fb15k_like", scale=0.5, seed=0)
+        assert graph.num_entities == reference.num_entities
+
+    def test_directory_path_resolves(self, dataset_dir):
+        graph = resolve_dataset(str(dataset_dir))
+        reference = load_tsv_dataset(dataset_dir)
+        assert_graphs_equal(graph, reference)
+
+    def test_bare_name_that_is_a_directory_resolves(self, dataset_dir, monkeypatch):
+        monkeypatch.chdir(dataset_dir.parent)
+        assert is_directory_spec(dataset_dir.name)
+        graph = resolve_dataset(dataset_dir.name)
+        assert graph.num_entities == load_tsv_dataset(dataset_dir).num_entities
+
+    def test_ambiguous_name_is_refused_loudly(self, tmp_path, monkeypatch):
+        name = BENCHMARK_NAMES[0]
+        shadow = save_tsv_dataset(random_graph(1, num_entities=8, n=40), tmp_path / name)
+        monkeypatch.chdir(tmp_path)
+        with pytest.raises(DatasetResolutionError, match="ambiguous"):
+            resolve_dataset(name)
+        # Disambiguation with an explicit path prefix selects the directory.
+        graph = resolve_dataset(f"./{name}")
+        assert graph.num_entities == load_tsv_dataset(shadow).num_entities
+
+    def test_unknown_name_lists_the_registry(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        with pytest.raises(DatasetResolutionError, match=BENCHMARK_NAMES[0]):
+            resolve_dataset("no_such_dataset")
+
+    def test_scale_on_directory_is_rejected(self, dataset_dir):
+        with pytest.raises(DatasetResolutionError, match="scale"):
+            resolve_dataset(str(dataset_dir), scale=2.0)
+        with pytest.raises(DatasetResolutionError, match="scale"):
+            check_dataset_spec(str(dataset_dir), scale=0.5)
+
+    def test_non_dataset_directory_is_rejected(self, tmp_path):
+        (tmp_path / "train.txt").write_text("a\tr\tb\n")  # valid.txt/test.txt missing
+        with pytest.raises(DatasetResolutionError, match="train.txt"):
+            resolve_dataset(str(tmp_path))
+
+    def test_directory_loads_are_memoised_until_edited(self, dataset_dir):
+        first = resolve_dataset(str(dataset_dir))
+        assert resolve_dataset(str(dataset_dir)) is first  # digest unchanged: same object
+        with (dataset_dir / "test.txt").open("a", encoding="utf-8") as fh:
+            fh.write("x\ty\tz\n")
+        refreshed = resolve_dataset(str(dataset_dir))
+        assert refreshed is not first
+        assert len(refreshed.test) == len(first.test) + 1
+
+    def test_dataset_label_registry_passthrough(self):
+        for name in BENCHMARK_NAMES:
+            assert dataset_label(name) == name
+
+    def test_dataset_label_for_directories_is_safe_and_collision_free(self, tmp_path):
+        a = tmp_path / "runs" / "fb15k-237"
+        b = tmp_path / "other" / "fb15k-237"
+        for directory in (a, b):
+            save_tsv_dataset(random_graph(0, num_entities=6, n=30), directory)
+        label_a, label_b = dataset_label(str(a)), dataset_label(str(b))
+        assert label_a.startswith("fb15k-237-") and label_b.startswith("fb15k-237-")
+        assert label_a != label_b  # same basename, different paths
+        assert dataset_label(str(a)) == label_a  # deterministic
+
+
+# ---------------------------------------------------------------------------- chunked scoring
+class TestChunkedScoring:
+    @pytest.mark.parametrize("seed,num_groups", [(0, 1), (1, 2), (2, 3)])
+    @pytest.mark.parametrize("direction", ["tail", "head"])
+    def test_chunk_concatenation_is_bit_identical(self, seed, num_groups, direction):
+        # Entities span >2 tiles so chunking is real; multi-group models exercise the
+        # scatter-by-relation-group path.
+        graph = random_graph(seed, num_entities=2 * ENTITY_TILE + 200, n=600)
+        model = random_model(graph, num_groups, seed)
+        batch = graph.test.array[:40]
+        full = model.score_all_arrays(batch, direction)
+        for chunk in (ENTITY_TILE, 2 * ENTITY_TILE):
+            pieces = [
+                model.score_chunk_entities(batch, direction, start, min(start + chunk, model.num_entities))
+                for start in range(0, model.num_entities, chunk)
+            ]
+            streamed = np.concatenate(pieces, axis=1)
+            assert streamed.shape == full.shape
+            assert np.array_equal(streamed, full)  # exact equality, not allclose
+
+    def test_off_grid_chunk_start_is_rejected(self):
+        graph = random_graph(0, num_entities=ENTITY_TILE + 100, n=200)
+        model = random_model(graph, 1, 0)
+        with pytest.raises(ValueError):
+            model.score_chunk_entities(graph.test.array[:4], "tail", 100, model.num_entities)
+
+    def test_normalize_chunk_size_rounds_up_to_tile_grid(self):
+        assert normalize_chunk_size(1) == ENTITY_TILE
+        assert normalize_chunk_size(ENTITY_TILE) == ENTITY_TILE
+        assert normalize_chunk_size(ENTITY_TILE + 1) == 2 * ENTITY_TILE
+        with pytest.raises(ValueError):
+            normalize_chunk_size(0)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("filtered", [True, False])
+    def test_chunked_evaluator_ranks_exactly_equal(self, seed, filtered):
+        graph = random_graph(seed, num_entities=2 * ENTITY_TILE + 300, n=700)
+        model = random_model(graph, 2, seed)
+        plain = RankingEvaluator(graph, filtered=filtered).ranks(model, graph.test)
+        for chunk in (ENTITY_TILE, ENTITY_TILE + 1, 10 * ENTITY_TILE):
+            chunked = RankingEvaluator(
+                graph, filtered=filtered, entity_chunk_size=chunk
+            ).ranks(model, graph.test)
+            assert np.array_equal(plain, chunked)
+
+    def test_chunked_evaluation_bounds_peak_memory(self):
+        # With filtering off, the dominant allocation of a ranking pass is the
+        # (batch, num_entities) float64 score matrix; the chunked pass replaces it
+        # with (batch, chunk) slabs and must allocate measurably less at peak.
+        graph = random_graph(7, num_entities=4 * ENTITY_TILE, n=900)
+        model = random_model(graph, 1, 7)
+        triples = graph.test
+
+        def peak(evaluator):
+            evaluator.ranks(model, triples)  # warm caches outside the measurement
+            tracemalloc.start()
+            evaluator.ranks(model, triples)
+            _, high = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            return high
+
+        unchunked_peak = peak(RankingEvaluator(graph, filtered=False))
+        chunked_peak = peak(
+            RankingEvaluator(graph, filtered=False, entity_chunk_size=ENTITY_TILE)
+        )
+        assert chunked_peak < 0.75 * unchunked_peak
+
+
+# ---------------------------------------------------------------------------- streamed serving
+class TestStreamedEngine:
+    def test_streamed_predictions_match_unchunked(self):
+        graph = random_graph(5, num_entities=2 * ENTITY_TILE + 64, n=500)
+        model = random_model(graph, 2, 5)
+        queries = [
+            LinkQuery(relation=int(r), head=int(h), k=12)
+            for h, r, _ in graph.test.array[:10]
+        ] + [
+            LinkQuery(relation=int(r), tail=int(t), k=7)
+            for _, r, t in graph.test.array[10:20]
+        ]
+        plain = LinkPredictionEngine(model, filtered=False).predict(queries)
+        streamed = LinkPredictionEngine(
+            model, filtered=False, entity_chunk_size=ENTITY_TILE
+        ).predict(queries)
+        for p, s in zip(plain, streamed):
+            np.testing.assert_array_equal(p.entities, s.entities)
+            assert np.array_equal(p.scores, s.scores)
+
+
+# ---------------------------------------------------------------------------- mmap artifacts
+class TestMmapArtifacts:
+    def test_mmap_load_is_bit_identical_to_in_memory(self, tmp_path):
+        graph = random_graph(9, num_entities=ENTITY_TILE + 40, n=300)
+        model = random_model(graph, 2, 9)
+        directory = save_model_artifact(model, tmp_path / "artifact")
+        resident, _ = load_model_artifact(directory, mmap=False)
+        mapped, _ = load_model_artifact(directory, mmap=True)
+        batch = graph.test.array[:24]
+        for direction in ("tail", "head"):
+            expected = resident.score_all_arrays(batch, direction)
+            assert np.array_equal(mapped.score_all_arrays(batch, direction), expected)
+        # The mmap sidecar holds one extracted .npy per parameter next to the .npz.
+        from repro.serve.artifacts import MMAP_DIRNAME
+
+        assert (directory / MMAP_DIRNAME).is_dir()
+
+    def test_registry_mmap_load_matches(self, tmp_path):
+        graph = random_graph(11, num_entities=ENTITY_TILE, n=250)
+        model = random_model(graph, 1, 11)
+        registry = ModelArtifactRegistry(tmp_path / "registry")
+        registry.save("scale-test", model)
+        resident, _ = registry.load("scale-test", mmap=False)
+        mapped, _ = registry.load("scale-test", mmap=True)
+        batch = graph.valid.array[:16]
+        assert np.array_equal(
+            mapped.score_all_arrays(batch, "tail"),
+            resident.score_all_arrays(batch, "tail"),
+        )
+
+    def test_mmap_engine_end_to_end(self, tmp_path):
+        graph = random_graph(13, num_entities=ENTITY_TILE + 128, n=400)
+        model = random_model(graph, 1, 13)
+        directory = save_model_artifact(model, tmp_path / "engine-artifact")
+        queries = [LinkQuery(relation=int(r), head=int(h), k=5) for h, r, _ in graph.test.array[:8]]
+        plain = LinkPredictionEngine.from_artifact(directory, mmap=False, filtered=False)
+        mapped = LinkPredictionEngine.from_artifact(
+            directory, mmap=True, filtered=False, entity_chunk_size=ENTITY_TILE
+        )
+        for p, s in zip(plain.predict(queries), mapped.predict(queries)):
+            np.testing.assert_array_equal(p.entities, s.entities)
+            assert np.array_equal(p.scores, s.scores)
+
+
+# ---------------------------------------------------------------------------- end to end
+class TestDirectoryDatasetEndToEnd:
+    def test_search_runner_resolves_directory_dataset(self, dataset_dir):
+        from repro.runtime.runner import RunConfig, SearchRunner
+
+        config = RunConfig(dataset=str(dataset_dir), search_epochs=1, num_groups=1, budget_steps=1)
+        runner = SearchRunner(config)
+        graph = runner.graph
+        assert graph.num_entities == load_tsv_dataset(dataset_dir).num_entities
+        assert graph.name == dataset_dir.name
+
+    def test_sweep_validation_rejects_bad_dataset_specs(self, dataset_dir):
+        from repro.runtime.orchestrator import SweepConfig, SweepError
+
+        with pytest.raises(SweepError, match="unknown dataset"):
+            SweepConfig(datasets=["definitely_not_a_dataset"])
+        with pytest.raises(SweepError, match="scale"):
+            SweepConfig(datasets=[str(dataset_dir)], scale=2.0)
+        SweepConfig(datasets=[str(dataset_dir)])  # a directory spec validates cleanly

@@ -43,6 +43,7 @@ def test_every_module_has_a_docstring(module_name):
 
 
 def _audited_dataclasses():
+    from repro.kg.cache import DatasetCacheMeta
     from repro.models.trainer import TrainerConfig
     from repro.runtime.orchestrator import ShardSpec, SweepConfig, SweepReport
     from repro.runtime.runner import RunConfig, RunReport
@@ -62,6 +63,7 @@ def _audited_dataclasses():
     from repro.stream.delta import GraphDelta
 
     return [
+        DatasetCacheMeta,
         ServiceConfig,
         FrontendConfig,
         ReloadConfig,
@@ -108,10 +110,15 @@ def test_public_dataclass_documents_every_field(cls):
 def test_docs_exist_and_are_linked_from_readme():
     architecture = REPO_ROOT / "docs" / "ARCHITECTURE.md"
     cli = REPO_ROOT / "docs" / "CLI.md"
-    assert architecture.is_file() and cli.is_file()
+    datasets = REPO_ROOT / "docs" / "DATASETS.md"
+    assert architecture.is_file() and cli.is_file() and datasets.is_file()
     readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
     assert "docs/ARCHITECTURE.md" in readme, "README must link docs/ARCHITECTURE.md"
     assert "docs/CLI.md" in readme, "README must link docs/CLI.md"
+    assert "docs/DATASETS.md" in readme, "README must link docs/DATASETS.md"
+    assert "DATASETS.md" in architecture.read_text(encoding="utf-8"), (
+        "ARCHITECTURE must link DATASETS.md"
+    )
 
 
 def _fenced_code_lines(text: str) -> List[str]:
@@ -151,6 +158,21 @@ def test_docs_reference_at_least_one_invocation_per_subcommand():
     assert {"search", "sweep", "train", "serve", "bench"} <= commands, (
         f"docs must show every subcommand at least once, found only {sorted(commands)}"
     )
+
+
+def test_docs_show_the_scale_workload_and_directory_datasets():
+    """The out-of-core additions must be demonstrated, not just implemented."""
+    bench_lines = [
+        tokens
+        for _, _, tokens in _documented_invocations()
+        if tokens and tokens[0] == "bench"
+    ]
+    assert any("scale" in tokens for tokens in bench_lines), (
+        "docs must show `python -m repro bench --workload scale` at least once"
+    )
+    datasets_doc = (REPO_ROOT / "docs" / "DATASETS.md").read_text(encoding="utf-8")
+    for needle in (".repro-cache", "train.txt", "resolve_dataset", "--mmap"):
+        assert needle in datasets_doc, f"docs/DATASETS.md must cover {needle!r}"
 
 
 def test_documented_cli_invocations_use_real_flags():

@@ -51,6 +51,38 @@ class TestTsvIO:
         with pytest.raises(ValueError):
             load_tsv_dataset(tmp_path)
 
+    def test_crlf_line_endings_are_stripped(self, tmp_path):
+        # Windows-edited exports terminate lines with \r\n; the \r must not end up
+        # glued onto the tail symbol (which would silently fork the vocabulary).
+        (tmp_path / "train.txt").write_bytes(b"a\tr\tb\r\nb\tr\tc\r\n")
+        (tmp_path / "valid.txt").write_bytes(b"a\tr\tc\r\n")
+        (tmp_path / "test.txt").write_bytes(b"b\tr\ta\r\n")
+        graph = load_tsv_dataset(tmp_path)
+        assert set(graph.entity_vocab.symbols()) == {"a", "b", "c"}
+        assert graph.num_entities == 3 and len(graph.train) == 2
+
+    def test_duplicate_triples_are_dropped_with_warning(self, tmp_path, caplog):
+        (tmp_path / "train.txt").write_text("a\tr\tb\na\tr\tb\nb\tr\tc\n")
+        (tmp_path / "valid.txt").write_text("a\tr\tc\n")
+        (tmp_path / "test.txt").write_text("b\tr\ta\n")
+        with caplog.at_level("WARNING", logger="repro.kg.io"):
+            graph = load_tsv_dataset(tmp_path)
+        assert len(graph.train) == 2  # first occurrence kept, duplicate dropped
+        assert any("duplicate" in record.message for record in caplog.records)
+
+    def test_eval_only_symbols_are_loaded_but_warned_about(self, tmp_path, caplog):
+        # Entities/relations appearing only in valid/test have no training signal;
+        # the loader must keep them (ids must cover the eval splits) but say so.
+        (tmp_path / "train.txt").write_text("a\tr\tb\n")
+        (tmp_path / "valid.txt").write_text("a\tr\tnew_entity\n")
+        (tmp_path / "test.txt").write_text("a\tnew_relation\tb\n")
+        with caplog.at_level("WARNING", logger="repro.kg.io"):
+            graph = load_tsv_dataset(tmp_path)
+        assert "new_entity" in set(graph.entity_vocab.symbols())
+        assert "new_relation" in set(graph.relation_vocab.symbols())
+        messages = " ".join(record.message for record in caplog.records)
+        assert "only in valid/test" in messages
+
 
 class TestBatchIterator:
     def test_covers_all_triples(self, tiny_graph):
